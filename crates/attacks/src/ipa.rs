@@ -1,0 +1,162 @@
+//! Input poisoning attacks (paper §VII-B).
+//!
+//! Under IPA malicious users choose adversarial *inputs* but then run the
+//! genuine perturbation algorithm Ψ like every honest client. The paper
+//! shows (Fig. 8) that this is 2–4 orders of magnitude weaker than the
+//! general attack, and defends against it by pairing LDPRecover with the
+//! k-means subset defense (Fig. 9).
+//!
+//! [`InputPoisoning`] wraps an input chooser: `MGA-IPA` is
+//! `InputPoisoning::uniform_targets(..)`, an input-level adaptive attack is
+//! `InputPoisoning::from_distribution(..)`.
+
+use ldp_common::sampling::{sample_distinct, AliasTable};
+use ldp_common::{Domain, Result};
+use ldp_protocols::{AnyProtocol, LdpFrequencyProtocol, Report};
+use rand::{Rng, RngCore};
+
+use crate::traits::PoisoningAttack;
+
+/// An input-poisoning attack: adversarial inputs, honest perturbation.
+#[derive(Debug, Clone)]
+pub struct InputPoisoning {
+    sampler: AliasTable,
+    targets: Option<Vec<usize>>,
+    label: String,
+}
+
+impl InputPoisoning {
+    /// MGA-IPA: every malicious user holds a uniformly-sampled target item.
+    ///
+    /// # Panics
+    /// Panics if `targets` is empty or out of domain.
+    pub fn uniform_targets(domain: Domain, targets: Vec<usize>) -> Self {
+        assert!(!targets.is_empty(), "target set must be non-empty");
+        assert!(
+            targets.iter().all(|&t| domain.contains(t)),
+            "targets must lie in the domain"
+        );
+        let mut weights = vec![0.0; domain.size()];
+        for &t in &targets {
+            weights[t] = 1.0;
+        }
+        let label = format!("MGA-IPA(r={})", targets.len());
+        Self {
+            sampler: AliasTable::new(&weights).expect("valid target weights"),
+            targets: Some(targets),
+            label,
+        }
+    }
+
+    /// MGA-IPA with `r` uniformly-sampled targets.
+    ///
+    /// # Panics
+    /// Panics if `r == 0` or `r > d`.
+    pub fn random_targets<R: Rng + ?Sized>(domain: Domain, r: usize, rng: &mut R) -> Self {
+        assert!(r >= 1 && r <= domain.size(), "need 1 ≤ r ≤ d");
+        Self::uniform_targets(domain, sample_distinct(domain.size(), r, rng))
+    }
+
+    /// Input poisoning from an arbitrary input distribution.
+    ///
+    /// # Errors
+    /// Propagates alias-table validation.
+    pub fn from_distribution(weights: &[f64]) -> Result<Self> {
+        Ok(Self {
+            sampler: AliasTable::new(weights)?,
+            targets: None,
+            label: "AA-IPA".to_string(),
+        })
+    }
+}
+
+impl PoisoningAttack for InputPoisoning {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn craft(&self, protocol: &AnyProtocol, m: usize, rng: &mut dyn RngCore) -> Vec<Report> {
+        (0..m)
+            .map(|_| {
+                let item = self.sampler.sample(rng);
+                // The defining property of IPA: the report goes through Ψ.
+                protocol.perturb(item, rng)
+            })
+            .collect()
+    }
+
+    fn targets(&self) -> Option<&[usize]> {
+        self.targets.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mga::Mga;
+    use ldp_common::rng::rng_from_seed;
+    use ldp_protocols::{CountAccumulator, ProtocolKind};
+
+    #[test]
+    fn ipa_reports_are_perturbed_not_clean() {
+        // For GRR with a single target, clean MGA reports would *all* equal
+        // the target; IPA reports only do so with probability p < 1.
+        let domain = Domain::new(32).unwrap();
+        let proto = ProtocolKind::Grr.build(0.5, domain).unwrap();
+        let ipa = InputPoisoning::uniform_targets(domain, vec![7]);
+        let mut rng = rng_from_seed(1);
+        let reports = ipa.craft(&proto, 2_000, &mut rng);
+        let on_target = reports
+            .iter()
+            .filter(|r| matches!(r, Report::Grr(7)))
+            .count();
+        let p = proto.params().p();
+        let rate = on_target as f64 / 2_000.0;
+        assert!(rate < 0.5, "rate={rate} too high for ε=0.5 GRR");
+        let tol = 5.0 * (p * (1.0 - p) / 2_000.0).sqrt();
+        assert!((rate - p).abs() < tol, "rate={rate}, p={p}");
+    }
+
+    #[test]
+    fn ipa_gain_is_much_weaker_than_general_mga() {
+        // The Fig. 8 phenomenon, in miniature: the raw support count MGA
+        // adds to a target is ~m (every crafted OUE report sets the bit),
+        // while IPA adds only ~m·p.
+        let domain = Domain::new(64).unwrap();
+        let proto = ProtocolKind::Oue.build(0.5, domain).unwrap();
+        let targets = vec![5usize];
+        let m = 4_000;
+        let mut rng = rng_from_seed(2);
+
+        let mga_reports = Mga::new(targets.clone()).craft(&proto, m, &mut rng);
+        let ipa_reports =
+            InputPoisoning::uniform_targets(domain, targets.clone()).craft(&proto, m, &mut rng);
+
+        let count_on = |reports: &[Report]| -> u64 {
+            let mut acc = CountAccumulator::new(domain);
+            acc.add_all(&proto, reports);
+            acc.counts()[5]
+        };
+        let mga_count = count_on(&mga_reports);
+        let ipa_count = count_on(&ipa_reports);
+        assert_eq!(mga_count, m as u64, "precise MGA always sets the bit");
+        assert!(
+            (ipa_count as f64) < 0.6 * m as f64,
+            "IPA count {ipa_count} should be ≈ m/2"
+        );
+    }
+
+    #[test]
+    fn from_distribution_validates() {
+        assert!(InputPoisoning::from_distribution(&[]).is_err());
+        assert!(InputPoisoning::from_distribution(&[1.0, 3.0]).is_ok());
+    }
+
+    #[test]
+    fn random_targets_exposes_target_set() {
+        let mut rng = rng_from_seed(3);
+        let ipa = InputPoisoning::random_targets(Domain::new(100).unwrap(), 10, &mut rng);
+        assert_eq!(ipa.targets().unwrap().len(), 10);
+        assert!(ipa.name().contains("MGA-IPA"));
+    }
+}

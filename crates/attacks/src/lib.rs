@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! Poisoning attacks against LDP frequency estimation.
+//!
+//! Implements every attack the LDPRecover paper evaluates (§II, §V-C,
+//! §VI-A.3, §VII-B, §VII-C):
+//!
+//! * [`manip::Manip`] — the untargeted manipulation attack of Cheu et al.
+//!   (S&P 2021): uniform malicious reports over a sampled sub-domain `H ⊆ D`.
+//! * [`adaptive::AdaptiveAttack`] — the paper's unifying attack model: the
+//!   attacker designs a distribution `P` over the encoded domain and samples
+//!   malicious reports from it (clean encodings, bypassing perturbation).
+//! * [`mga::Mga`] — the *precise* maximal gain attack of Cao et al. (USENIX
+//!   Security 2021): per-protocol crafted reports that support **all** `r`
+//!   target items at once where the encoding allows it (OUE bit-setting with
+//!   padding, OLH seed search), falling back to one target per report for
+//!   GRR. This is what reproduces the paper's frequency-gain magnitudes.
+//! * [`mga::MgaSampled`] — the paper's sampling-based simplification of MGA
+//!   (uniform clean encodings over the target set), i.e. the adaptive attack
+//!   with `P` uniform on `T`.
+//! * [`ipa::InputPoisoning`] — input poisoning (§VII-B): malicious users
+//!   choose adversarial *inputs* but follow the perturbation protocol.
+//! * [`multi::MultiAttack`] — the multi-attacker composition of §VII-C.
+//!
+//! All attacks implement [`traits::PoisoningAttack`] (object-safe: the RNG
+//! is passed as `&mut dyn RngCore`), and [`kind::AttackKind`] provides a
+//! serializable factory that instantiates per-trial randomized attack state
+//! (target selection, attacker-designed distributions).
+
+pub mod adaptive;
+pub mod ipa;
+pub mod kind;
+pub mod manip;
+pub mod mga;
+pub mod multi;
+pub mod traits;
+
+pub use adaptive::{AdaptiveAttack, CamouflagedAdaptive};
+pub use ipa::InputPoisoning;
+pub use kind::AttackKind;
+pub use manip::Manip;
+pub use mga::{Mga, MgaSampled};
+pub use multi::MultiAttack;
+pub use traits::PoisoningAttack;

@@ -1,0 +1,131 @@
+//! Multi-attacker poisoning (paper §VII-C).
+//!
+//! Several attackers control disjoint groups of malicious users, each
+//! sampling from its own attacker-designed distribution. The paper's
+//! observation: this is equivalent to a single adaptive attacker sampling
+//! from the user-weighted mixture of the distributions, so LDPRecover
+//! applies unchanged (validated by Fig. 10).
+
+use ldp_protocols::{AnyProtocol, Report};
+use rand::{Rng as _, RngCore};
+
+use crate::traits::PoisoningAttack;
+
+/// A composition of independent attackers sharing the malicious population.
+pub struct MultiAttack {
+    attackers: Vec<Box<dyn PoisoningAttack + Send + Sync>>,
+}
+
+impl MultiAttack {
+    /// Composes the given attackers.
+    ///
+    /// # Panics
+    /// Panics if `attackers` is empty.
+    pub fn new(attackers: Vec<Box<dyn PoisoningAttack + Send + Sync>>) -> Self {
+        assert!(!attackers.is_empty(), "need at least one attacker");
+        Self { attackers }
+    }
+
+    /// Number of attackers.
+    pub fn attacker_count(&self) -> usize {
+        self.attackers.len()
+    }
+}
+
+impl PoisoningAttack for MultiAttack {
+    fn name(&self) -> String {
+        format!("MUL({})", self.attackers.len())
+    }
+
+    fn craft(&self, protocol: &AnyProtocol, m: usize, rng: &mut dyn RngCore) -> Vec<Report> {
+        // "Randomly assign malicious users to these attackers" (§VII-C):
+        // each malicious user picks an attacker uniformly at random, then
+        // that attacker crafts the user's report.
+        let k = self.attackers.len();
+        let mut assignment = vec![0usize; k];
+        for _ in 0..m {
+            assignment[rng.gen_range(0..k)] += 1;
+        }
+        let mut reports = Vec::with_capacity(m);
+        for (attacker, &count) in self.attackers.iter().zip(&assignment) {
+            reports.extend(attacker.craft(protocol, count, rng));
+        }
+        reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptive::AdaptiveAttack;
+    use ldp_common::rng::rng_from_seed;
+    use ldp_common::Domain;
+    use ldp_protocols::ProtocolKind;
+
+    fn five_random_attackers(domain: Domain, seed: u64) -> MultiAttack {
+        let mut rng = rng_from_seed(seed);
+        let attackers: Vec<Box<dyn PoisoningAttack + Send + Sync>> = (0..5)
+            .map(|_| {
+                Box::new(AdaptiveAttack::random(domain, &mut rng))
+                    as Box<dyn PoisoningAttack + Send + Sync>
+            })
+            .collect();
+        MultiAttack::new(attackers)
+    }
+
+    #[test]
+    fn crafts_exactly_m_reports() {
+        let domain = Domain::new(40).unwrap();
+        let multi = five_random_attackers(domain, 1);
+        assert_eq!(multi.attacker_count(), 5);
+        let proto = ProtocolKind::Grr.build(0.5, domain).unwrap();
+        let mut rng = rng_from_seed(2);
+        for m in [0usize, 1, 7, 1000] {
+            assert_eq!(multi.craft(&proto, m, &mut rng).len(), m);
+        }
+    }
+
+    #[test]
+    fn mixture_matches_single_attacker_on_joint_distribution() {
+        // Empirical item distribution of the multi-attack must match the
+        // uniform mixture of the attackers' designed distributions.
+        let domain = Domain::new(10).unwrap();
+        let mut rng = rng_from_seed(3);
+        let attackers: Vec<AdaptiveAttack> = (0..5)
+            .map(|_| AdaptiveAttack::random(domain, &mut rng))
+            .collect();
+        let mixture: Vec<f64> = (0..10)
+            .map(|v| attackers.iter().map(|a| a.distribution()[v]).sum::<f64>() / 5.0)
+            .collect();
+
+        let boxed: Vec<Box<dyn PoisoningAttack + Send + Sync>> = attackers
+            .into_iter()
+            .map(|a| Box::new(a) as Box<dyn PoisoningAttack + Send + Sync>)
+            .collect();
+        let multi = MultiAttack::new(boxed);
+        let proto = ProtocolKind::Grr.build(0.5, domain).unwrap();
+        let m = 200_000;
+        let reports = multi.craft(&proto, m, &mut rng);
+        let mut hist = [0usize; 10];
+        for r in &reports {
+            match r {
+                ldp_protocols::Report::Grr(v) => hist[*v as usize] += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        for v in 0..10 {
+            let rate = hist[v] as f64 / m as f64;
+            let p = mixture[v];
+            let tol = 6.0 * (p * (1.0 - p) / m as f64).sqrt() + 1e-4;
+            assert!((rate - p).abs() < tol, "item {v}: rate={rate}, p={p}");
+        }
+    }
+
+    #[test]
+    fn untargeted_composition_has_no_targets() {
+        let domain = Domain::new(8).unwrap();
+        let multi = five_random_attackers(domain, 4);
+        assert!(multi.targets().is_none());
+        assert_eq!(multi.name(), "MUL(5)");
+    }
+}

@@ -1,0 +1,60 @@
+//! The attack interface.
+
+use ldp_protocols::{AnyProtocol, Report};
+use rand::RngCore;
+
+/// A poisoning attack controlling `m` malicious users.
+///
+/// Per the paper's threat model (§IV-A), malicious users send crafted data
+/// *directly* to the server, bypassing the perturbation algorithm Ψ but not
+/// the aggregation algorithm Φ. `craft` therefore produces wire-format
+/// [`Report`]s in the protocol's encoded domain.
+///
+/// Object safety: the RNG is taken as `&mut dyn RngCore` so heterogeneous
+/// attack sets (the multi-attacker scenario, the experiment grid) can be
+/// stored as `Box<dyn PoisoningAttack>`.
+pub trait PoisoningAttack {
+    /// Display name, including salient parameters (e.g. `"MGA(r=10)"`).
+    fn name(&self) -> String;
+
+    /// Crafts the reports the `m` malicious users send to the server.
+    fn craft(&self, protocol: &AnyProtocol, m: usize, rng: &mut dyn RngCore) -> Vec<Report>;
+
+    /// The attacker-chosen target items, if this is a targeted attack.
+    ///
+    /// Used by the evaluation (frequency gain, Eq. (37)) and by the
+    /// partial-knowledge recovery oracle — *never* by LDPRecover itself.
+    fn targets(&self) -> Option<&[usize]> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_common::Domain;
+    use ldp_protocols::ProtocolKind;
+
+    /// A do-nothing attack to pin down the trait's object safety.
+    struct Null;
+    impl PoisoningAttack for Null {
+        fn name(&self) -> String {
+            "Null".into()
+        }
+        fn craft(&self, _: &AnyProtocol, _: usize, _: &mut dyn RngCore) -> Vec<Report> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_default_targets_is_none() {
+        let boxed: Box<dyn PoisoningAttack> = Box::new(Null);
+        assert_eq!(boxed.name(), "Null");
+        assert!(boxed.targets().is_none());
+        let proto = ProtocolKind::Grr
+            .build(0.5, Domain::new(4).unwrap())
+            .unwrap();
+        let mut rng = ldp_common::rng::rng_from_seed(0);
+        assert!(boxed.craft(&proto, 3, &mut rng).is_empty());
+    }
+}

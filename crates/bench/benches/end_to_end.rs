@@ -1,0 +1,70 @@
+//! Criterion end-to-end benchmark: one full Fig. 3 cell (perturb → poison
+//! → aggregate → recover) at reduced population, per protocol — the number
+//! that budgets full-figure runtimes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldp_attacks::AttackKind;
+use ldp_common::rng::rng_from_seed;
+use ldp_datasets::DatasetKind;
+use ldp_protocols::ProtocolKind;
+use ldp_sim::{pipeline::run_trial, ExperimentConfig, PipelineOptions};
+use std::hint::black_box;
+
+fn bench_trial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_cell_trial_scale_0.01");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for protocol in ProtocolKind::ALL {
+        let mut config = ExperimentConfig::paper_default(
+            DatasetKind::Ipums,
+            protocol,
+            Some(AttackKind::Adaptive),
+        );
+        config.scale = 0.01;
+        let options = PipelineOptions::recovery_only();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(protocol.name()),
+            &(),
+            |b, ()| {
+                let mut rng = rng_from_seed(5);
+                b.iter(|| black_box(run_trial(&config, &options, &mut rng).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_eta_sweep_reuse(c: &mut Criterion) {
+    // The aggregation-reuse optimization: recovery alone vs a full trial.
+    let mut config = ExperimentConfig::paper_default(
+        DatasetKind::Ipums,
+        ProtocolKind::Grr,
+        Some(AttackKind::Adaptive),
+    );
+    config.scale = 0.01;
+    let options = PipelineOptions::recovery_only();
+    let mut rng = rng_from_seed(6);
+    let aggregates = ldp_sim::pipeline::run_aggregation(&config, &options, &mut rng).unwrap();
+
+    let mut group = c.benchmark_group("eta_sweep");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.bench_function("recovery_half_only", |b| {
+        let mut rng = rng_from_seed(7);
+        b.iter(|| {
+            black_box(
+                ldp_sim::pipeline::apply_recoveries(&aggregates, 0.2, &options, &mut rng).unwrap(),
+            )
+        });
+    });
+    group.bench_function("full_trial", |b| {
+        let mut rng = rng_from_seed(8);
+        b.iter(|| black_box(run_trial(&config, &options, &mut rng).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trial, bench_eta_sweep_reuse);
+criterion_main!(benches);

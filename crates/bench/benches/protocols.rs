@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks: perturbation and aggregation throughput of
+//! the three LDP protocols vs domain size.
+//!
+//! These quantify the simulator's hot paths (OUE bit perturbation, OLH
+//! hashing) that dominate full-scale trial cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ldp_common::rng::rng_from_seed;
+use ldp_common::Domain;
+use ldp_protocols::{CountAccumulator, LdpFrequencyProtocol, ProtocolKind};
+use std::hint::black_box;
+
+fn bench_perturb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perturb");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for kind in ProtocolKind::ALL {
+        for d in [102usize, 490] {
+            let domain = Domain::new(d).unwrap();
+            let protocol = kind.build(0.5, domain).unwrap();
+            let mut rng = rng_from_seed(1);
+            group.throughput(Throughput::Elements(1));
+            group.bench_with_input(BenchmarkId::new(kind.name(), d), &d, |b, _| {
+                b.iter(|| black_box(protocol.perturb(black_box(7), &mut rng)));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregate");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for kind in ProtocolKind::ALL {
+        for d in [102usize, 490] {
+            let domain = Domain::new(d).unwrap();
+            let protocol = kind.build(0.5, domain).unwrap();
+            let mut rng = rng_from_seed(2);
+            let reports: Vec<_> = (0..256)
+                .map(|i| protocol.perturb(i % d, &mut rng))
+                .collect();
+            group.throughput(Throughput::Elements(reports.len() as u64));
+            group.bench_with_input(BenchmarkId::new(kind.name(), d), &d, |b, _| {
+                b.iter(|| {
+                    let mut acc = CountAccumulator::new(domain);
+                    for r in &reports {
+                        acc.add(&protocol, r);
+                    }
+                    black_box(acc.counts()[0])
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_perturb, bench_aggregate);
+criterion_main!(benches);

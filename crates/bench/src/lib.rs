@@ -1,0 +1,211 @@
+//! Experiment harness shared by the `fig*` / `table1` / `repro` binaries.
+//!
+//! Each binary regenerates one table or figure of the LDPRecover paper
+//! (see DESIGN.md §5 for the full index) and prints the same rows/series
+//! the paper reports, alongside the paper's own (approximate, read off the
+//! figures) values where available. Absolute numbers depend on the
+//! synthetic dataset stand-ins and the `--scale` factor; the *shape* —
+//! which method wins, by roughly what factor, where crossovers fall — is
+//! the reproduction target (system prompt of EXPERIMENTS.md).
+//!
+//! # Common flags
+//!
+//! ```text
+//! --trials N    trials per cell            (default: 10, paper's setting)
+//! --scale F     population scale in (0,1]  (default: 0.25)
+//! --seed N      master seed                (default: 0x1DB05EED)
+//! --quick       shorthand for --trials 3 --scale 0.05
+//! --full        shorthand for --scale 1.0
+//! --csv         emit CSV instead of aligned tables
+//! ```
+
+use ldp_common::{LdpError, Result};
+
+pub mod sweeps;
+
+/// Parsed common command-line options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cli {
+    /// Trials per experiment cell.
+    pub trials: usize,
+    /// Population scale factor.
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Emit CSV instead of aligned tables.
+    pub csv: bool,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Self {
+            trials: 10,
+            scale: 0.25,
+            seed: 0x1DB0_5EED,
+            csv: false,
+        }
+    }
+}
+
+impl Cli {
+    /// Parses `std::env::args()`, exiting with usage help on `--help`.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] for malformed flags or values.
+    pub fn parse() -> Result<Self> {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument iterator (testable).
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] for malformed flags or values.
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Self> {
+        let mut cli = Self::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--trials" => {
+                    cli.trials = next_value(&mut iter, "--trials")?
+                        .parse()
+                        .map_err(|e| LdpError::invalid(format!("--trials: {e}")))?;
+                }
+                "--scale" => {
+                    cli.scale = next_value(&mut iter, "--scale")?
+                        .parse()
+                        .map_err(|e| LdpError::invalid(format!("--scale: {e}")))?;
+                }
+                "--seed" => {
+                    cli.seed = next_value(&mut iter, "--seed")?
+                        .parse()
+                        .map_err(|e| LdpError::invalid(format!("--seed: {e}")))?;
+                }
+                "--quick" => {
+                    cli.trials = 3;
+                    cli.scale = 0.05;
+                }
+                "--full" => {
+                    cli.scale = 1.0;
+                }
+                "--csv" => cli.csv = true,
+                "--help" | "-h" => {
+                    println!("flags: --trials N  --scale F  --seed N  --quick  --full  --csv");
+                    std::process::exit(0);
+                }
+                other => {
+                    return Err(LdpError::invalid(format!("unknown flag '{other}'")));
+                }
+            }
+        }
+        if cli.trials == 0 {
+            return Err(LdpError::invalid("--trials must be ≥ 1"));
+        }
+        if !(cli.scale > 0.0 && cli.scale <= 1.0) {
+            return Err(LdpError::invalid("--scale must be in (0,1]"));
+        }
+        Ok(cli)
+    }
+
+    /// Applies the common options onto an experiment config.
+    pub fn apply(&self, config: &mut ldp_sim::ExperimentConfig) {
+        config.trials = self.trials;
+        config.scale = self.scale;
+        config.seed = self.seed;
+    }
+
+    /// Prints a table in the selected format.
+    pub fn print_table(&self, title: &str, table: &ldp_sim::Table) {
+        println!("== {title} ==");
+        if self.csv {
+            print!("{}", table.render_csv());
+        } else {
+            print!("{}", table.render());
+        }
+        println!();
+    }
+
+    /// Prints the run header (scale caveat included once per binary).
+    pub fn print_header(&self, what: &str, paper_anchor: &str) {
+        println!("LDPRecover reproduction — {what}");
+        println!(
+            "trials={} scale={} seed={:#x}   (MSE scales ≈ 1/n: at scale σ the \
+             noise floor is 1/σ × the paper's; method ordering is scale-invariant)",
+            self.trials, self.scale, self.seed
+        );
+        if !paper_anchor.is_empty() {
+            println!("paper anchor: {paper_anchor}");
+        }
+        println!();
+    }
+}
+
+fn next_value<I: Iterator<Item = String>>(iter: &mut I, flag: &str) -> Result<String> {
+    iter.next()
+        .ok_or_else(|| LdpError::invalid(format!("{flag} requires a value")))
+}
+
+/// The β grid of Figs. 7, 8, 10.
+pub const BETA_GRID_WIDE: [f64; 5] = [0.05, 0.10, 0.15, 0.20, 0.25];
+/// The β grid of Figs. 5–6.
+pub const BETA_GRID_FINE: [f64; 5] = [0.001, 0.005, 0.01, 0.05, 0.1];
+/// The ε grid of Figs. 5–6.
+pub const EPSILON_GRID: [f64; 5] = [0.1, 0.2, 0.4, 0.8, 1.6];
+/// The η grid of Figs. 5–6.
+pub const ETA_GRID: [f64; 5] = [0.01, 0.05, 0.1, 0.2, 0.4];
+/// The ξ (sample-rate) grid of Fig. 9.
+pub const XI_GRID: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 0.9];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Cli> {
+        Cli::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_and_flags() {
+        let cli = parse(&[]).unwrap();
+        assert_eq!(cli.trials, 10);
+        assert!(!cli.csv);
+
+        let cli = parse(&["--trials", "4", "--scale", "0.5", "--seed", "9", "--csv"]).unwrap();
+        assert_eq!(cli.trials, 4);
+        assert_eq!(cli.scale, 0.5);
+        assert_eq!(cli.seed, 9);
+        assert!(cli.csv);
+    }
+
+    #[test]
+    fn quick_and_full_shorthands() {
+        let cli = parse(&["--quick"]).unwrap();
+        assert_eq!(cli.trials, 3);
+        assert_eq!(cli.scale, 0.05);
+        let cli = parse(&["--full"]).unwrap();
+        assert_eq!(cli.scale, 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["--trials"]).is_err());
+        assert!(parse(&["--trials", "zero"]).is_err());
+        assert!(parse(&["--trials", "0"]).is_err());
+        assert!(parse(&["--scale", "2.0"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn apply_overrides_config() {
+        let cli = parse(&["--trials", "2", "--scale", "0.1", "--seed", "5"]).unwrap();
+        let mut config = ldp_sim::ExperimentConfig::paper_default(
+            ldp_datasets::DatasetKind::Ipums,
+            ldp_protocols::ProtocolKind::Grr,
+            None,
+        );
+        config.beta = 0.0;
+        cli.apply(&mut config);
+        assert_eq!(config.trials, 2);
+        assert_eq!(config.scale, 0.1);
+        assert_eq!(config.seed, 5);
+    }
+}

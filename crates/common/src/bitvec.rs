@@ -1,0 +1,224 @@
+//! Packed bit vectors backing OUE reports.
+//!
+//! An OUE report is a `d`-bit binary vector; at Fire scale (d = 490,
+//! n ≈ 667k) storing reports as `Vec<bool>` would cost 327 MB and thrash the
+//! cache during aggregation. [`BitVec`] packs bits into `u64` blocks (41 MB
+//! for the same workload) and exposes the exact operations the workspace
+//! needs: single-bit set/get, set-bit iteration (aggregation), and masked
+//! intersection counting (the Detection baseline).
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-length packed bit vector.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitVec {
+    blocks: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates an all-zero bit vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            blocks: vec![0u64; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the vector has zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len` (debug and release: the shift is guarded).
+    #[inline(always)]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.blocks[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    #[inline(always)]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.blocks[i / 64] |= mask;
+        } else {
+            self.blocks[i / 64] &= !mask;
+        }
+    }
+
+    /// Sets bit `i` to 1 (hot-path shorthand without the branch).
+    #[inline(always)]
+    pub fn set_one(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.blocks[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Iterates over the indices of set bits in increasing order.
+    ///
+    /// Aggregation visits only the ~`q·d` set bits per report instead of all
+    /// `d` positions, which is the difference between 1.2 × 10⁸ and
+    /// 3.3 × 10⁸ operations per Fire-scale trial.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            blocks: &self.blocks,
+            block_idx: 0,
+            current: self.blocks.first().copied().unwrap_or(0),
+            len: self.len,
+        }
+    }
+
+    /// Counts set bits shared with `mask` (i.e. `popcount(self & mask)`).
+    ///
+    /// # Panics
+    /// Panics if the vectors have different lengths.
+    pub fn intersection_count(&self, mask: &BitVec) -> usize {
+        assert_eq!(self.len, mask.len, "BitVec length mismatch");
+        self.blocks
+            .iter()
+            .zip(&mask.blocks)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `true` iff every set bit of `mask` is also set in `self`.
+    pub fn contains_all(&self, mask: &BitVec) -> bool {
+        assert_eq!(self.len, mask.len, "BitVec length mismatch");
+        self.blocks
+            .iter()
+            .zip(&mask.blocks)
+            .all(|(a, b)| a & b == *b)
+    }
+
+    /// Builds a mask with the given bit indices set.
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn mask_of(len: usize, indices: &[usize]) -> Self {
+        let mut v = Self::zeros(len);
+        for &i in indices {
+            v.set_one(i);
+        }
+        v
+    }
+}
+
+/// Iterator over set-bit indices; see [`BitVec::iter_ones`].
+pub struct IterOnes<'a> {
+    blocks: &'a [u64],
+    block_idx: usize,
+    current: u64,
+    len: usize,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let tz = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1; // clear lowest set bit
+                let idx = self.block_idx * 64 + tz;
+                // Bits past `len` in the last block are never set by the
+                // public API, so no filtering is required; debug-assert it.
+                debug_assert!(idx < self.len);
+                return Some(idx);
+            }
+            self.block_idx += 1;
+            if self.block_idx >= self.blocks.len() {
+                return None;
+            }
+            self.current = self.blocks[self.block_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_get_set_roundtrip() {
+        let mut v = BitVec::zeros(130);
+        assert_eq!(v.len(), 130);
+        assert_eq!(v.count_ones(), 0);
+        v.set(0, true);
+        v.set(63, true);
+        v.set(64, true);
+        v.set(129, true);
+        assert!(v.get(0) && v.get(63) && v.get(64) && v.get(129));
+        assert!(!v.get(1) && !v.get(65) && !v.get(128));
+        assert_eq!(v.count_ones(), 4);
+        v.set(63, false);
+        assert!(!v.get(63));
+        assert_eq!(v.count_ones(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let v = BitVec::zeros(10);
+        let _ = v.get(10);
+    }
+
+    #[test]
+    fn iter_ones_matches_get() {
+        let mut v = BitVec::zeros(200);
+        let idxs = [0usize, 5, 63, 64, 100, 127, 128, 199];
+        for &i in &idxs {
+            v.set_one(i);
+        }
+        let collected: Vec<usize> = v.iter_ones().collect();
+        assert_eq!(collected, idxs);
+    }
+
+    #[test]
+    fn iter_ones_empty_and_full() {
+        let v = BitVec::zeros(70);
+        assert_eq!(v.iter_ones().count(), 0);
+        let mut full = BitVec::zeros(70);
+        for i in 0..70 {
+            full.set_one(i);
+        }
+        assert_eq!(full.iter_ones().count(), 70);
+        assert_eq!(full.iter_ones().last(), Some(69));
+    }
+
+    #[test]
+    fn intersection_and_containment() {
+        let a = BitVec::mask_of(100, &[1, 2, 3, 50, 99]);
+        let b = BitVec::mask_of(100, &[2, 3, 99]);
+        assert_eq!(a.intersection_count(&b), 3);
+        assert!(a.contains_all(&b));
+        assert!(!b.contains_all(&a));
+        let c = BitVec::mask_of(100, &[2, 4]);
+        assert_eq!(a.intersection_count(&c), 1);
+        assert!(!a.contains_all(&c));
+    }
+
+    #[test]
+    fn mask_of_builds_expected_mask() {
+        let m = BitVec::mask_of(65, &[64]);
+        assert!(m.get(64));
+        assert_eq!(m.count_ones(), 1);
+    }
+}

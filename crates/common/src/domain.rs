@@ -1,0 +1,117 @@
+//! The categorical item domain `D = {0, 1, …, d−1}`.
+//!
+//! Every LDP protocol in this workspace estimates frequencies over a finite
+//! categorical domain. Items are dense `usize` indices; callers that have
+//! string-valued items (city names, unit IDs) map them to indices once at
+//! dataset-construction time (see `ldp-datasets`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{LdpError, Result};
+
+/// A finite categorical domain of size `d ≥ 1`.
+///
+/// The domain is deliberately tiny (one word) and `Copy`: it is threaded
+/// through every protocol, attack, and recovery call as a validity witness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Domain {
+    size: usize,
+}
+
+impl Domain {
+    /// Creates a domain with `size` items.
+    ///
+    /// # Errors
+    /// Returns [`LdpError::InvalidParameter`] if `size == 0`.
+    pub fn new(size: usize) -> Result<Self> {
+        if size == 0 {
+            return Err(LdpError::invalid("domain size must be at least 1"));
+        }
+        Ok(Self { size })
+    }
+
+    /// Number of items `d = |D|`.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// `true` if `item` is a member of the domain.
+    #[inline]
+    pub fn contains(&self, item: usize) -> bool {
+        item < self.size
+    }
+
+    /// Iterator over all items `0..d`.
+    pub fn items(&self) -> impl ExactSizeIterator<Item = usize> {
+        0..self.size
+    }
+
+    /// Validates a single item index.
+    ///
+    /// # Errors
+    /// Returns [`LdpError::DomainMismatch`] when the item is out of range.
+    pub fn check_item(&self, item: usize) -> Result<()> {
+        if self.contains(item) {
+            Ok(())
+        } else {
+            Err(LdpError::DomainMismatch {
+                expected: self.size,
+                got: item,
+                context: "item index",
+            })
+        }
+    }
+
+    /// Validates that a dense vector (frequencies, counts) matches `d`.
+    ///
+    /// # Errors
+    /// Returns [`LdpError::DomainMismatch`] on length mismatch.
+    pub fn check_len<T>(&self, v: &[T], context: &'static str) -> Result<()> {
+        if v.len() == self.size {
+            Ok(())
+        } else {
+            Err(LdpError::DomainMismatch {
+                expected: self.size,
+                got: v.len(),
+                context,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_domain() {
+        assert!(Domain::new(0).is_err());
+    }
+
+    #[test]
+    fn membership_and_iteration() {
+        let d = Domain::new(5).unwrap();
+        assert_eq!(d.size(), 5);
+        assert!(d.contains(0));
+        assert!(d.contains(4));
+        assert!(!d.contains(5));
+        let items: Vec<usize> = d.items().collect();
+        assert_eq!(items, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn check_item_reports_mismatch() {
+        let d = Domain::new(3).unwrap();
+        assert!(d.check_item(2).is_ok());
+        let err = d.check_item(3).unwrap_err();
+        assert!(matches!(err, LdpError::DomainMismatch { expected: 3, .. }));
+    }
+
+    #[test]
+    fn check_len_matches_vectors() {
+        let d = Domain::new(4).unwrap();
+        assert!(d.check_len(&[0.0; 4], "freqs").is_ok());
+        assert!(d.check_len(&[0.0; 3], "freqs").is_err());
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! Shared substrate for the LDPRecover reproduction.
+//!
+//! This crate hosts everything the higher layers (protocols, attacks,
+//! recovery, simulation) need but that is not specific to any of them:
+//!
+//! * [`domain`] — the categorical item domain `D = {0, .., d-1}`.
+//! * [`error`] — the workspace-wide error type.
+//! * [`rng`] — deterministic seed derivation and fast Bernoulli sampling.
+//! * [`hash`] — a from-scratch xxhash64 plus the seeded hash family OLH uses.
+//! * [`bitvec`] — packed bit vectors backing OUE reports.
+//! * [`sampling`] — alias tables, Zipf weights, random distributions,
+//!   and subset sampling.
+//! * [`vecmath`] — dense `f64` vector helpers (MSE, norms, normalization).
+//! * [`stats`] — streaming moments, the normal distribution, and the
+//!   Kolmogorov–Smirnov statistic used by the theory-validation tests.
+//!
+//! Everything is dependency-light (only `rand` and `serde`) and fully
+//! deterministic given explicit RNGs, which is what makes the paper's
+//! experiments exactly reproducible from a single master seed.
+
+pub mod bitvec;
+pub mod domain;
+pub mod error;
+pub mod hash;
+pub mod rng;
+pub mod sampling;
+pub mod stats;
+pub mod vecmath;
+
+pub use bitvec::BitVec;
+pub use domain::Domain;
+pub use error::{LdpError, Result};

@@ -1,0 +1,298 @@
+//! Discrete sampling substrate: alias tables, Zipf weights, random
+//! probability vectors, and subset sampling.
+//!
+//! The adaptive attack (paper §V-C) models *every* poisoning attack as
+//! sampling malicious reports from an attacker-designed distribution `P`
+//! over the encoded domain. Datasets are likewise materialized by sampling
+//! items from a ground-truth distribution. Both paths need O(1)-per-draw
+//! sampling from arbitrary discrete distributions, which is exactly what the
+//! Walker/Vose alias method provides.
+
+use rand::Rng;
+
+use crate::error::{LdpError, Result};
+use crate::rng::uniform_index;
+
+/// O(1)-per-sample discrete distribution via the Vose alias method.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Acceptance probability of each column's "home" outcome.
+    prob: Vec<f64>,
+    /// Fallback outcome of each column.
+    alias: Vec<u32>,
+    /// The normalized probabilities the table was built from.
+    weights: Vec<f64>,
+}
+
+impl AliasTable {
+    /// Builds an alias table from non-negative `weights` (need not sum to 1).
+    ///
+    /// # Errors
+    /// * [`LdpError::EmptyInput`] when `weights` is empty.
+    /// * [`LdpError::InvalidParameter`] when any weight is negative or
+    ///   non-finite, or all weights are zero.
+    pub fn new(weights: &[f64]) -> Result<Self> {
+        if weights.is_empty() {
+            return Err(LdpError::EmptyInput("alias table weights"));
+        }
+        if weights.len() > u32::MAX as usize {
+            return Err(LdpError::invalid(
+                "alias table supports at most 2^32 outcomes",
+            ));
+        }
+        let mut total = 0.0f64;
+        for (i, &w) in weights.iter().enumerate() {
+            if !w.is_finite() || w < 0.0 {
+                return Err(LdpError::invalid(format!(
+                    "weight {i} is {w}; weights must be finite and non-negative"
+                )));
+            }
+            total += w;
+        }
+        if total <= 0.0 {
+            return Err(LdpError::invalid("all weights are zero"));
+        }
+
+        let n = weights.len();
+        let normalized: Vec<f64> = weights.iter().map(|&w| w / total).collect();
+
+        // Vose's algorithm with small/large worklists.
+        let mut prob = vec![0.0f64; n];
+        let mut alias = vec![0u32; n];
+        let mut scaled: Vec<f64> = normalized.iter().map(|&p| p * n as f64).collect();
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            large.pop();
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;
+            if scaled[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers are numerically ≈ 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+
+        Ok(Self {
+            prob,
+            alias,
+            weights: normalized,
+        })
+    }
+
+    /// Number of outcomes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// `true` when the table has no outcomes (never constructible).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// The normalized probability vector the table realizes.
+    #[inline]
+    pub fn probabilities(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Draws one outcome index.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let col = uniform_index(rng, self.prob.len());
+        if rng.gen::<f64>() < self.prob[col] {
+            col
+        } else {
+            self.alias[col] as usize
+        }
+    }
+}
+
+/// Samples a uniformly-random probability vector of length `d`
+/// (a Dirichlet(1, …, 1) draw): iid Exp(1) variates, normalized.
+///
+/// This is how the adaptive attack "randomly generates the attacker-designed
+/// distribution" (paper §VI-A.3).
+pub fn random_distribution<R: Rng + ?Sized>(d: usize, rng: &mut R) -> Vec<f64> {
+    assert!(d >= 1, "distribution needs at least one outcome");
+    let mut v: Vec<f64> = (0..d)
+        .map(|_| {
+            // Inverse-CDF Exp(1); `1 - U` keeps the argument strictly > 0.
+            let u: f64 = rng.gen();
+            -(1.0 - u).ln()
+        })
+        .collect();
+    let total: f64 = v.iter().sum();
+    if total <= 0.0 {
+        // Astronomically unlikely; fall back to uniform.
+        return vec![1.0 / d as f64; d];
+    }
+    for x in &mut v {
+        *x /= total;
+    }
+    v
+}
+
+/// Zipf weights `w_k ∝ 1 / (k+1)^s` for `k = 0, …, d−1` (unnormalized).
+pub fn zipf_weights(d: usize, s: f64) -> Vec<f64> {
+    assert!(d >= 1);
+    (0..d).map(|k| 1.0 / ((k + 1) as f64).powf(s)).collect()
+}
+
+/// Samples `k` distinct indices uniformly from `0..n` (Floyd's algorithm),
+/// returned in random order.
+///
+/// # Panics
+/// Panics if `k > n`.
+pub fn sample_distinct<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} distinct items from {n}");
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    let mut set = std::collections::HashSet::with_capacity(k * 2);
+    for j in (n - k)..n {
+        let t = uniform_index(rng, j + 1);
+        if set.insert(t) {
+            chosen.push(t);
+        } else {
+            set.insert(j);
+            chosen.push(j);
+        }
+    }
+    // Floyd's produces a set biased in order; shuffle for random order.
+    for i in (1..chosen.len()).rev() {
+        chosen.swap(i, uniform_index(rng, i + 1));
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn alias_rejects_bad_inputs() {
+        assert!(AliasTable::new(&[]).is_err());
+        assert!(AliasTable::new(&[1.0, -0.5]).is_err());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_err());
+        assert!(AliasTable::new(&[f64::NAN]).is_err());
+        assert!(AliasTable::new(&[f64::INFINITY, 1.0]).is_err());
+    }
+
+    #[test]
+    fn alias_normalizes_weights() {
+        let t = AliasTable::new(&[2.0, 6.0]).unwrap();
+        let p = t.probabilities();
+        assert!((p[0] - 0.25).abs() < 1e-12);
+        assert!((p[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alias_single_outcome() {
+        let t = AliasTable::new(&[3.0]).unwrap();
+        let mut rng = rng_from_seed(1);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn alias_zero_weight_outcomes_never_sampled() {
+        let t = AliasTable::new(&[0.0, 1.0, 0.0, 2.0]).unwrap();
+        let mut rng = rng_from_seed(2);
+        for _ in 0..10_000 {
+            let s = t.sample(&mut rng);
+            assert!(s == 1 || s == 3);
+        }
+    }
+
+    #[test]
+    fn alias_matches_distribution_statistically() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let t = AliasTable::new(&weights).unwrap();
+        let mut rng = rng_from_seed(3);
+        let n = 400_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let p = weights[i] / 10.0;
+            let rate = c as f64 / n as f64;
+            let tol = 5.0 * (p * (1.0 - p) / n as f64).sqrt();
+            assert!((rate - p).abs() < tol, "outcome {i}: rate={rate}, p={p}");
+        }
+    }
+
+    #[test]
+    fn random_distribution_is_on_simplex() {
+        let mut rng = rng_from_seed(4);
+        for d in [1usize, 2, 10, 500] {
+            let p = random_distribution(d, &mut rng);
+            assert_eq!(p.len(), d);
+            assert!(p.iter().all(|&x| x >= 0.0));
+            let sum: f64 = p.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "d={d}, sum={sum}");
+        }
+    }
+
+    #[test]
+    fn zipf_weights_decrease() {
+        let w = zipf_weights(10, 1.0);
+        assert_eq!(w.len(), 10);
+        for i in 1..10 {
+            assert!(w[i] < w[i - 1]);
+        }
+        assert!((w[0] - 1.0).abs() < 1e-12);
+        assert!((w[1] - 0.5).abs() < 1e-12);
+        // s = 0 gives uniform weights.
+        let u = zipf_weights(5, 0.0);
+        assert!(u.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn sample_distinct_properties() {
+        let mut rng = rng_from_seed(5);
+        for (n, k) in [(10usize, 10usize), (100, 7), (5, 0), (1, 1)] {
+            let s = sample_distinct(n, k, &mut rng);
+            assert_eq!(s.len(), k);
+            let set: std::collections::HashSet<_> = s.iter().collect();
+            assert_eq!(set.len(), k, "duplicates in {s:?}");
+            assert!(s.iter().all(|&x| x < n));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_is_roughly_uniform() {
+        let mut rng = rng_from_seed(6);
+        let mut hits = [0usize; 6];
+        let trials = 60_000;
+        for _ in 0..trials {
+            for i in sample_distinct(6, 2, &mut rng) {
+                hits[i] += 1;
+            }
+        }
+        // Each index appears with probability 2/6 per trial.
+        let expect = trials as f64 * 2.0 / 6.0;
+        for &h in &hits {
+            assert!(
+                (h as f64 - expect).abs() < 6.0 * expect.sqrt(),
+                "hits={hits:?}"
+            );
+        }
+    }
+}

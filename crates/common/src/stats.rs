@@ -1,0 +1,234 @@
+//! Statistical substrate: streaming moments, the standard normal
+//! distribution, and the Kolmogorov–Smirnov statistic.
+//!
+//! The theory modules (paper §V-E, Theorems 4–5) bound the distance between
+//! the true CDF of the aggregated frequencies and their CLT-normal
+//! approximation. Validating those bounds empirically requires (a) sample
+//! moments including the third absolute central moment, (b) Φ, the normal
+//! CDF, and (c) the KS distance between an empirical sample and a reference
+//! CDF. All three live here.
+
+/// Streaming mean/variance via Welford's algorithm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunningMoments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningMoments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one observation in.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 when fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population variance `m2 / n` (0 when empty).
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+}
+
+/// Sample mean of a slice (0 for empty input).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    crate::vecmath::kahan_sum(values) / values.len() as f64
+}
+
+/// Central moment `E[(X − mean)^k]` estimated from a sample.
+pub fn central_moment(values: &[f64], k: u32) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|&x| (x - m).powi(k as i32)).sum::<f64>() / values.len() as f64
+}
+
+/// Third *absolute* central moment `E[|X − mean|³]` — the `g` of
+/// Theorems 4–5.
+pub fn third_absolute_central_moment(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|&x| (x - m).abs().powi(3)).sum::<f64>() / values.len() as f64
+}
+
+/// The error function, via the Abramowitz–Stegun 7.1.26 rational
+/// approximation (|error| ≤ 1.5 × 10⁻⁷, ample for KS tolerances).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal CDF Φ(z).
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// CDF of N(mu, sigma²) at `x`; degenerates to a step function at `mu`
+/// when `sigma == 0`.
+pub fn normal_cdf_mu_sigma(x: f64, mu: f64, sigma: f64) -> f64 {
+    if sigma <= 0.0 {
+        return if x < mu { 0.0 } else { 1.0 };
+    }
+    normal_cdf((x - mu) / sigma)
+}
+
+/// Kolmogorov–Smirnov statistic `sup_w |F̂_n(w) − F(w)|` between a sample and
+/// a reference CDF.
+///
+/// # Panics
+/// Panics on an empty sample.
+pub fn ks_statistic<F: Fn(f64) -> f64>(sample: &[f64], cdf: F) -> f64 {
+    assert!(!sample.is_empty(), "KS statistic of an empty sample");
+    let mut sorted = sample.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN sample"));
+    let n = sorted.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = cdf(x);
+        let lo = i as f64 / n; // empirical CDF just below x
+        let hi = (i + 1) as f64 / n; // empirical CDF at x
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+    use rand::Rng;
+
+    #[test]
+    fn running_moments_match_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut rm = RunningMoments::new();
+        for &x in &xs {
+            rm.push(x);
+        }
+        assert_eq!(rm.count(), 8);
+        assert!((rm.mean() - 5.0).abs() < 1e-12);
+        assert!((rm.population_variance() - 4.0).abs() < 1e-12);
+        assert!((rm.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert!(rm.std_error() > 0.0);
+    }
+
+    #[test]
+    fn running_moments_empty_and_single() {
+        let rm = RunningMoments::new();
+        assert_eq!(rm.mean(), 0.0);
+        assert_eq!(rm.variance(), 0.0);
+        let mut one = RunningMoments::new();
+        one.push(3.0);
+        assert_eq!(one.mean(), 3.0);
+        assert_eq!(one.variance(), 0.0);
+    }
+
+    #[test]
+    fn moments_of_known_sample() {
+        let xs = [-1.0, 1.0];
+        assert_eq!(mean(&xs), 0.0);
+        assert_eq!(central_moment(&xs, 2), 1.0);
+        assert_eq!(central_moment(&xs, 3), 0.0);
+        assert_eq!(third_absolute_central_moment(&xs), 1.0);
+    }
+
+    #[test]
+    fn erf_known_values() {
+        // A–S 7.1.26 is a ≤1.5e-7 approximation, not exact at 0.
+        assert!(erf(0.0).abs() < 1e-6);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+        assert!((erf(2.0) - 0.9953222650).abs() < 1e-6);
+        assert!(erf(6.0) > 0.999_999);
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((normal_cdf(1.959964) - 0.975).abs() < 1e-4);
+        assert!((normal_cdf(-1.959964) - 0.025).abs() < 1e-4);
+        assert!((normal_cdf_mu_sigma(5.0, 5.0, 2.0) - 0.5).abs() < 1e-9);
+        // Degenerate sigma: step function.
+        assert_eq!(normal_cdf_mu_sigma(4.9, 5.0, 0.0), 0.0);
+        assert_eq!(normal_cdf_mu_sigma(5.0, 5.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn ks_statistic_detects_fit_and_misfit() {
+        // Uniform sample vs uniform CDF: KS should be small (~1/√n scale).
+        let mut rng = rng_from_seed(11);
+        let sample: Vec<f64> = (0..20_000).map(|_| rng.gen::<f64>()).collect();
+        let d_fit = ks_statistic(&sample, |x| x.clamp(0.0, 1.0));
+        assert!(d_fit < 0.02, "d_fit={d_fit}");
+
+        // Same sample vs a wrong CDF (normal): KS should be large.
+        let d_misfit = ks_statistic(&sample, normal_cdf);
+        assert!(d_misfit > 0.3, "d_misfit={d_misfit}");
+    }
+
+    #[test]
+    fn ks_statistic_exact_small_case() {
+        // Single observation at 0.5 vs U[0,1]: D = max(F, 1-F) = 0.5.
+        let d = ks_statistic(&[0.5], |x| x.clamp(0.0, 1.0));
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,182 @@
+//! Dense `f64` vector helpers used across protocols, recovery, and metrics.
+//!
+//! Everything operates on plain slices; nothing allocates unless it returns a
+//! new vector. Summations that feed published metrics (MSE, frequency sums)
+//! use Kahan compensation so that results do not drift with domain size.
+
+/// Kahan-compensated sum of a slice.
+pub fn kahan_sum(values: &[f64]) -> f64 {
+    let mut sum = 0.0f64;
+    let mut c = 0.0f64;
+    for &v in values {
+        let y = v - c;
+        let t = sum + y;
+        c = (t - sum) - y;
+        sum = t;
+    }
+    sum
+}
+
+/// Mean squared error `(1/d) Σ (a_i − b_i)²` — the paper's Eq. (36).
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+pub fn mse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "MSE requires equal-length vectors");
+    assert!(!a.is_empty(), "MSE of empty vectors is undefined");
+    let mut sum = 0.0f64;
+    let mut c = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        let sq = (x - y) * (x - y);
+        let t0 = sq - c;
+        let t1 = sum + t0;
+        c = (t1 - sum) - t0;
+        sum = t1;
+    }
+    sum / a.len() as f64
+}
+
+/// L1 distance `Σ |a_i − b_i|`.
+pub fn l1_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "L1 requires equal-length vectors");
+    a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).sum()
+}
+
+/// L2 distance `√(Σ (a_i − b_i)²)`.
+pub fn l2_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "L2 requires equal-length vectors");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Rescales `v` in place so it sums to 1.
+///
+/// If the current sum is not strictly positive the vector is replaced by the
+/// uniform distribution (the only sensible projection for an all-zero or
+/// negative-mass estimate).
+pub fn normalize_to_simplex_sum(v: &mut [f64]) {
+    let total = kahan_sum(v);
+    if total > 0.0 {
+        for x in v.iter_mut() {
+            *x /= total;
+        }
+    } else if !v.is_empty() {
+        let u = 1.0 / v.len() as f64;
+        v.fill(u);
+    }
+}
+
+/// Clamps negative entries to zero in place; returns the clipped mass.
+pub fn clamp_non_negative(v: &mut [f64]) -> f64 {
+    let mut clipped = 0.0;
+    for x in v.iter_mut() {
+        if *x < 0.0 {
+            clipped -= *x;
+            *x = 0.0;
+        }
+    }
+    clipped
+}
+
+/// `true` iff `v` is entrywise non-negative and sums to 1 within `tol`.
+pub fn is_probability_vector(v: &[f64], tol: f64) -> bool {
+    !v.is_empty()
+        && v.iter().all(|&x| x >= -tol && x.is_finite())
+        && (kahan_sum(v) - 1.0).abs() <= tol
+}
+
+/// Indices of the `k` largest entries of `v`, in decreasing value order.
+///
+/// Ties resolve to the lower index first (deterministic). `k` is clamped to
+/// `v.len()`.
+pub fn top_k_indices(v: &[f64], k: usize) -> Vec<usize> {
+    let k = k.min(v.len());
+    let mut idx: Vec<usize> = (0..v.len()).collect();
+    // Stable ordering: by value descending, then by index ascending.
+    idx.sort_by(|&a, &b| {
+        v[b].partial_cmp(&v[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kahan_sum_is_accurate() {
+        // 10^7 copies of 0.1 plus a large head; naive sums drift here.
+        let mut v = vec![0.1f64; 1_000_000];
+        v.push(1e9);
+        let s = kahan_sum(&v);
+        assert!((s - (1e9 + 100_000.0)).abs() < 1e-4, "s={s}");
+    }
+
+    #[test]
+    fn mse_basic() {
+        assert_eq!(mse(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+        let m = mse(&[1.0, 0.0], &[0.0, 0.0]);
+        assert!((m - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mse_length_mismatch_panics() {
+        let _ = mse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn distances() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 0.0, 7.0];
+        assert!((l1_distance(&a, &b) - 6.0).abs() < 1e-15);
+        assert!((l2_distance(&a, &b) - 20.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_handles_positive_and_degenerate() {
+        let mut v = [2.0, 2.0];
+        normalize_to_simplex_sum(&mut v);
+        assert_eq!(v, [0.5, 0.5]);
+
+        let mut z = [0.0, 0.0, 0.0, 0.0];
+        normalize_to_simplex_sum(&mut z);
+        assert!(z.iter().all(|&x| (x - 0.25).abs() < 1e-15));
+
+        let mut neg = [-1.0, -3.0];
+        normalize_to_simplex_sum(&mut neg);
+        assert_eq!(neg, [0.5, 0.5]);
+    }
+
+    #[test]
+    fn clamp_reports_clipped_mass() {
+        let mut v = [0.5, -0.2, 0.1, -0.3];
+        let clipped = clamp_non_negative(&mut v);
+        assert!((clipped - 0.5).abs() < 1e-15);
+        assert_eq!(v, [0.5, 0.0, 0.1, 0.0]);
+    }
+
+    #[test]
+    fn probability_vector_check() {
+        assert!(is_probability_vector(&[0.25; 4], 1e-9));
+        assert!(!is_probability_vector(&[0.5, 0.6], 1e-9));
+        assert!(!is_probability_vector(&[1.1, -0.1], 1e-9));
+        assert!(!is_probability_vector(&[], 1e-9));
+        assert!(!is_probability_vector(&[f64::NAN, 1.0], 1e-9));
+    }
+
+    #[test]
+    fn top_k_orders_and_breaks_ties_deterministically() {
+        let v = [0.1, 0.9, 0.9, 0.5];
+        assert_eq!(top_k_indices(&v, 2), vec![1, 2]);
+        assert_eq!(top_k_indices(&v, 3), vec![1, 2, 3]);
+        assert_eq!(top_k_indices(&v, 10), vec![1, 2, 3, 0]);
+        assert_eq!(top_k_indices(&v, 0), Vec::<usize>::new());
+    }
+}

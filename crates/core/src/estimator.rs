@@ -1,0 +1,211 @@
+//! Step 1 — the genuine frequency estimator (paper §V-B).
+//!
+//! The analytical framework decomposes the poisoned frequency of each item
+//! into a convex combination of genuine and malicious parts (Eq. 14):
+//!
+//! ```text
+//! f̃_Z(v) = n/(n+m) · f̃_X(v) + m/(n+m) · f̃_Y(v)
+//! ```
+//!
+//! Inverting with `η = m/n` gives the estimator of Eq. (19):
+//!
+//! ```text
+//! f̃_X(v) = (1+η)·f̃_Z(v) − η·f̃_Y(v)
+//! ```
+//!
+//! The module also exposes the CLT moments of Lemmas 1–2 and Theorem 1 so
+//! the theory-validation suite can compare simulated frequency distributions
+//! against their asymptotic normals.
+
+use ldp_common::{LdpError, Result};
+use ldp_protocols::PureParams;
+
+/// Applies the genuine frequency estimator (Eq. 19) item-wise:
+/// `(1+η)·poisoned − η·malicious`.
+///
+/// # Errors
+/// [`LdpError::DomainMismatch`] when the vectors differ in length;
+/// [`LdpError::InvalidParameter`] when `η` is negative or non-finite.
+pub fn genuine_estimate(poisoned: &[f64], malicious: &[f64], eta: f64) -> Result<Vec<f64>> {
+    check_eta(eta)?;
+    if poisoned.len() != malicious.len() {
+        return Err(LdpError::DomainMismatch {
+            expected: poisoned.len(),
+            got: malicious.len(),
+            context: "genuine frequency estimator",
+        });
+    }
+    Ok(poisoned
+        .iter()
+        .zip(malicious)
+        .map(|(&z, &y)| (1.0 + eta) * z - eta * y)
+        .collect())
+}
+
+/// Validates the assumed malicious/genuine ratio `η = m/n`.
+///
+/// # Errors
+/// [`LdpError::InvalidParameter`] unless `η ≥ 0` and finite. (`η = 0`
+/// degenerates to no recovery of malicious mass, which is legal: it is the
+/// unpoisoned-data case of the paper's Table I.)
+pub fn check_eta(eta: f64) -> Result<()> {
+    if eta.is_finite() && eta >= 0.0 {
+        Ok(())
+    } else {
+        Err(LdpError::invalid(format!(
+            "eta must be finite and non-negative, got {eta}"
+        )))
+    }
+}
+
+/// Asymptotic moments of the genuine aggregated frequency `f̃_X(v)`
+/// (Lemma 2): mean `f_X(v)` and variance
+/// `q(1−q)/(n(p−q)²) + f_X(v)(1−p−q)/(n(p−q))`.
+pub fn genuine_moments(params: PureParams, true_freq: f64, n: usize) -> (f64, f64) {
+    let p = params.p();
+    let q = params.q();
+    let n = n as f64;
+    let pq = p - q;
+    let var = q * (1.0 - q) / (n * pq * pq) + true_freq * (1.0 - p - q) / (n * pq);
+    (true_freq, var)
+}
+
+/// Asymptotic moments of the malicious aggregated frequency `f̃_Y(v)`
+/// (Lemma 1) under the adaptive attack: each crafted report supports the
+/// sampled item (probability `P(v)` for item `v`), so the per-report
+/// estimate `Φ_{ε,y}(v) = (1_{S(y)}(v) − q)/(p − q)` is a shifted Bernoulli.
+///
+/// Returns `(μ_y, σ²_y)` with `μ_y = (P(v) − q)/(p − q)` and
+/// `σ²_y = P(v)(1 − P(v))/(m(p − q)²)`.
+pub fn malicious_moments(params: PureParams, attack_prob: f64, m: usize) -> (f64, f64) {
+    let p = params.p();
+    let q = params.q();
+    let pq = p - q;
+    let mu = (attack_prob - q) / pq;
+    let var = attack_prob * (1.0 - attack_prob) / (m as f64 * pq * pq);
+    (mu, var)
+}
+
+/// Third absolute central moment of the *single-report* malicious estimate
+/// `Φ_{ε,y}(v)` — the `g_y` of Theorem 4. The estimate takes value
+/// `(1−q)/(p−q)` with probability `P(v)` and `−q/(p−q)` otherwise.
+pub fn malicious_report_third_moment(params: PureParams, attack_prob: f64) -> f64 {
+    let p = params.p();
+    let q = params.q();
+    let pq = p - q;
+    let hi = (1.0 - q) / pq;
+    let lo = -q / pq;
+    let mu = (attack_prob - q) / pq;
+    attack_prob * (hi - mu).abs().powi(3) + (1.0 - attack_prob) * (lo - mu).abs().powi(3)
+}
+
+/// Asymptotic moments of the poisoned frequency `f̃_Z(v)` (Theorem 1):
+///
+/// ```text
+/// μ_z = μ_x/(1+η) + η·μ_y/(1+η)
+/// σ²_z = σ²_x/(1+η)² + η²·σ²_y/(1+η)²
+/// ```
+pub fn poisoned_moments(genuine: (f64, f64), malicious: (f64, f64), eta: f64) -> (f64, f64) {
+    let (mu_x, var_x) = genuine;
+    let (mu_y, var_y) = malicious;
+    let s = 1.0 + eta;
+    (
+        mu_x / s + eta * mu_y / s,
+        var_x / (s * s) + eta * eta * var_y / (s * s),
+    )
+}
+
+/// Variance of the estimator output (Theorem 3): with the true `f̃_Y`
+/// plugged in, the estimator's approximate variance equals the genuine
+/// variance `σ²_x` of Lemma 2.
+pub fn estimator_variance(params: PureParams, true_freq: f64, n: usize) -> f64 {
+    genuine_moments(params, true_freq, n).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_common::Domain;
+
+    fn params() -> PureParams {
+        PureParams::new(0.5, 0.25, Domain::new(8).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn estimator_is_linear_inverse_of_mixture() {
+        // If z = (x + η·y)/(1+η) exactly, the estimator returns x exactly.
+        let eta = 0.25;
+        let x = [0.4, 0.3, 0.2, 0.1];
+        let y = [0.7, 0.1, 0.1, 0.1];
+        let z: Vec<f64> = x
+            .iter()
+            .zip(&y)
+            .map(|(&a, &b)| (a + eta * b) / (1.0 + eta))
+            .collect();
+        let est = genuine_estimate(&z, &y, eta).unwrap();
+        for (e, &t) in est.iter().zip(&x) {
+            assert!((e - t).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn estimator_validates_inputs() {
+        assert!(genuine_estimate(&[0.1], &[0.1, 0.2], 0.2).is_err());
+        assert!(genuine_estimate(&[0.1], &[0.1], -0.5).is_err());
+        assert!(genuine_estimate(&[0.1], &[0.1], f64::NAN).is_err());
+        assert!(genuine_estimate(&[0.1], &[0.1], 0.0).is_ok());
+    }
+
+    #[test]
+    fn genuine_moments_match_lemma_two() {
+        let pp = params();
+        let (mu, var) = genuine_moments(pp, 0.3, 10_000);
+        assert_eq!(mu, 0.3);
+        let expect = 0.25 * 0.75 / (10_000.0 * 0.0625) + 0.3 * 0.25 / (10_000.0 * 0.25);
+        assert!((var - expect).abs() < 1e-15);
+        // Must also equal the generic frequency variance of PureParams.
+        assert!((var - pp.variance_frequency(0.3, 10_000)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn malicious_moments_are_shifted_bernoulli() {
+        let pp = params();
+        let (mu, var) = malicious_moments(pp, 0.25, 100);
+        // P(v) = q ⇒ zero mean.
+        assert!(mu.abs() < 1e-15);
+        assert!((var - 0.25 * 0.75 / (100.0 * 0.0625)).abs() < 1e-12);
+        // Degenerate attack probabilities have zero variance.
+        assert_eq!(malicious_moments(pp, 0.0, 10).1, 0.0);
+        assert_eq!(malicious_moments(pp, 1.0, 10).1, 0.0);
+    }
+
+    #[test]
+    fn third_moment_zero_for_degenerate_attack() {
+        let pp = params();
+        assert_eq!(malicious_report_third_moment(pp, 0.0), 0.0);
+        assert_eq!(malicious_report_third_moment(pp, 1.0), 0.0);
+        assert!(malicious_report_third_moment(pp, 0.5) > 0.0);
+    }
+
+    #[test]
+    fn poisoned_moments_interpolate() {
+        let g = (0.4, 1e-4);
+        let m = (2.0, 9e-4);
+        // η = 0: pure genuine.
+        let (mu, var) = poisoned_moments(g, m, 0.0);
+        assert_eq!((mu, var), g);
+        // η = 1: equal mixture of means, quarter of each variance.
+        let (mu, var) = poisoned_moments(g, m, 1.0);
+        assert!((mu - 1.2).abs() < 1e-12);
+        assert!((var - (1e-4 + 9e-4) / 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn estimator_variance_equals_genuine_variance() {
+        let pp = params();
+        assert_eq!(
+            estimator_variance(pp, 0.2, 5_000),
+            genuine_moments(pp, 0.2, 5_000).1
+        );
+    }
+}

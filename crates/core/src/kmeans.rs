@@ -1,0 +1,405 @@
+//! The k-means subset defense against input poisoning and its LDPRecover
+//! integration (paper §VII-B, Fig. 9).
+//!
+//! Under IPA the malicious reports are genuinely perturbed, so the learning
+//! constant of Eq. (21) does not apply (malicious aggregated frequencies sum
+//! to ≈ 1 like genuine ones). The k-means defense of Du et al. (ICDE 2023)
+//! instead exploits *distributional* deviation: sample `G` user subsets at
+//! rate `ξ`, estimate a frequency vector per subset, cluster the vectors
+//! into two groups (Lloyd's k-means, k = 2), and trust the majority cluster.
+//!
+//! * **K-means alone**: estimate from the union of majority-cluster subsets.
+//! * **LDPRecover-KM**: additionally learn a malicious frequency vector from
+//!   the centroid difference — under IPA the malicious mixture component is
+//!   `f_Z = (1−w)·f_X + w·f_Y` per subset, so the (minority − majority)
+//!   centroid difference points along `f_Y − f_X`; its positive part,
+//!   normalized to sum 1 (the IPA malicious mass), feeds the genuine
+//!   frequency estimator of Eq. (19). This is the integration the paper
+//!   reports as "48.9% better than k-means alone" for GRR.
+
+use ldp_common::rng::uniform_index;
+use ldp_common::vecmath::normalize_to_simplex_sum;
+use ldp_common::{LdpError, Result};
+use ldp_protocols::{AnyProtocol, CountAccumulator, LdpFrequencyProtocol, Report};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::recover::{LdpRecover, RecoveryOutcome};
+
+/// Configuration of the subset-clustering defense.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KMeansDefense {
+    /// Number of subsets `G` sampled from the report stream.
+    pub groups: usize,
+    /// Per-subset sample rate `ξ ∈ (0, 1]` (fraction of all reports).
+    pub sample_rate: f64,
+    /// Lloyd iterations cap.
+    pub max_iters: usize,
+}
+
+impl Default for KMeansDefense {
+    fn default() -> Self {
+        Self {
+            groups: 20,
+            sample_rate: 0.1,
+            max_iters: 100,
+        }
+    }
+}
+
+/// What the defense produced.
+#[derive(Debug, Clone)]
+pub struct KMeansOutcome {
+    /// Frequencies estimated from the majority ("genuine") cluster.
+    pub genuine_estimate: Vec<f64>,
+    /// Centroid of the majority cluster.
+    pub genuine_centroid: Vec<f64>,
+    /// Centroid of the minority ("malicious") cluster, if it is non-empty.
+    pub malicious_centroid: Option<Vec<f64>>,
+    /// Per-subset cluster assignment (`true` = majority cluster).
+    pub assignments: Vec<bool>,
+}
+
+impl KMeansDefense {
+    /// Creates the defense with the given subset count and sample rate.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] when `groups < 2` or
+    /// `ξ ∉ (0, 1]`.
+    pub fn new(groups: usize, sample_rate: f64) -> Result<Self> {
+        if groups < 2 {
+            return Err(LdpError::invalid("k-means defense needs ≥ 2 subsets"));
+        }
+        if !(sample_rate > 0.0 && sample_rate <= 1.0) {
+            return Err(LdpError::invalid(format!(
+                "sample rate must be in (0,1], got {sample_rate}"
+            )));
+        }
+        Ok(Self {
+            groups,
+            sample_rate,
+            ..Self::default()
+        })
+    }
+
+    /// Runs the defense over the (mixed genuine + malicious) report stream.
+    ///
+    /// # Errors
+    /// [`LdpError::EmptyInput`] when there are no reports or the sampled
+    /// subsets would be empty.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        protocol: &AnyProtocol,
+        reports: &[Report],
+        rng: &mut R,
+    ) -> Result<KMeansOutcome> {
+        if reports.is_empty() {
+            return Err(LdpError::EmptyInput("reports for the k-means defense"));
+        }
+        let subset_size = ((reports.len() as f64) * self.sample_rate).round() as usize;
+        if subset_size == 0 {
+            return Err(LdpError::EmptyInput("sampled subset (ξ·N rounded to 0)"));
+        }
+        let domain = protocol.domain();
+        let params = protocol.params();
+
+        // Per-subset frequency vectors (sampling with replacement across
+        // subsets, without within a subset — a bootstrap over users).
+        let mut subset_members: Vec<Vec<usize>> = Vec::with_capacity(self.groups);
+        let mut vectors: Vec<Vec<f64>> = Vec::with_capacity(self.groups);
+        for _ in 0..self.groups {
+            let members = ldp_common::sampling::sample_distinct(reports.len(), subset_size, rng);
+            let mut acc = CountAccumulator::new(domain);
+            for &i in &members {
+                acc.add(protocol, &reports[i]);
+            }
+            vectors.push(acc.frequencies(params)?);
+            subset_members.push(members);
+        }
+
+        let (assign, centroids) = lloyd_two_means(&vectors, self.max_iters, rng);
+        // Majority cluster = genuine.
+        let ones = assign.iter().filter(|&&a| a).count();
+        let majority_label = ones * 2 >= assign.len();
+        let assignments: Vec<bool> = assign.iter().map(|&a| a == majority_label).collect();
+
+        let genuine_centroid = centroids[usize::from(majority_label)].clone();
+        let minority_count = assignments.iter().filter(|&&a| !a).count();
+        let malicious_centroid = if minority_count > 0 {
+            Some(centroids[usize::from(!majority_label)].clone())
+        } else {
+            None
+        };
+
+        // Estimate from the union of majority-cluster subsets (dedup users).
+        let mut in_union = vec![false; reports.len()];
+        for (members, &is_majority) in subset_members.iter().zip(&assignments) {
+            if is_majority {
+                for &i in members {
+                    in_union[i] = true;
+                }
+            }
+        }
+        let mut acc = CountAccumulator::new(domain);
+        for (i, report) in reports.iter().enumerate() {
+            if in_union[i] {
+                acc.add(protocol, report);
+            }
+        }
+        let genuine_estimate = acc.frequencies(params)?;
+
+        Ok(KMeansOutcome {
+            genuine_estimate,
+            genuine_centroid,
+            malicious_centroid,
+            assignments,
+        })
+    }
+
+    /// LDPRecover-KM: learn the malicious frequency vector from the cluster
+    /// structure and run the genuine frequency estimator + refinement on
+    /// the full poisoned estimate.
+    ///
+    /// # Errors
+    /// Propagates defense and recovery failures.
+    pub fn recover_km<R: Rng + ?Sized>(
+        &self,
+        recover: &LdpRecover,
+        protocol: &AnyProtocol,
+        reports: &[Report],
+        rng: &mut R,
+    ) -> Result<RecoveryOutcome> {
+        let outcome = self.run(protocol, reports, rng)?;
+        Self::recover_from_outcome(recover, protocol, reports, &outcome)
+    }
+
+    /// LDPRecover-KM from an already-computed defense outcome (lets callers
+    /// that also report the plain k-means estimate pay for one clustering
+    /// pass, not two).
+    ///
+    /// # Errors
+    /// Propagates estimation and recovery failures.
+    pub fn recover_from_outcome(
+        recover: &LdpRecover,
+        protocol: &AnyProtocol,
+        reports: &[Report],
+        outcome: &KMeansOutcome,
+    ) -> Result<RecoveryOutcome> {
+        // Full poisoned estimate from all reports.
+        let mut acc = CountAccumulator::new(protocol.domain());
+        for report in reports {
+            acc.add(protocol, report);
+        }
+        let poisoned = acc.frequencies(protocol.params())?;
+
+        // Malicious direction: positive part of (minority − majority)
+        // centroid difference, normalized to unit mass (under IPA the
+        // aggregated malicious frequencies sum to ≈ 1).
+        let malicious = match &outcome.malicious_centroid {
+            Some(minority) => {
+                let mut dir: Vec<f64> = minority
+                    .iter()
+                    .zip(&outcome.genuine_centroid)
+                    .map(|(&hi, &lo)| (hi - lo).max(0.0))
+                    .collect();
+                normalize_to_simplex_sum(&mut dir);
+                dir
+            }
+            // No malicious cluster found: assume uniform malicious mass
+            // (the estimator then reduces to a mild rescale + refine).
+            None => vec![1.0 / poisoned.len() as f64; poisoned.len()],
+        };
+        recover.recover_with_malicious(&poisoned, &malicious)
+    }
+}
+
+/// Lloyd's algorithm specialized to k = 2 over dense `f64` vectors.
+///
+/// Returns per-point boolean assignments and the two centroids
+/// (`centroids[0]` for label `false`, `centroids[1]` for `true`). Ties and
+/// empty clusters are handled by re-seeding the empty centroid at the point
+/// farthest from the other centroid.
+fn lloyd_two_means<R: Rng + ?Sized>(
+    points: &[Vec<f64>],
+    max_iters: usize,
+    rng: &mut R,
+) -> (Vec<bool>, [Vec<f64>; 2]) {
+    let n = points.len();
+    let dim = points[0].len();
+    debug_assert!(n >= 2);
+
+    // Seed: a random point and the point farthest from it (k-means++-lite).
+    let first = uniform_index(rng, n);
+    let far = (0..n)
+        .max_by(|&a, &b| {
+            sq_dist(&points[a], &points[first])
+                .partial_cmp(&sq_dist(&points[b], &points[first]))
+                .expect("finite distances")
+        })
+        .expect("non-empty points");
+    let mut centroids = [points[first].clone(), points[far].clone()];
+    let mut assign = vec![false; n];
+
+    for _ in 0..max_iters {
+        let mut changed = false;
+        for (i, point) in points.iter().enumerate() {
+            let label = sq_dist(point, &centroids[1]) < sq_dist(point, &centroids[0]);
+            if assign[i] != label {
+                assign[i] = label;
+                changed = true;
+            }
+        }
+        // Recompute centroids.
+        let mut sums = [vec![0.0; dim], vec![0.0; dim]];
+        let mut counts = [0usize; 2];
+        for (point, &label) in points.iter().zip(&assign) {
+            let c = usize::from(label);
+            counts[c] += 1;
+            for (s, &x) in sums[c].iter_mut().zip(point) {
+                *s += x;
+            }
+        }
+        for c in 0..2 {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster at the farthest point from the
+                // other centroid.
+                let other = &centroids[1 - c];
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        sq_dist(&points[a], other)
+                            .partial_cmp(&sq_dist(&points[b], other))
+                            .expect("finite distances")
+                    })
+                    .expect("non-empty points");
+                centroids[c] = points[far].clone();
+                changed = true;
+            } else {
+                for (slot, &s) in centroids[c].iter_mut().zip(&sums[c]) {
+                    *slot = s / counts[c] as f64;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (assign, centroids)
+}
+
+#[inline]
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_common::rng::rng_from_seed;
+    use ldp_common::Domain;
+    use ldp_protocols::ProtocolKind;
+
+    #[test]
+    fn validation() {
+        assert!(KMeansDefense::new(1, 0.5).is_err());
+        assert!(KMeansDefense::new(10, 0.0).is_err());
+        assert!(KMeansDefense::new(10, 1.5).is_err());
+        assert!(KMeansDefense::new(10, 0.3).is_ok());
+    }
+
+    #[test]
+    fn lloyd_separates_two_obvious_clusters() {
+        let mut rng = rng_from_seed(1);
+        let mut points = Vec::new();
+        for i in 0..30 {
+            let base = if i < 20 { 0.0 } else { 10.0 };
+            points.push(vec![base + (i % 5) as f64 * 0.01, base]);
+        }
+        let (assign, centroids) = lloyd_two_means(&points, 50, &mut rng);
+        // First 20 together, last 10 together.
+        let first = assign[0];
+        assert!(assign[..20].iter().all(|&a| a == first));
+        assert!(assign[20..].iter().all(|&a| a != first));
+        let lo = &centroids[usize::from(first)];
+        let hi = &centroids[usize::from(!first)];
+        assert!(lo[1] < 1.0 && hi[1] > 9.0);
+    }
+
+    #[test]
+    fn defense_runs_and_majority_cluster_dominates() {
+        let domain = Domain::new(16).unwrap();
+        let proto = ProtocolKind::Grr.build(1.0, domain).unwrap();
+        let mut rng = rng_from_seed(2);
+        // 95% genuine holding uniform items, 5% IPA-on-target (item 3).
+        let mut reports: Vec<Report> = (0..4000).map(|i| proto.perturb(i % 16, &mut rng)).collect();
+        for _ in 0..200 {
+            reports.push(proto.perturb(3, &mut rng));
+        }
+        let defense = KMeansDefense::new(20, 0.2).unwrap();
+        let out = defense.run(&proto, &reports, &mut rng).unwrap();
+        let majority = out.assignments.iter().filter(|&&a| a).count();
+        assert!(majority * 2 >= out.assignments.len());
+        assert_eq!(out.genuine_estimate.len(), 16);
+    }
+
+    #[test]
+    fn lloyd_handles_identical_points() {
+        // Degenerate input: all subsets identical. Lloyd must terminate
+        // (re-seeding an empty cluster on the same point) and assign all
+        // points to one cluster.
+        let mut rng = rng_from_seed(9);
+        let points = vec![vec![0.5, 0.5]; 12];
+        let (assign, centroids) = lloyd_two_means(&points, 50, &mut rng);
+        assert_eq!(assign.len(), 12);
+        for c in &centroids {
+            assert!((c[0] - 0.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lloyd_two_points_split() {
+        let mut rng = rng_from_seed(10);
+        let points = vec![vec![0.0], vec![1.0]];
+        let (assign, _) = lloyd_two_means(&points, 50, &mut rng);
+        assert_ne!(assign[0], assign[1]);
+    }
+
+    #[test]
+    fn subset_rate_rounding_to_zero_is_rejected() {
+        // ξ·N rounds to zero reports per subset.
+        let domain = Domain::new(4).unwrap();
+        let proto = ProtocolKind::Grr.build(0.5, domain).unwrap();
+        let mut rng = rng_from_seed(11);
+        let reports: Vec<Report> = (0..3).map(|i| proto.perturb(i, &mut rng)).collect();
+        let defense = KMeansDefense::new(5, 0.01).unwrap();
+        assert!(defense.run(&proto, &reports, &mut rng).is_err());
+    }
+
+    #[test]
+    fn empty_reports_rejected() {
+        let domain = Domain::new(4).unwrap();
+        let proto = ProtocolKind::Grr.build(0.5, domain).unwrap();
+        let defense = KMeansDefense::default();
+        let mut rng = rng_from_seed(3);
+        assert!(defense.run(&proto, &[], &mut rng).is_err());
+    }
+
+    #[test]
+    fn recover_km_produces_probability_vector() {
+        let domain = Domain::new(12).unwrap();
+        let proto = ProtocolKind::Oue.build(0.5, domain).unwrap();
+        let mut rng = rng_from_seed(4);
+        let mut reports: Vec<Report> = (0..3000).map(|i| proto.perturb(i % 12, &mut rng)).collect();
+        for _ in 0..150 {
+            reports.push(proto.perturb(7, &mut rng)); // IPA on item 7
+        }
+        let defense = KMeansDefense::new(10, 0.3).unwrap();
+        let recover = LdpRecover::new(0.1).unwrap();
+        let out = defense
+            .recover_km(&recover, &proto, &reports, &mut rng)
+            .unwrap();
+        assert!(ldp_common::vecmath::is_probability_vector(
+            &out.frequencies,
+            1e-9
+        ));
+    }
+}

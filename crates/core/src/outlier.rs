@@ -1,0 +1,168 @@
+//! Target identification for the partial-knowledge scenario (paper §V-D,
+//! §VI-A.4).
+//!
+//! LDPRecover\* needs the attacker-selected items. The paper obtains them
+//! two ways:
+//!
+//! * For MGA they are "explicitly identified as target items" — the oracle
+//!   case (the simulation passes the attack's true targets through).
+//! * For AA they are "the items that exhibit the top-r/2 frequency increase
+//!   following the attack" — [`top_k_increase`] against a pre-attack
+//!   reference estimate.
+//!
+//! The module also provides [`MovingAverageDetector`], the
+//! historical-time-series anomaly detector the paper's §V-D narrative
+//! sketches (predict each item's frequency from its history, flag items
+//! whose observed frequency deviates by more than `z` standard errors).
+
+use ldp_common::{LdpError, Result};
+
+/// Items with the `k` largest increases of `current` over `reference`
+/// (the paper's AA rule with `k = r/2`), in decreasing-increase order.
+///
+/// # Errors
+/// [`LdpError::DomainMismatch`] when the vectors differ in length;
+/// [`LdpError::InvalidParameter`] when `k` is 0 or exceeds the domain.
+pub fn top_k_increase(current: &[f64], reference: &[f64], k: usize) -> Result<Vec<usize>> {
+    if current.len() != reference.len() {
+        return Err(LdpError::DomainMismatch {
+            expected: current.len(),
+            got: reference.len(),
+            context: "top-k increase",
+        });
+    }
+    if k == 0 || k > current.len() {
+        return Err(LdpError::invalid(format!(
+            "k must be in 1..={}, got {k}",
+            current.len()
+        )));
+    }
+    let increases: Vec<f64> = current
+        .iter()
+        .zip(reference)
+        .map(|(&c, &r)| c - r)
+        .collect();
+    Ok(ldp_common::vecmath::top_k_indices(&increases, k))
+}
+
+/// Moving-average + z-score anomaly detector over per-item frequency
+/// histories.
+#[derive(Debug, Clone, Copy)]
+pub struct MovingAverageDetector {
+    /// Number of trailing history rounds used for the prediction.
+    pub window: usize,
+    /// Flag items whose |observation − prediction| exceeds
+    /// `z_threshold × max(σ_item, floor)`.
+    pub z_threshold: f64,
+    /// Variance floor preventing division by ~0 for flat histories.
+    pub sigma_floor: f64,
+}
+
+impl Default for MovingAverageDetector {
+    fn default() -> Self {
+        Self {
+            window: 5,
+            z_threshold: 4.0,
+            sigma_floor: 1e-4,
+        }
+    }
+}
+
+impl MovingAverageDetector {
+    /// Flags outlier items in `current` given `history` (each row one past
+    /// round of aggregated frequencies, oldest first).
+    ///
+    /// # Errors
+    /// [`LdpError::EmptyInput`] without history rounds;
+    /// [`LdpError::DomainMismatch`] for ragged rows.
+    pub fn detect(&self, history: &[Vec<f64>], current: &[f64]) -> Result<Vec<usize>> {
+        if history.is_empty() {
+            return Err(LdpError::EmptyInput("frequency history"));
+        }
+        let d = current.len();
+        for row in history {
+            if row.len() != d {
+                return Err(LdpError::DomainMismatch {
+                    expected: d,
+                    got: row.len(),
+                    context: "history row",
+                });
+            }
+        }
+        let start = history.len().saturating_sub(self.window);
+        let rows = &history[start..];
+        let mut outliers = Vec::new();
+        for v in 0..d {
+            let mut moments = ldp_common::stats::RunningMoments::new();
+            for row in rows {
+                moments.push(row[v]);
+            }
+            let prediction = moments.mean();
+            let sigma = moments.std_dev().max(self.sigma_floor);
+            let z = (current[v] - prediction) / sigma;
+            if z > self.z_threshold {
+                outliers.push(v);
+            }
+        }
+        Ok(outliers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_increase_orders_by_gain() {
+        let reference = [0.1, 0.2, 0.3, 0.4];
+        let current = [0.15, 0.5, 0.28, 0.42];
+        // Increases: 0.05, 0.30, −0.02, 0.02.
+        let top = top_k_increase(&current, &reference, 2).unwrap();
+        assert_eq!(top, vec![1, 0]);
+    }
+
+    #[test]
+    fn top_k_increase_validation() {
+        assert!(top_k_increase(&[0.1], &[0.1, 0.2], 1).is_err());
+        assert!(top_k_increase(&[0.1, 0.2], &[0.1, 0.2], 0).is_err());
+        assert!(top_k_increase(&[0.1, 0.2], &[0.1, 0.2], 3).is_err());
+    }
+
+    #[test]
+    fn detector_flags_spiked_item() {
+        let history: Vec<Vec<f64>> = (0..8)
+            .map(|i| vec![0.25 + 0.001 * (i % 3) as f64, 0.25, 0.25, 0.25])
+            .collect();
+        let current = vec![0.25, 0.55, 0.25, 0.25]; // item 1 spiked
+        let det = MovingAverageDetector::default();
+        let outliers = det.detect(&history, &current).unwrap();
+        assert_eq!(outliers, vec![1]);
+    }
+
+    #[test]
+    fn detector_ignores_small_noise() {
+        let history: Vec<Vec<f64>> = (0..10)
+            .map(|i| vec![0.5 + 0.01 * ((i % 5) as f64 - 2.0), 0.5])
+            .collect();
+        let current = vec![0.505, 0.498];
+        let det = MovingAverageDetector::default();
+        assert!(det.detect(&history, &current).unwrap().is_empty());
+    }
+
+    #[test]
+    fn detector_validation() {
+        let det = MovingAverageDetector::default();
+        assert!(det.detect(&[], &[0.5]).is_err());
+        assert!(det.detect(&[vec![0.5, 0.5]], &[0.5]).is_err());
+    }
+
+    #[test]
+    fn detector_only_flags_increases() {
+        // A *drop* is not an attack signature for frequency gains.
+        let history: Vec<Vec<f64>> = (0..6).map(|_| vec![0.5, 0.5]).collect();
+        let current = vec![0.1, 0.9];
+        let det = MovingAverageDetector::default();
+        let outliers = det.detect(&history, &current).unwrap();
+        assert_eq!(outliers, vec![1]);
+    }
+}

@@ -1,0 +1,276 @@
+//! Step 3 — the constraint-inference solver (paper §V-D, Algorithm 1
+//! lines 5–11).
+//!
+//! Recovery minimizes `‖f′ − f̃‖₂` subject to `f′ ≥ 0` and `Σ f′ = 1`
+//! (Eq. 22–23). The paper solves the KKT conditions with an iterative
+//! active-set scheme: start with all items active, subtract the mean excess
+//! `(Σ_{D*} f̃ − 1)/|D*|` (Eq. 34–35), deactivate items that went negative,
+//! repeat. This is the "norm-sub" post-processor of Wang et al. (NDSS 2020)
+//! and converges to the exact Euclidean projection onto the probability
+//! simplex — [`project_simplex`] (the sort-based Duchi et al. algorithm) is
+//! provided as an independent oracle, and [`PostProcess::ClipNormalize`]
+//! as a cheaper, biased ablation baseline.
+
+use ldp_common::{LdpError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Which refinement step turns the raw genuine estimate into a probability
+/// vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum PostProcess {
+    /// Algorithm 1's iterative KKT scheme (norm-sub). The paper's choice.
+    #[default]
+    NormSub,
+    /// Exact Euclidean projection onto the simplex (sort-based).
+    SimplexProjection,
+    /// Clamp negatives to zero, then rescale to sum 1 (biased baseline).
+    ClipNormalize,
+    /// Base-Cut (Wang et al., NDSS 2020): zero every estimate below the
+    /// significance threshold `θ = 2σ√(2·ln(2/δ))`-style cut — here the
+    /// simpler population form `θ = 1/d` — then renormalize. Good for
+    /// heavy-hitter-style workloads, biased for flat ones.
+    BaseCut,
+    /// No refinement: return the estimate as-is (for diagnostics; the
+    /// output may violate both constraints).
+    None,
+}
+
+impl PostProcess {
+    /// Applies the refinement to `estimate`.
+    ///
+    /// # Errors
+    /// [`LdpError::EmptyInput`] on an empty estimate;
+    /// [`LdpError::Numerical`] if the input contains non-finite values.
+    pub fn apply(self, estimate: &[f64]) -> Result<Vec<f64>> {
+        if estimate.is_empty() {
+            return Err(LdpError::EmptyInput("estimate to refine"));
+        }
+        if let Some(bad) = estimate.iter().find(|x| !x.is_finite()) {
+            return Err(LdpError::Numerical(format!(
+                "estimate contains non-finite value {bad}"
+            )));
+        }
+        Ok(match self {
+            PostProcess::NormSub => norm_sub(estimate),
+            PostProcess::SimplexProjection => project_simplex(estimate),
+            PostProcess::ClipNormalize => clip_normalize(estimate),
+            PostProcess::BaseCut => base_cut(estimate),
+            PostProcess::None => estimate.to_vec(),
+        })
+    }
+}
+
+/// Algorithm 1, lines 5–11: iterative KKT refinement.
+///
+/// Invariants of the output: entrywise non-negative, sums to 1 (within
+/// floating-point tolerance).
+pub fn norm_sub(estimate: &[f64]) -> Vec<f64> {
+    let d = estimate.len();
+    let mut active: Vec<bool> = vec![true; d];
+    let mut active_count = d;
+    let mut out = vec![0.0; d];
+    loop {
+        // μ/2 of Eq. (34): the per-item excess over the simplex constraint.
+        let mut active_sum = 0.0f64;
+        let mut comp = 0.0f64;
+        for (&x, &a) in estimate.iter().zip(&active) {
+            if a {
+                let y = x - comp;
+                let t = active_sum + y;
+                comp = (t - active_sum) - y;
+                active_sum = t;
+            }
+        }
+        let shift = (active_sum - 1.0) / active_count as f64;
+        let mut changed = false;
+        for v in 0..d {
+            if !active[v] {
+                continue;
+            }
+            let val = estimate[v] - shift;
+            if val < 0.0 {
+                active[v] = false;
+                active_count -= 1;
+                changed = true;
+                out[v] = 0.0;
+            } else {
+                out[v] = val;
+            }
+        }
+        if !changed {
+            return out;
+        }
+        if active_count == 0 {
+            // All mass removed (pathological input, e.g. extremely negative
+            // estimates): fall back to uniform, the centroid of the simplex.
+            return vec![1.0 / d as f64; d];
+        }
+    }
+}
+
+/// Exact Euclidean projection onto the probability simplex
+/// (Duchi et al., ICML 2008): `f′(v) = max(f̃(v) − τ, 0)` with the unique
+/// `τ` making the result sum to 1.
+pub fn project_simplex(estimate: &[f64]) -> Vec<f64> {
+    let mut sorted = estimate.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite values"));
+    let mut cumulative = 0.0f64;
+    let mut tau = 0.0f64;
+    let mut support = 0usize;
+    for (i, &u) in sorted.iter().enumerate() {
+        cumulative += u;
+        let candidate = (cumulative - 1.0) / (i + 1) as f64;
+        if u - candidate > 0.0 {
+            tau = candidate;
+            support = i + 1;
+        }
+    }
+    debug_assert!(support >= 1, "projection support must be non-empty");
+    estimate.iter().map(|&x| (x - tau).max(0.0)).collect()
+}
+
+/// Clamp negatives to zero, then rescale to sum 1. Falls back to uniform
+/// when no positive mass remains.
+pub fn clip_normalize(estimate: &[f64]) -> Vec<f64> {
+    let mut out: Vec<f64> = estimate.iter().map(|&x| x.max(0.0)).collect();
+    ldp_common::vecmath::normalize_to_simplex_sum(&mut out);
+    out
+}
+
+/// Base-Cut: zero estimates below `1/d` (the uniform level), renormalize.
+///
+/// A sparsity-inducing alternative to norm-sub for heavy-hitter workloads;
+/// falls back to clip+normalize when the cut would remove everything.
+pub fn base_cut(estimate: &[f64]) -> Vec<f64> {
+    let d = estimate.len();
+    let threshold = 1.0 / d as f64;
+    let mut out: Vec<f64> = estimate
+        .iter()
+        .map(|&x| if x >= threshold { x } else { 0.0 })
+        .collect();
+    if out.iter().all(|&x| x == 0.0) {
+        return clip_normalize(estimate);
+    }
+    ldp_common::vecmath::normalize_to_simplex_sum(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_common::vecmath::is_probability_vector;
+
+    #[test]
+    fn norm_sub_already_feasible_input_shifts_to_sum_one() {
+        // A feasible-but-unnormalized input is shifted uniformly.
+        let out = norm_sub(&[0.5, 0.5, 0.5, 0.5]);
+        assert!(is_probability_vector(&out, 1e-9));
+        assert!(out.iter().all(|&x| (x - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn norm_sub_removes_negatives() {
+        let out = norm_sub(&[1.5, -0.4, 0.2]);
+        assert!(is_probability_vector(&out, 1e-9));
+        assert_eq!(out[1], 0.0);
+        // Known fixed point computed by hand: [1.0, 0, 0].
+        assert!((out[0] - 1.0).abs() < 1e-12);
+        assert!((out[2] - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_sub_handles_pathological_all_negative() {
+        let out = norm_sub(&[-5.0, -3.0]);
+        assert!(is_probability_vector(&out, 1e-9));
+    }
+
+    #[test]
+    fn norm_sub_matches_exact_projection() {
+        // The iterative KKT scheme and the sort-based projection solve the
+        // same optimization problem; spot-check on varied inputs.
+        let cases: Vec<Vec<f64>> = vec![
+            vec![0.2, 0.3, 0.6],
+            vec![-0.1, 0.05, 0.9, 0.4],
+            vec![10.0, -10.0, 0.5, 0.5, 0.0],
+            vec![0.0; 7],
+            vec![1.0],
+            vec![0.017, -0.003, 0.12, 0.09, 0.777, -0.2, 0.19],
+        ];
+        for est in cases {
+            let a = norm_sub(&est);
+            let b = project_simplex(&est);
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-9, "est={est:?}: {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn projection_is_identity_on_simplex_points() {
+        let p = [0.1, 0.2, 0.3, 0.4];
+        let out = project_simplex(&p);
+        for (x, y) in out.iter().zip(&p) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn clip_normalize_baseline() {
+        let out = clip_normalize(&[0.5, -1.0, 0.5]);
+        assert!(is_probability_vector(&out, 1e-9));
+        assert_eq!(out[1], 0.0);
+        assert!((out[0] - 0.5).abs() < 1e-12);
+        // Degenerate input → uniform.
+        let out = clip_normalize(&[-1.0, -2.0]);
+        assert!(is_probability_vector(&out, 1e-9));
+    }
+
+    #[test]
+    fn post_process_dispatch_and_validation() {
+        assert!(PostProcess::NormSub.apply(&[]).is_err());
+        assert!(PostProcess::NormSub.apply(&[f64::NAN]).is_err());
+        assert!(PostProcess::NormSub.apply(&[f64::INFINITY, 0.0]).is_err());
+        let raw = [0.4, -0.1, 0.8];
+        let none = PostProcess::None.apply(&raw).unwrap();
+        assert_eq!(none, raw.to_vec());
+        for pp in [
+            PostProcess::NormSub,
+            PostProcess::SimplexProjection,
+            PostProcess::ClipNormalize,
+            PostProcess::BaseCut,
+        ] {
+            let out = pp.apply(&raw).unwrap();
+            assert!(is_probability_vector(&out, 1e-9), "{pp:?}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn base_cut_zeroes_sub_uniform_mass() {
+        // d = 4 ⇒ threshold 0.25: items below it vanish.
+        let out = base_cut(&[0.5, 0.3, 0.2, 0.1]);
+        assert_eq!(out[2], 0.0);
+        assert_eq!(out[3], 0.0);
+        assert!((out[0] - 0.5 / 0.8).abs() < 1e-12);
+        assert!(is_probability_vector(&out, 1e-9));
+        // Everything below threshold ⇒ clip+normalize fallback.
+        let out = base_cut(&[0.05, 0.04, 0.03, -0.2]);
+        assert!(is_probability_vector(&out, 1e-9));
+        assert_eq!(out[3], 0.0);
+    }
+
+    #[test]
+    fn norm_sub_minimizes_l2_among_candidates() {
+        // The solver output must be at least as close (in L2) to the raw
+        // estimate as the clip-normalize baseline is — it is the optimum.
+        let est = [0.6, -0.2, 0.5, 0.3, -0.05];
+        let opt = norm_sub(&est);
+        let base = clip_normalize(&est);
+        let d = |a: &[f64]| -> f64 {
+            a.iter()
+                .zip(&est)
+                .map(|(&x, &y)| (x - y) * (x - y))
+                .sum::<f64>()
+        };
+        assert!(d(&opt) <= d(&base) + 1e-12);
+    }
+}

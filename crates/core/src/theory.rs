@@ -1,0 +1,154 @@
+//! Approximation-error theory (paper §V-E, Theorems 4–5).
+//!
+//! LDPRecover's estimator treats the aggregated frequencies as normal
+//! (Lemmas 1–2). The Berry–Esseen-style bounds of Theorems 4–5 quantify the
+//! CDF distance between truth and normal approximation:
+//!
+//! ```text
+//! sup_w |Θ̃(w) − Θ̂(w)| ≤ 0.33554·(g + 0.415·σ³)/(σ³·√N)
+//! ```
+//!
+//! with `g` the third absolute central moment of the single-report estimate,
+//! `σ` its standard deviation, and `N` the number of reports (m for the
+//! malicious side, n for the genuine side). The `theory_validation`
+//! integration test verifies the empirical Kolmogorov–Smirnov distance sits
+//! below these bounds.
+
+use ldp_common::{LdpError, Result};
+use ldp_protocols::PureParams;
+
+/// The Berry–Esseen-style constant of Theorems 4–5.
+pub const BERRY_ESSEEN_C: f64 = 0.33554;
+
+/// Evaluates the Theorem 4/5 bound
+/// `C·(g + 0.415·σ³)/(σ³·√N)` for `N` reports.
+///
+/// # Errors
+/// [`LdpError::InvalidParameter`] when `σ ≤ 0`, `g < 0`, or `N = 0` —
+/// the bound is undefined for degenerate distributions.
+pub fn berry_esseen_bound(third_moment: f64, sigma: f64, reports: usize) -> Result<f64> {
+    if sigma.is_nan() || sigma <= 0.0 {
+        return Err(LdpError::invalid(format!(
+            "Berry–Esseen bound needs σ > 0, got {sigma}"
+        )));
+    }
+    if third_moment.is_nan() || third_moment < 0.0 {
+        return Err(LdpError::invalid(format!(
+            "third absolute moment must be ≥ 0, got {third_moment}"
+        )));
+    }
+    if reports == 0 {
+        return Err(LdpError::invalid("Berry–Esseen bound needs ≥ 1 report"));
+    }
+    let sigma3 = sigma * sigma * sigma;
+    Ok(BERRY_ESSEEN_C * (third_moment + 0.415 * sigma3) / (sigma3 * (reports as f64).sqrt()))
+}
+
+/// Theorem 4 instantiated for the malicious frequency `f̃_Y(v)` under an
+/// adaptive attack with sampling probability `P(v)`: per-report moments from
+/// the shifted-Bernoulli support indicator.
+///
+/// # Errors
+/// Propagates [`berry_esseen_bound`] validation (degenerate `P(v) ∈ {0,1}`
+/// gives σ = 0).
+pub fn malicious_cdf_bound(params: PureParams, attack_prob: f64, m: usize) -> Result<f64> {
+    let g = crate::estimator::malicious_report_third_moment(params, attack_prob);
+    // Per-report σ (not divided by m): Bernoulli(P) scaled by 1/(p−q).
+    let pq = params.p() - params.q();
+    let sigma = (attack_prob * (1.0 - attack_prob)).sqrt() / pq;
+    berry_esseen_bound(g, sigma, m)
+}
+
+/// Theorem 5 instantiated for the genuine frequency `f̃_X(v)` of an item
+/// with true frequency `f`: the per-report support indicator is Bernoulli
+/// with success probability `s = f·p + (1−f)·q`, scaled by `1/(p−q)`.
+///
+/// # Errors
+/// Propagates [`berry_esseen_bound`] validation.
+pub fn genuine_cdf_bound(params: PureParams, true_freq: f64, n: usize) -> Result<f64> {
+    let p = params.p();
+    let q = params.q();
+    let pq = p - q;
+    let s = true_freq * p + (1.0 - true_freq) * q;
+    let sigma = (s * (1.0 - s)).sqrt() / pq;
+    // Third absolute central moment of the scaled Bernoulli:
+    // values (1−s)/(p−q) w.p. s and (−s)/(p−q) w.p. 1−s around mean 0.
+    let hi = (1.0 - s) / pq;
+    let lo = -s / pq;
+    let g = s * hi.abs().powi(3) + (1.0 - s) * lo.abs().powi(3);
+    berry_esseen_bound(g, sigma, n)
+}
+
+/// Convergence-rate helper: the bound scales as `1/√N`, so halving the
+/// error takes 4× the reports. Returns the report count needed to push the
+/// bound below `target`.
+///
+/// # Errors
+/// [`LdpError::InvalidParameter`] for non-positive targets or degenerate
+/// moments.
+pub fn reports_for_bound(third_moment: f64, sigma: f64, target: f64) -> Result<usize> {
+    if target.is_nan() || target <= 0.0 {
+        return Err(LdpError::invalid("target bound must be positive"));
+    }
+    let at_one = berry_esseen_bound(third_moment, sigma, 1)?;
+    Ok(((at_one / target).powi(2)).ceil() as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_common::Domain;
+
+    fn params() -> PureParams {
+        PureParams::new(0.5, 0.25, Domain::new(10).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn bound_decreases_as_inverse_sqrt() {
+        let b100 = berry_esseen_bound(1.0, 0.5, 100).unwrap();
+        let b400 = berry_esseen_bound(1.0, 0.5, 400).unwrap();
+        assert!((b100 / b400 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bound_validation() {
+        assert!(berry_esseen_bound(1.0, 0.0, 10).is_err());
+        assert!(berry_esseen_bound(-1.0, 0.5, 10).is_err());
+        assert!(berry_esseen_bound(1.0, 0.5, 0).is_err());
+    }
+
+    #[test]
+    fn malicious_bound_finite_for_interior_probability() {
+        let b = malicious_cdf_bound(params(), 0.3, 1_000).unwrap();
+        assert!(b.is_finite() && b > 0.0);
+        // Degenerate attack probability ⇒ σ = 0 ⇒ error.
+        assert!(malicious_cdf_bound(params(), 0.0, 1_000).is_err());
+        assert!(malicious_cdf_bound(params(), 1.0, 1_000).is_err());
+    }
+
+    #[test]
+    fn genuine_bound_finite_and_smaller_at_larger_n() {
+        let small = genuine_cdf_bound(params(), 0.1, 1_000).unwrap();
+        let large = genuine_cdf_bound(params(), 0.1, 100_000).unwrap();
+        assert!(large < small);
+        assert!((small / large - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reports_for_bound_inverts() {
+        let n = reports_for_bound(1.0, 0.5, 0.01).unwrap();
+        let achieved = berry_esseen_bound(1.0, 0.5, n).unwrap();
+        assert!(achieved <= 0.01 + 1e-12);
+        // One fewer report must miss the target (up to ceil slack).
+        if n > 1 {
+            let missed = berry_esseen_bound(1.0, 0.5, n - 1).unwrap();
+            assert!(missed > 0.0099);
+        }
+        assert!(reports_for_bound(1.0, 0.5, 0.0).is_err());
+    }
+
+    #[test]
+    fn berry_esseen_constant_matches_paper() {
+        assert_eq!(BERRY_ESSEEN_C, 0.33554);
+    }
+}

@@ -1,0 +1,107 @@
+//! Parametric synthetic dataset generators.
+
+use ldp_common::sampling::{zipf_weights, AliasTable};
+use ldp_common::{Domain, Result};
+use rand::Rng;
+
+use crate::dataset::Dataset;
+
+/// Samples `n` users from a Zipf(s) item distribution over `d` items
+/// (item 0 most frequent).
+///
+/// # Errors
+/// Propagates domain / alias-table validation (`d ≥ 1`, `n ≥ 1`).
+pub fn zipf_dataset<R: Rng + ?Sized>(
+    name: &str,
+    d: usize,
+    n: usize,
+    s: f64,
+    rng: &mut R,
+) -> Result<Dataset> {
+    let domain = Domain::new(d)?;
+    let table = AliasTable::new(&zipf_weights(d, s))?;
+    let items = (0..n).map(|_| table.sample(rng) as u32).collect();
+    Dataset::from_items(name, domain, items)
+}
+
+/// Samples `n` users uniformly over `d` items.
+///
+/// # Errors
+/// Propagates domain validation.
+pub fn uniform_dataset<R: Rng + ?Sized>(
+    name: &str,
+    d: usize,
+    n: usize,
+    rng: &mut R,
+) -> Result<Dataset> {
+    let domain = Domain::new(d)?;
+    let items = (0..n).map(|_| rng.gen_range(0..d) as u32).collect();
+    Dataset::from_items(name, domain, items)
+}
+
+/// Samples `n` users from a truncated geometric distribution
+/// (`P(v) ∝ (1−rho)^v`), a sharper head than Zipf.
+///
+/// # Errors
+/// Propagates domain / alias-table validation; `rho` must lie in (0, 1).
+pub fn geometric_dataset<R: Rng + ?Sized>(
+    name: &str,
+    d: usize,
+    n: usize,
+    rho: f64,
+    rng: &mut R,
+) -> Result<Dataset> {
+    let domain = Domain::new(d)?;
+    if !(rho > 0.0 && rho < 1.0) {
+        return Err(ldp_common::LdpError::invalid(format!(
+            "geometric rho must be in (0,1), got {rho}"
+        )));
+    }
+    let weights: Vec<f64> = (0..d).map(|v| (1.0 - rho).powi(v as i32)).collect();
+    let table = AliasTable::new(&weights)?;
+    let items = (0..n).map(|_| table.sample(rng) as u32).collect();
+    Dataset::from_items(name, domain, items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_common::rng::rng_from_seed;
+
+    #[test]
+    fn zipf_head_dominates() {
+        let mut rng = rng_from_seed(1);
+        let ds = zipf_dataset("z", 50, 100_000, 1.0, &mut rng).unwrap();
+        let f = ds.true_frequencies();
+        assert!(f[0] > f[1] && f[1] > f[2]);
+        // Zipf(1) over 50 items: f0 = 1/H_50 ≈ 0.222.
+        assert!((f[0] - 0.222).abs() < 0.01, "f0={}", f[0]);
+    }
+
+    #[test]
+    fn uniform_is_flat() {
+        let mut rng = rng_from_seed(2);
+        let ds = uniform_dataset("u", 20, 200_000, &mut rng).unwrap();
+        for &f in &ds.true_frequencies() {
+            assert!((f - 0.05).abs() < 0.005);
+        }
+    }
+
+    #[test]
+    fn geometric_validates_and_decays() {
+        let mut rng = rng_from_seed(3);
+        assert!(geometric_dataset("g", 10, 100, 0.0, &mut rng).is_err());
+        assert!(geometric_dataset("g", 10, 100, 1.0, &mut rng).is_err());
+        let ds = geometric_dataset("g", 10, 100_000, 0.5, &mut rng).unwrap();
+        let f = ds.true_frequencies();
+        assert!((f[0] - 0.5).abs() < 0.02);
+        assert!((f[1] - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let a = zipf_dataset("z", 10, 1000, 1.0, &mut rng_from_seed(7)).unwrap();
+        let b = zipf_dataset("z", 10, 1000, 1.0, &mut rng_from_seed(7)).unwrap();
+        assert_eq!(a.items(), b.items());
+    }
+}

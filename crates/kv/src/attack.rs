@@ -1,0 +1,111 @@
+//! The maximal key-value gain attack (after Wu et al., 2022).
+
+use ldp_common::rng::uniform_index;
+use ldp_common::sampling::sample_distinct;
+use ldp_common::Domain;
+use rand::Rng;
+
+use crate::protocol::{KvProtocol, KvReport};
+
+/// M2GA: every fake user probes a uniformly-chosen target key and reports
+/// `(present, +1)` unperturbed — the report that maximally inflates both
+/// the key's frequency and its mean.
+#[derive(Debug, Clone)]
+pub struct M2ga {
+    targets: Vec<usize>,
+}
+
+impl M2ga {
+    /// Builds the attack for an explicit target set.
+    ///
+    /// # Panics
+    /// Panics if `targets` is empty.
+    pub fn new(targets: Vec<usize>) -> Self {
+        assert!(!targets.is_empty(), "M2GA requires at least one target");
+        Self { targets }
+    }
+
+    /// Samples `r` distinct target keys uniformly.
+    ///
+    /// # Panics
+    /// Panics if `r == 0` or `r > d`.
+    pub fn random_targets<R: Rng + ?Sized>(domain: Domain, r: usize, rng: &mut R) -> Self {
+        assert!(r >= 1 && r <= domain.size(), "need 1 ≤ r ≤ d");
+        Self::new(sample_distinct(domain.size(), r, rng))
+    }
+
+    /// The attacker-chosen target keys.
+    pub fn targets(&self) -> &[usize] {
+        &self.targets
+    }
+
+    /// Crafts the `m` malicious reports.
+    pub fn craft<R: Rng + ?Sized>(
+        &self,
+        protocol: &KvProtocol,
+        m: usize,
+        rng: &mut R,
+    ) -> Vec<KvReport> {
+        (0..m)
+            .map(|_| {
+                let t = self.targets[uniform_index(rng, self.targets.len())];
+                protocol.craft_clean(t, true, true)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_common::rng::rng_from_seed;
+
+    #[test]
+    fn crafted_reports_hit_targets_with_full_presence() {
+        let domain = Domain::new(16).unwrap();
+        let kv = KvProtocol::new(1.0, domain).unwrap();
+        let mut rng = rng_from_seed(1);
+        let attack = M2ga::new(vec![3, 9]);
+        for r in attack.craft(&kv, 500, &mut rng) {
+            assert!([3u32, 9].contains(&r.index));
+            assert!(r.present && r.positive);
+        }
+    }
+
+    #[test]
+    fn attack_inflates_frequency_and_mean() {
+        let domain = Domain::new(8).unwrap();
+        let kv = KvProtocol::new(1.0, domain).unwrap();
+        let mut rng = rng_from_seed(2);
+        let n = 120_000usize;
+        // Everyone holds key 0 with value −0.5; target key 5 is unheld.
+        let mut reports: Vec<KvReport> = (0..n)
+            .map(|_| kv.perturb(0, -0.5, &mut rng).unwrap())
+            .collect();
+        let clean = kv.estimate(&kv.aggregate(&reports).unwrap()).unwrap();
+
+        let attack = M2ga::new(vec![5]);
+        reports.extend(attack.craft(&kv, n / 20, &mut rng));
+        let poisoned = kv.estimate(&kv.aggregate(&reports).unwrap()).unwrap();
+
+        assert!(
+            poisoned.frequencies[5] > clean.frequencies[5] + 0.05,
+            "freq gain: {} -> {}",
+            clean.frequencies[5],
+            poisoned.frequencies[5]
+        );
+        assert!(
+            poisoned.means[5] > 0.5,
+            "mean pushed toward +1, got {}",
+            poisoned.means[5]
+        );
+    }
+
+    #[test]
+    fn random_targets_are_distinct() {
+        let mut rng = rng_from_seed(3);
+        let attack = M2ga::random_targets(Domain::new(30).unwrap(), 10, &mut rng);
+        let set: std::collections::HashSet<_> = attack.targets().iter().collect();
+        assert_eq!(set.len(), 10);
+    }
+}

@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+//! Key-value LDP collection under poisoning — the LDPRecover paper's
+//! stated future work ("extend LDPRecover to poisoning attacks on LDP
+//! protocols for more complex tasks, such as key-value pairs collection"),
+//! built out as a working extension.
+//!
+//! # The protocol ([`protocol::KvProtocol`])
+//!
+//! A single-round PrivKV-style mechanism (Ye et al., S&P 2019), simplified
+//! to one ⟨key, value⟩ pair per user with `value ∈ [−1, 1]`:
+//!
+//! 1. The user samples a uniform probe index `j ∈ D` and forms a presence
+//!    bit `b = [j == her key]` plus a sign bit `s` (discretized value when
+//!    present, fair coin otherwise).
+//! 2. Both bits are perturbed by binary randomized response with budget
+//!    `ε/2` each (sequential composition ⇒ ε-LDP overall).
+//! 3. The server groups reports by probe index: per key it estimates the
+//!    *frequency* (debiased presence rate, scaled by the probe rate) and
+//!    the *mean* (debiased sign counts, corrected for false presences).
+//!
+//! # The attack ([`attack::M2ga`])
+//!
+//! The maximal-gain key-value attack (after Wu et al. 2022): every fake
+//! user probes a target key and reports `(present, +1)` unperturbed,
+//! inflating both the key's frequency and its mean.
+//!
+//! # The recovery ([`recover::KvRecover`])
+//!
+//! Key frequencies are a frequency-estimation problem, so LDPRecover's
+//! machinery transfers — with one twist the flat protocols don't have: the
+//! attacker must *also* skew the probe-index histogram (fake users choose
+//! their probe), which is publicly observable. LDPRecover-KV therefore
+//! learns the per-key malicious report mass from the probe-count anomaly
+//! (expected `N/d` per key), applies the genuine frequency estimator
+//! per-key, projects onto the simplex (Algorithm 1), and removes the
+//! implied all-`+1` malicious sign mass from the mean estimates.
+//!
+//! # Example
+//!
+//! ```
+//! use ldp_common::{rng::rng_from_seed, Domain};
+//! use ldp_kv::{KvProtocol, KvRecover, M2ga};
+//!
+//! let kv = KvProtocol::new(2.0, Domain::new(8).unwrap()).unwrap();
+//! let mut rng = rng_from_seed(1);
+//!
+//! // 20k genuine users hold key 0 with value −0.5 …
+//! let mut reports: Vec<_> = (0..20_000)
+//!     .map(|_| kv.perturb(0, -0.5, &mut rng).unwrap())
+//!     .collect();
+//! // … and 1k fakes promote key 5.
+//! reports.extend(M2ga::new(vec![5]).craft(&kv, 1_000, &mut rng));
+//!
+//! let aggregate = kv.aggregate(&reports).unwrap();
+//! let recovered = KvRecover::default().recover(&kv, &aggregate).unwrap();
+//! assert!(recovered.frequencies[5] < 0.05);      // promotion undone
+//! assert!(recovered.malicious_probes[5] > 500.0); // fakes localized
+//! ```
+
+pub mod attack;
+pub mod protocol;
+pub mod recover;
+
+pub use attack::M2ga;
+pub use protocol::{KvAggregate, KvEstimate, KvProtocol, KvReport};
+pub use recover::{KvRecover, KvRecovery};

@@ -1,0 +1,292 @@
+//! The PrivKV-style single-round key-value protocol.
+
+use ldp_common::rng::{uniform_index, FastBernoulli};
+use ldp_common::{Domain, LdpError, Result};
+use ldp_protocols::BinaryRandomizedResponse;
+use ldp_protocols::LdpFrequencyProtocol as _;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One user's report: the probe index plus perturbed presence / sign bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KvReport {
+    /// The probed key index `j ∈ D`.
+    pub index: u32,
+    /// Perturbed presence bit.
+    pub present: bool,
+    /// Perturbed sign bit (`true` = +1). Meaningful only when `present`;
+    /// carried unconditionally to keep the wire format fixed-size.
+    pub positive: bool,
+}
+
+/// The key-value protocol instance for a fixed `(ε, D)`.
+#[derive(Debug, Clone, Copy)]
+pub struct KvProtocol {
+    domain: Domain,
+    epsilon: f64,
+    rr: BinaryRandomizedResponse,
+    half_positive: FastBernoulli,
+}
+
+/// Raw per-key aggregation state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvAggregate {
+    /// Reports probing each key (`n_k`).
+    pub probes: Vec<u64>,
+    /// Reports probing each key with `present = true` (`C_k`).
+    pub presences: Vec<u64>,
+    /// Present reports with `positive = true` (`P_k`).
+    pub positives: Vec<u64>,
+    /// Total reports folded in.
+    pub total: usize,
+}
+
+/// Debiased per-key estimates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KvEstimate {
+    /// Key frequencies (sum ≈ 1 for one pair per user).
+    pub frequencies: Vec<f64>,
+    /// Key means in `[−1, 1]` (clamped).
+    pub means: Vec<f64>,
+}
+
+impl KvProtocol {
+    /// Builds the protocol: `ε/2` to the presence bit, `ε/2` to the sign
+    /// bit (sequential composition).
+    ///
+    /// # Errors
+    /// Propagates ε validation.
+    pub fn new(epsilon: f64, domain: Domain) -> Result<Self> {
+        Ok(Self {
+            domain,
+            epsilon,
+            rr: BinaryRandomizedResponse::new(epsilon / 2.0)?,
+            half_positive: FastBernoulli::new(0.5),
+        })
+    }
+
+    /// The key domain.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Total privacy budget ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The per-bit randomized-response parameters (`p = e^{ε/2}/(1+e^{ε/2})`).
+    pub fn bit_params(&self) -> ldp_protocols::PureParams {
+        self.rr.params()
+    }
+
+    /// Client side: perturbs one ⟨key, value⟩ pair.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] when the value is outside `[−1, 1]`
+    /// or the key outside the domain.
+    pub fn perturb<R: Rng + ?Sized>(
+        &self,
+        key: usize,
+        value: f64,
+        rng: &mut R,
+    ) -> Result<KvReport> {
+        self.domain.check_item(key)?;
+        if !(-1.0..=1.0).contains(&value) {
+            return Err(LdpError::invalid(format!(
+                "value must lie in [-1, 1], got {value}"
+            )));
+        }
+        let index = uniform_index(rng, self.domain.size());
+        let holds = index == key;
+        let sign = if holds {
+            FastBernoulli::new((1.0 + value) / 2.0).sample(rng)
+        } else {
+            self.half_positive.sample(rng)
+        };
+        Ok(KvReport {
+            index: index as u32,
+            present: self.rr.perturb_bit(holds, rng),
+            positive: self.rr.perturb_bit(sign, rng),
+        })
+    }
+
+    /// Attacker side: a crafted report that bypasses perturbation (the
+    /// threat model of the base paper, lifted to key-value reports).
+    pub fn craft_clean(&self, key: usize, present: bool, positive: bool) -> KvReport {
+        debug_assert!(self.domain.contains(key));
+        KvReport {
+            index: key as u32,
+            present,
+            positive,
+        }
+    }
+
+    /// Aggregates reports into per-key counts.
+    ///
+    /// # Errors
+    /// [`LdpError::DomainMismatch`] when a report probes an out-of-domain
+    /// key.
+    pub fn aggregate(&self, reports: &[KvReport]) -> Result<KvAggregate> {
+        let d = self.domain.size();
+        let mut agg = KvAggregate {
+            probes: vec![0; d],
+            presences: vec![0; d],
+            positives: vec![0; d],
+            total: reports.len(),
+        };
+        for r in reports {
+            let k = r.index as usize;
+            self.domain.check_item(k)?;
+            agg.probes[k] += 1;
+            if r.present {
+                agg.presences[k] += 1;
+                if r.positive {
+                    agg.positives[k] += 1;
+                }
+            }
+        }
+        Ok(agg)
+    }
+
+    /// Debiases an aggregate into frequency / mean estimates.
+    ///
+    /// Frequency of key `k`: among the `n_k` probes of `k`, presence is
+    /// reported at rate `f_k·p + (1−f_k)·q` ⇒ invert the RR. Mean of `k`:
+    /// the expected positive count decomposes into the contribution of
+    /// true holders (rate `(1+m_k)/2` through two RRs) and of everyone
+    /// else (a fair coin through one RR, i.e. rate 1/2); subtract and
+    /// invert (see inline derivation).
+    ///
+    /// # Errors
+    /// [`LdpError::EmptyInput`] when the aggregate holds no reports.
+    pub fn estimate(&self, agg: &KvAggregate) -> Result<KvEstimate> {
+        if agg.total == 0 {
+            return Err(LdpError::EmptyInput("key-value reports"));
+        }
+        let params = self.bit_params();
+        let (p, q) = (params.p(), params.q());
+        let d = self.domain.size();
+        let mut frequencies = vec![0.0; d];
+        let mut means = vec![0.0; d];
+        for k in 0..d {
+            let n_k = agg.probes[k] as f64;
+            if n_k == 0.0 {
+                continue; // no probes: leave 0 (the caller's priors apply)
+            }
+            let c_k = agg.presences[k] as f64;
+            let f = (c_k / n_k - q) / (p - q);
+            frequencies[k] = f;
+
+            // Positive-count decomposition, with h = n_k·f true holders:
+            //   E[P_k] = h·[p·rr((1+m)/2) + (1−p)·1/2]        (holders)
+            //          + (n_k − h)·[q·1/2 + ... ] …
+            // Every non-holder's sign bit is a fair coin, and RR preserves
+            // fairness, so *any* report that ends up `present` contributes
+            // 1/2 unless it came from a holder whose presence bit survived
+            // (probability p), in which case its sign carries the value
+            // signal through one RR: rate rr_m = q + (p−q)·(1+m)/2.
+            let holders = n_k * f;
+            let holder_present = holders * p; // presences from true holders
+            let other_present = c_k - holder_present; // flips + non-holders
+            if holder_present <= 0.0 {
+                means[k] = 0.0;
+                continue;
+            }
+            let p_k = agg.positives[k] as f64;
+            // p_k ≈ holder_present·rr_m + other_present·1/2
+            let rr_m = ((p_k - other_present * 0.5) / holder_present).clamp(0.0, 1.0);
+            // rr_m = q + (p−q)·(1+m)/2  ⇒  m = 2·(rr_m − q)/(p−q) − 1
+            means[k] = (2.0 * (rr_m - q) / (p - q) - 1.0).clamp(-1.0, 1.0);
+        }
+        Ok(KvEstimate { frequencies, means })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_common::rng::rng_from_seed;
+
+    fn proto(eps: f64, d: usize) -> KvProtocol {
+        KvProtocol::new(eps, Domain::new(d).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let kv = proto(1.0, 4);
+        let mut rng = rng_from_seed(1);
+        assert!(kv.perturb(0, 1.5, &mut rng).is_err());
+        assert!(kv.perturb(0, f64::NAN, &mut rng).is_err());
+        assert!(kv.perturb(4, 0.0, &mut rng).is_err());
+        assert!(kv.perturb(3, -1.0, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn estimates_are_unbiased() {
+        // 3 keys with frequencies (0.5, 0.3, 0.2) and means (0.8, -0.4, 0).
+        let kv = proto(2.0, 3);
+        let mut rng = rng_from_seed(2);
+        let n = 300_000usize;
+        let mut reports = Vec::with_capacity(n);
+        for i in 0..n {
+            let u = i as f64 / n as f64;
+            let (key, value) = if u < 0.5 {
+                (0usize, 0.8)
+            } else if u < 0.8 {
+                (1, -0.4)
+            } else {
+                (2, 0.0)
+            };
+            reports.push(kv.perturb(key, value, &mut rng).unwrap());
+        }
+        let est = kv.estimate(&kv.aggregate(&reports).unwrap()).unwrap();
+        for (k, (&f_true, &m_true)) in [0.5, 0.3, 0.2].iter().zip(&[0.8, -0.4, 0.0]).enumerate() {
+            assert!(
+                (est.frequencies[k] - f_true).abs() < 0.03,
+                "key {k} freq {} vs {f_true}",
+                est.frequencies[k]
+            );
+            assert!(
+                (est.means[k] - m_true).abs() < 0.08,
+                "key {k} mean {} vs {m_true}",
+                est.means[k]
+            );
+        }
+        let total: f64 = est.frequencies.iter().sum();
+        assert!((total - 1.0).abs() < 0.05, "freqs sum to {total}");
+    }
+
+    #[test]
+    fn aggregate_counts_consistently() {
+        let kv = proto(1.0, 4);
+        let reports = vec![
+            kv.craft_clean(2, true, true),
+            kv.craft_clean(2, true, false),
+            kv.craft_clean(1, false, true),
+        ];
+        let agg = kv.aggregate(&reports).unwrap();
+        assert_eq!(agg.probes, vec![0, 1, 2, 0]);
+        assert_eq!(agg.presences, vec![0, 0, 2, 0]);
+        assert_eq!(agg.positives, vec![0, 0, 1, 0]);
+        assert_eq!(agg.total, 3);
+    }
+
+    #[test]
+    fn empty_aggregate_refuses_estimation() {
+        let kv = proto(1.0, 4);
+        let agg = kv.aggregate(&[]).unwrap();
+        assert!(kv.estimate(&agg).is_err());
+    }
+
+    #[test]
+    fn unprobed_keys_estimate_to_zero() {
+        let kv = proto(1.0, 8);
+        let reports = vec![kv.craft_clean(0, true, true)];
+        let est = kv.estimate(&kv.aggregate(&reports).unwrap()).unwrap();
+        for k in 1..8 {
+            assert_eq!(est.frequencies[k], 0.0);
+            assert_eq!(est.means[k], 0.0);
+        }
+    }
+}

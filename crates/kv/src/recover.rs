@@ -1,0 +1,260 @@
+//! LDPRecover-KV: frequency + mean recovery for poisoned key-value
+//! aggregates.
+//!
+//! The key observation (ours, extending the paper): in index-probed
+//! key-value protocols the attacker cannot inject presence mass without
+//! also inflating the *probe histogram* of the targeted keys, and probe
+//! indices are sent in the clear. Genuine users probe uniformly, so every
+//! key's probe count concentrates around a common level — estimated
+//! robustly by the **median** probe count (immune to contamination below
+//! the d/2 breakdown point). A key whose count exceeds the median by more
+//! than `z` binomial standard deviations is attributed the whole excess:
+//!
+//! ```text
+//! m̂_k = (n_k − median)·[n_k − median > z·√(median·(1−1/d))]
+//! ```
+//!
+//! From this per-key malicious mass estimate LDPRecover-KV:
+//!
+//! 1. rebuilds the per-key malicious presence estimate
+//!    `f̂_Y(k) = (1 − q)/(p − q)` (an unperturbed `present = true` report,
+//!    debiased as if genuine — the KV analog of the base paper's Eq. 20),
+//! 2. applies the genuine frequency estimator per key with the *local*
+//!    ratio `η_k = m̂_k/(n_k − m̂_k)` (the probe partition makes η
+//!    key-specific, unlike the flat protocols),
+//! 3. projects the corrected frequencies onto the simplex (Algorithm 1),
+//! 4. removes the implied all-`+1` malicious sign mass from the mean
+//!    estimator's counts and re-debiases the means.
+
+use ldp_common::{LdpError, Result};
+use ldprecover::solve::norm_sub;
+use serde::{Deserialize, Serialize};
+
+use crate::protocol::{KvAggregate, KvProtocol};
+
+/// Configured key-value recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KvRecover {
+    /// Probe-excess detection threshold in standard deviations (z-score).
+    pub probe_z: f64,
+}
+
+impl Default for KvRecover {
+    fn default() -> Self {
+        Self { probe_z: 3.0 }
+    }
+}
+
+/// What the recovery produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KvRecovery {
+    /// Recovered key frequencies (non-negative, sum to 1).
+    pub frequencies: Vec<f64>,
+    /// Recovered key means.
+    pub means: Vec<f64>,
+    /// Estimated malicious report count per key (`m̂_k`).
+    pub malicious_probes: Vec<f64>,
+}
+
+impl KvRecover {
+    /// Creates the recovery with an explicit probe z-score threshold.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] for non-positive thresholds.
+    pub fn new(probe_z: f64) -> Result<Self> {
+        if probe_z.is_nan() || probe_z <= 0.0 || !probe_z.is_finite() {
+            return Err(LdpError::invalid(format!(
+                "probe z-threshold must be positive and finite, got {probe_z}"
+            )));
+        }
+        Ok(Self { probe_z })
+    }
+
+    /// Recovers frequencies and means from a (possibly poisoned) aggregate.
+    ///
+    /// # Errors
+    /// Propagates estimation failures (empty aggregate).
+    pub fn recover(&self, protocol: &KvProtocol, agg: &KvAggregate) -> Result<KvRecovery> {
+        if agg.total == 0 {
+            return Err(LdpError::EmptyInput("key-value reports"));
+        }
+        let d = protocol.domain().size();
+        let params = protocol.bit_params();
+        let (p, q) = (params.p(), params.q());
+
+        // Step 1: probe-excess malicious mass per key. The genuine probe
+        // baseline is the *median* probe count — robust to the attacker's
+        // contamination as long as fewer than half the keys are targeted
+        // (the classical breakdown point; a d/2-target attacker could
+        // defeat this, at the cost of diluting per-key gain to nothing).
+        let mut sorted_probes: Vec<u64> = agg.probes.clone();
+        sorted_probes.sort_unstable();
+        let baseline = sorted_probes[d / 2] as f64;
+        // Binomial fluctuation of a genuine key's probe count around the
+        // baseline (≈ Poisson for large d).
+        let sigma = (baseline.max(1.0) * (1.0 - 1.0 / d as f64)).sqrt();
+        let malicious_probes: Vec<f64> = agg
+            .probes
+            .iter()
+            .map(|&n_k| {
+                let excess = n_k as f64 - baseline;
+                if excess > self.probe_z * sigma {
+                    excess
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+
+        // Steps 2–4: per-key estimator correction.
+        let malicious_presence = (1.0 - q) / (p - q); // debiased clean "present"
+        let mut frequencies = vec![0.0; d];
+        let mut means = vec![0.0; d];
+        for k in 0..d {
+            let n_k = agg.probes[k] as f64;
+            if n_k == 0.0 {
+                continue;
+            }
+            let m_k = malicious_probes[k].min(n_k - 1.0).max(0.0);
+            let genuine_probes = n_k - m_k;
+            let c_k = agg.presences[k] as f64;
+            let poisoned_f = (c_k / n_k - q) / (p - q);
+            let eta_k = if genuine_probes > 0.0 {
+                m_k / genuine_probes
+            } else {
+                0.0
+            };
+            // Genuine frequency estimator (paper Eq. 19), per key.
+            frequencies[k] = (1.0 + eta_k) * poisoned_f - eta_k * malicious_presence;
+
+            // Mean recovery: strip the m̂_k all-(present, +1) reports from
+            // the counts, then run the standard mean debias.
+            let c_gen = (c_k - m_k).max(0.0);
+            let p_gen = (agg.positives[k] as f64 - m_k).max(0.0);
+            let holders = genuine_probes * frequencies[k].clamp(0.0, 1.0);
+            let holder_present = holders * p;
+            let other_present = (c_gen - holder_present).max(0.0);
+            if holder_present > 0.0 {
+                let rr_m = ((p_gen - other_present * 0.5) / holder_present).clamp(0.0, 1.0);
+                means[k] = (2.0 * (rr_m - q) / (p - q) - 1.0).clamp(-1.0, 1.0);
+            }
+        }
+
+        // Step 3: constraint inference — Σf = 1, f ≥ 0 (Algorithm 1).
+        let frequencies = norm_sub(&frequencies);
+
+        Ok(KvRecovery {
+            frequencies,
+            means,
+            malicious_probes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::M2ga;
+    use crate::protocol::KvReport;
+    use ldp_common::rng::rng_from_seed;
+    use ldp_common::vecmath::is_probability_vector;
+    use ldp_common::Domain;
+
+    fn population(kv: &KvProtocol, n: usize, seed: u64) -> (Vec<KvReport>, Vec<f64>, Vec<f64>) {
+        // Keys 0..4 with geometric-ish frequencies, alternating means.
+        let freqs = [0.4, 0.25, 0.2, 0.1, 0.05];
+        let means = [0.6, -0.6, 0.2, -0.2, 0.0];
+        let mut rng = rng_from_seed(seed);
+        let mut reports = Vec::with_capacity(n);
+        for i in 0..n {
+            let u = (i as f64 + 0.5) / n as f64;
+            let mut acc = 0.0;
+            let mut key = 0;
+            for (k, &f) in freqs.iter().enumerate() {
+                acc += f;
+                if u < acc {
+                    key = k;
+                    break;
+                }
+            }
+            reports.push(kv.perturb(key, means[key], &mut rng).unwrap());
+        }
+        (reports, freqs.to_vec(), means.to_vec())
+    }
+
+    #[test]
+    fn validation() {
+        assert!(KvRecover::new(0.0).is_err());
+        assert!(KvRecover::new(f64::NAN).is_err());
+        assert!(KvRecover::new(2.5).is_ok());
+    }
+
+    #[test]
+    fn recovery_on_clean_data_is_benign() {
+        let domain = Domain::new(5).unwrap();
+        let kv = KvProtocol::new(2.0, domain).unwrap();
+        let (reports, freqs, _) = population(&kv, 200_000, 1);
+        let agg = kv.aggregate(&reports).unwrap();
+        let rec = KvRecover::default().recover(&kv, &agg).unwrap();
+        assert!(is_probability_vector(&rec.frequencies, 1e-9));
+        for (k, &f) in freqs.iter().enumerate() {
+            assert!(
+                (rec.frequencies[k] - f).abs() < 0.04,
+                "key {k}: {} vs {f}",
+                rec.frequencies[k]
+            );
+        }
+        // No probe anomaly ⇒ no malicious mass inferred.
+        assert!(rec.malicious_probes.iter().sum::<f64>() < 0.02 * 200_000.0);
+    }
+
+    #[test]
+    fn recovery_undoes_m2ga_frequency_and_mean_gains() {
+        let domain = Domain::new(5).unwrap();
+        let kv = KvProtocol::new(2.0, domain).unwrap();
+        let n = 200_000usize;
+        let (mut reports, freqs, means) = population(&kv, n, 2);
+        let clean_est = kv.estimate(&kv.aggregate(&reports).unwrap()).unwrap();
+
+        let mut rng = rng_from_seed(3);
+        let attack = M2ga::new(vec![4]); // the rarest key
+        reports.extend(attack.craft(&kv, n / 20, &mut rng));
+        let agg = kv.aggregate(&reports).unwrap();
+        let poisoned = kv.estimate(&agg).unwrap();
+        let recovered = KvRecover::default().recover(&kv, &agg).unwrap();
+
+        // Attack inflated frequency and mean of key 4…
+        assert!(poisoned.frequencies[4] > freqs[4] + 0.1);
+        assert!(poisoned.means[4] > means[4] + 0.3);
+        // …and recovery pulls both most of the way back.
+        let freq_gain_before = poisoned.frequencies[4] - clean_est.frequencies[4];
+        let freq_gain_after = recovered.frequencies[4] - clean_est.frequencies[4];
+        assert!(
+            freq_gain_after.abs() < 0.3 * freq_gain_before,
+            "freq gain {freq_gain_before} -> {freq_gain_after}"
+        );
+        assert!(
+            (recovered.means[4] - means[4]).abs() < (poisoned.means[4] - means[4]).abs(),
+            "mean {} -> {} (true {})",
+            poisoned.means[4],
+            recovered.means[4],
+            means[4]
+        );
+        assert!(is_probability_vector(&recovered.frequencies, 1e-9));
+        // The probe anomaly localized the attack.
+        let inferred: f64 = recovered.malicious_probes[4];
+        assert!(
+            inferred > 0.5 * (n as f64 / 20.0),
+            "inferred {inferred} of {} malicious probes",
+            n / 20
+        );
+    }
+
+    #[test]
+    fn empty_aggregate_rejected() {
+        let domain = Domain::new(3).unwrap();
+        let kv = KvProtocol::new(1.0, domain).unwrap();
+        let agg = kv.aggregate(&[]).unwrap();
+        assert!(KvRecover::default().recover(&kv, &agg).is_err());
+    }
+}

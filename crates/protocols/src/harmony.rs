@@ -1,0 +1,123 @@
+//! Harmony mean estimation over `[−1, 1]` (Nguyên et al. 2016), the case
+//! study of the paper's §VII-A: an aggregation function that decomposes into
+//! binary frequency estimation, and therefore inherits LDPRecover's
+//! recovery guarantees.
+//!
+//! Each user discretizes her value `x ∈ [−1, 1]` into a bit
+//! (`1` with probability `(1+x)/2`, else `0` ≙ `−1`), perturbs the bit with
+//! binary randomized response, and reports it. The server estimates the
+//! frequency `f₁` of bit `1` with the standard pure-protocol debiasing and
+//! converts back: `mean = 2·f₁ − 1`.
+
+use ldp_common::rng::FastBernoulli;
+use ldp_common::{LdpError, Result};
+use rand::Rng;
+
+use crate::rr::BinaryRandomizedResponse;
+use crate::traits::LdpFrequencyProtocol;
+
+/// Harmony single-attribute mean estimation.
+#[derive(Debug, Clone, Copy)]
+pub struct Harmony {
+    rr: BinaryRandomizedResponse,
+}
+
+impl Harmony {
+    /// Builds Harmony for privacy budget `epsilon`.
+    ///
+    /// # Errors
+    /// Propagates ε validation failures.
+    pub fn new(epsilon: f64) -> Result<Self> {
+        Ok(Self {
+            rr: BinaryRandomizedResponse::new(epsilon)?,
+        })
+    }
+
+    /// The underlying binary randomized response protocol; LDPRecover
+    /// operates on this frequency-estimation view.
+    pub fn rr(&self) -> &BinaryRandomizedResponse {
+        &self.rr
+    }
+
+    /// Client side: discretize + perturb one value.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] when `x ∉ [−1, 1]`.
+    pub fn perturb_value<R: Rng + ?Sized>(&self, x: f64, rng: &mut R) -> Result<bool> {
+        if !(-1.0..=1.0).contains(&x) {
+            return Err(LdpError::invalid(format!(
+                "Harmony input must lie in [-1, 1], got {x}"
+            )));
+        }
+        let bit = FastBernoulli::new((1.0 + x) / 2.0).sample(rng);
+        Ok(self.rr.perturb_bit(bit, rng))
+    }
+
+    /// Server side: mean estimate from bit counts
+    /// `counts = [#zeros, #ones]`.
+    ///
+    /// # Errors
+    /// Propagates debiasing validation (wrong shape / zero reports).
+    pub fn estimate_mean(&self, counts: &[u64], total_reports: usize) -> Result<f64> {
+        let freqs = self.rr.params().debias_frequencies(counts, total_reports)?;
+        Ok(Self::frequencies_to_mean(&freqs))
+    }
+
+    /// Converts a (possibly post-processed) binary frequency vector
+    /// `[f₀, f₁]` into the mean estimate `2·f₁ − 1`.
+    ///
+    /// This is the hook LDPRecover uses: recover the binary frequencies
+    /// first, then map back to the mean.
+    pub fn frequencies_to_mean(freqs: &[f64]) -> f64 {
+        assert_eq!(freqs.len(), 2, "Harmony frequency vector must be binary");
+        2.0 * freqs[1] - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_common::rng::rng_from_seed;
+
+    #[test]
+    fn rejects_out_of_range_inputs() {
+        let h = Harmony::new(1.0).unwrap();
+        let mut rng = rng_from_seed(1);
+        assert!(h.perturb_value(1.5, &mut rng).is_err());
+        assert!(h.perturb_value(-1.01, &mut rng).is_err());
+        assert!(h.perturb_value(f64::NAN, &mut rng).is_err());
+        assert!(h.perturb_value(1.0, &mut rng).is_ok());
+        assert!(h.perturb_value(-1.0, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn mean_estimate_is_unbiased() {
+        let h = Harmony::new(1.0).unwrap();
+        let mut rng = rng_from_seed(2);
+        let n = 400_000usize;
+        let true_mean = 0.3;
+        let mut counts = [0u64; 2];
+        for _ in 0..n {
+            // All users hold x = 0.3 exactly.
+            let bit = h.perturb_value(true_mean, &mut rng).unwrap();
+            counts[usize::from(bit)] += 1;
+        }
+        let est = h.estimate_mean(&counts, n).unwrap();
+        // σ of the mean estimate ≈ 2·σ_f1; generous 6σ bound.
+        let sigma = 2.0 * h.rr().params().variance_frequency(0.65, n).sqrt();
+        assert!(
+            (est - true_mean).abs() < 6.0 * sigma,
+            "est={est}, true={true_mean}"
+        );
+    }
+
+    #[test]
+    fn extreme_values_map_to_extreme_means() {
+        let h = Harmony::new(2.0).unwrap();
+        // With f1 = 1 the mean is exactly 1; with f1 = 0 it is −1.
+        assert_eq!(Harmony::frequencies_to_mean(&[0.0, 1.0]), 1.0);
+        assert_eq!(Harmony::frequencies_to_mean(&[1.0, 0.0]), -1.0);
+        assert_eq!(Harmony::frequencies_to_mean(&[0.5, 0.5]), 0.0);
+        let _ = h;
+    }
+}

@@ -1,0 +1,249 @@
+//! The shared `(p, q, d)` algebra of pure LDP protocols.
+//!
+//! Every pure protocol is summarized, for aggregation purposes, by
+//! * `p` — probability that a report supports the reporter's true item,
+//! * `q` — probability that it supports any fixed other item,
+//! * `d` — the domain size.
+//!
+//! The debiased count estimator (paper Eq. (11)), its variance (the general
+//! form of Eqs. (4), (7), (10)), and the malicious-frequency-sum constant of
+//! LDPRecover's learning step (Eq. (21)) are all functions of this triple
+//! alone, which is why it gets its own type: the recovery crate consumes
+//! `PureParams` without knowing which protocol produced the counts.
+
+use ldp_common::{Domain, LdpError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Support probabilities of a pure LDP protocol over a given domain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PureParams {
+    p: f64,
+    q: f64,
+    domain: Domain,
+}
+
+impl PureParams {
+    /// Creates the triple, validating `0 ≤ q < p ≤ 1`.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] when the probabilities are out of
+    /// range or not separated (`p ≤ q` would make debiasing singular).
+    pub fn new(p: f64, q: f64, domain: Domain) -> Result<Self> {
+        if !(p.is_finite() && q.is_finite()) {
+            return Err(LdpError::invalid("p and q must be finite"));
+        }
+        if !(0.0..=1.0).contains(&p) || !(0.0..=1.0).contains(&q) {
+            return Err(LdpError::invalid(format!(
+                "probabilities out of range: p={p}, q={q}"
+            )));
+        }
+        if p <= q {
+            return Err(LdpError::invalid(format!(
+                "pure protocol requires p > q, got p={p}, q={q}"
+            )));
+        }
+        Ok(Self { p, q, domain })
+    }
+
+    /// Probability a report supports the true item.
+    #[inline]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Probability a report supports a fixed non-true item.
+    #[inline]
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// The item domain.
+    #[inline]
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Domain size `d`.
+    #[inline]
+    pub fn d(&self) -> usize {
+        self.domain.size()
+    }
+
+    /// Debiases one raw support count into an estimated *count* of users
+    /// holding the item (paper Eq. (11)): `Φ(v) = (C(v) − N·q)/(p − q)`.
+    #[inline]
+    pub fn debias_count(&self, raw_count: f64, total_reports: f64) -> f64 {
+        (raw_count - total_reports * self.q) / (self.p - self.q)
+    }
+
+    /// Debiases raw support counts into estimated *frequencies*
+    /// `f̃(v) = Φ(v)/N`.
+    ///
+    /// # Errors
+    /// [`LdpError::DomainMismatch`] when the count vector length is not `d`;
+    /// [`LdpError::EmptyInput`] when `total_reports == 0`.
+    pub fn debias_frequencies(&self, raw_counts: &[u64], total_reports: usize) -> Result<Vec<f64>> {
+        self.domain.check_len(raw_counts, "raw support counts")?;
+        if total_reports == 0 {
+            return Err(LdpError::EmptyInput("reports (total_reports == 0)"));
+        }
+        let n = total_reports as f64;
+        Ok(raw_counts
+            .iter()
+            .map(|&c| self.debias_count(c as f64, n) / n)
+            .collect())
+    }
+
+    /// Variance of the debiased *count* estimator for an item of true
+    /// frequency `f`, from `n` genuine reports — the general pure-protocol
+    /// form specializing to the paper's Eqs. (4), (7), (10):
+    ///
+    /// ```text
+    /// Var[Φ(v)] = n·q(1−q)/(p−q)² + n·f(v)·(1−p−q)/(p−q)
+    /// ```
+    pub fn variance_count(&self, f: f64, n: usize) -> f64 {
+        let n = n as f64;
+        let pq = self.p - self.q;
+        n * self.q * (1.0 - self.q) / (pq * pq) + n * f * (1.0 - self.p - self.q) / pq
+    }
+
+    /// Variance of the *frequency* estimator `f̃(v) = Φ(v)/n`.
+    pub fn variance_frequency(&self, f: f64, n: usize) -> f64 {
+        self.variance_count(f, n) / (n as f64 * n as f64)
+    }
+
+    /// The expected sum of malicious aggregated frequencies under the
+    /// adaptive attack (paper Eq. (20)/(21)):
+    ///
+    /// ```text
+    /// Σ_v f̃_Y(v) = (1 − q·d)/(p − q)
+    /// ```
+    ///
+    /// This constant exists because each malicious report bypasses Ψ and
+    /// supports (in expectation) exactly one item, while the aggregation
+    /// step still subtracts `q` per item as if it were genuine.
+    pub fn malicious_frequency_sum(&self) -> f64 {
+        (1.0 - self.q * self.d() as f64) / (self.p - self.q)
+    }
+}
+
+/// Validates a privacy budget.
+///
+/// # Errors
+/// [`LdpError::InvalidParameter`] unless `ε` is finite and strictly positive.
+pub fn check_epsilon(epsilon: f64) -> Result<()> {
+    if epsilon.is_finite() && epsilon > 0.0 {
+        Ok(())
+    } else {
+        Err(LdpError::invalid(format!(
+            "privacy budget must be finite and positive, got {epsilon}"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(p: f64, q: f64, d: usize) -> PureParams {
+        PureParams::new(p, q, Domain::new(d).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn rejects_invalid_probabilities() {
+        let d = Domain::new(4).unwrap();
+        assert!(PureParams::new(0.5, 0.5, d).is_err()); // p == q
+        assert!(PureParams::new(0.3, 0.5, d).is_err()); // p < q
+        assert!(PureParams::new(1.5, 0.5, d).is_err());
+        assert!(PureParams::new(0.5, -0.1, d).is_err());
+        assert!(PureParams::new(f64::NAN, 0.1, d).is_err());
+    }
+
+    #[test]
+    fn debias_inverts_expected_counts() {
+        // If n1 users hold v, E[C(v)] = n1·p + (N − n1)·q; debias must
+        // return exactly n1 at the expectation.
+        let pp = params(0.7, 0.2, 10);
+        let n_total = 1000.0;
+        let n1 = 340.0;
+        let expected_raw = n1 * pp.p() + (n_total - n1) * pp.q();
+        let est = pp.debias_count(expected_raw, n_total);
+        assert!((est - n1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn debias_frequencies_validates_shape() {
+        let pp = params(0.7, 0.2, 3);
+        assert!(pp.debias_frequencies(&[1, 2], 10).is_err());
+        assert!(pp.debias_frequencies(&[1, 2, 3], 0).is_err());
+        let f = pp.debias_frequencies(&[5, 5, 5], 10).unwrap();
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn variance_matches_paper_oue_form() {
+        // For OUE (p = 1/2, q = 1/(e^ε+1)): Eq. (7) says
+        // Var[Φ] = n·4e^ε/(e^ε−1)². The general form must agree at f = 0,
+        // and the f-dependent term vanishes because 1 − p − q = ... != 0;
+        // Eq. (7) is the f→0 approximation the paper states. Check f = 0.
+        let eps: f64 = 0.5;
+        let p = 0.5;
+        let q = 1.0 / (eps.exp() + 1.0);
+        let pp = params(p, q, 100);
+        let n = 10_000;
+        let general = pp.variance_count(0.0, n);
+        let paper = n as f64 * 4.0 * eps.exp() / (eps.exp() - 1.0).powi(2);
+        assert!(
+            (general - paper).abs() / paper < 1e-12,
+            "general={general}, paper={paper}"
+        );
+    }
+
+    #[test]
+    fn variance_matches_paper_grr_form() {
+        // GRR: p = e^ε/(d−1+e^ε), q = 1/(d−1+e^ε); Eq. (4) says
+        // Var[Φ] = n(d−2+e^ε)/(e^ε−1)² + n·f(d−2)/(e^ε−1).
+        let eps: f64 = 0.5;
+        let d = 102usize;
+        let e = eps.exp();
+        let denom = d as f64 - 1.0 + e;
+        let pp = params(e / denom, 1.0 / denom, d);
+        let n = 389_894;
+        for &f in &[0.0, 0.01, 0.3] {
+            let general = pp.variance_count(f, n);
+            let paper = n as f64 * (d as f64 - 2.0 + e) / (e - 1.0).powi(2)
+                + n as f64 * f * (d as f64 - 2.0) / (e - 1.0);
+            assert!(
+                (general - paper).abs() / paper < 1e-10,
+                "f={f}: general={general}, paper={paper}"
+            );
+        }
+    }
+
+    #[test]
+    fn frequency_variance_scales_inverse_n() {
+        let pp = params(0.5, 0.25, 10);
+        let v1 = pp.variance_frequency(0.1, 1000);
+        let v2 = pp.variance_frequency(0.1, 4000);
+        assert!((v1 / v2 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn malicious_sum_constant() {
+        // GRR d=4, ε=ln 3: p = 3/6 = 0.5, q = 1/6.
+        let pp = params(0.5, 1.0 / 6.0, 4);
+        let s = pp.malicious_frequency_sum();
+        let expect = (1.0 - 4.0 / 6.0) / (0.5 - 1.0 / 6.0);
+        assert!((s - expect).abs() < 1e-12);
+        assert!((s - 1.0).abs() < 1e-12); // happens to be exactly 1 here
+    }
+
+    #[test]
+    fn epsilon_validation() {
+        assert!(check_epsilon(0.5).is_ok());
+        assert!(check_epsilon(0.0).is_err());
+        assert!(check_epsilon(-1.0).is_err());
+        assert!(check_epsilon(f64::INFINITY).is_err());
+        assert!(check_epsilon(f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! Binary randomized response (Warner 1965) — the `d = 2` special case of
+//! GRR, packaged separately because Harmony mean estimation (paper §VII-A)
+//! is built directly on it and its reports are single bits.
+
+use ldp_common::rng::FastBernoulli;
+use ldp_common::{Domain, Result};
+use rand::Rng;
+
+use crate::params::{check_epsilon, PureParams};
+use crate::traits::LdpFrequencyProtocol;
+
+/// Binary randomized response with `p = e^ε/(1+e^ε)`.
+#[derive(Debug, Clone, Copy)]
+pub struct BinaryRandomizedResponse {
+    epsilon: f64,
+    params: PureParams,
+    keep_true: FastBernoulli,
+}
+
+impl BinaryRandomizedResponse {
+    /// Builds RR for privacy budget `epsilon`.
+    ///
+    /// # Errors
+    /// Propagates ε validation failures.
+    pub fn new(epsilon: f64) -> Result<Self> {
+        check_epsilon(epsilon)?;
+        let e_eps = epsilon.exp();
+        let p = e_eps / (1.0 + e_eps);
+        let q = 1.0 / (1.0 + e_eps);
+        let params = PureParams::new(p, q, Domain::new(2).expect("binary domain"))?;
+        Ok(Self {
+            epsilon,
+            params,
+            keep_true: FastBernoulli::new(p),
+        })
+    }
+
+    /// Perturbs one bit: keeps it with probability `p`, flips otherwise.
+    #[inline]
+    pub fn perturb_bit<R: Rng + ?Sized>(&self, bit: bool, rng: &mut R) -> bool {
+        if self.keep_true.sample(rng) {
+            bit
+        } else {
+            !bit
+        }
+    }
+}
+
+impl LdpFrequencyProtocol for BinaryRandomizedResponse {
+    type Report = bool;
+
+    fn name(&self) -> &'static str {
+        "RR"
+    }
+
+    fn domain(&self) -> Domain {
+        self.params.domain()
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn params(&self) -> PureParams {
+        self.params
+    }
+
+    fn perturb<R: Rng + ?Sized>(&self, item: usize, rng: &mut R) -> bool {
+        debug_assert!(item < 2, "RR item must be 0 or 1");
+        self.perturb_bit(item == 1, rng)
+    }
+
+    fn encode_clean<R: Rng + ?Sized>(&self, item: usize, _rng: &mut R) -> bool {
+        debug_assert!(item < 2, "RR item must be 0 or 1");
+        item == 1
+    }
+
+    #[inline]
+    fn supports(&self, report: &bool, v: usize) -> bool {
+        usize::from(*report) == v
+    }
+
+    #[inline]
+    fn accumulate(&self, report: &bool, counts: &mut [u64]) {
+        debug_assert_eq!(counts.len(), 2);
+        counts[usize::from(*report)] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_common::rng::rng_from_seed;
+
+    #[test]
+    fn probabilities_are_warner() {
+        let rr = BinaryRandomizedResponse::new(1.0).unwrap();
+        let e = 1.0f64.exp();
+        assert!((rr.params().p() - e / (1.0 + e)).abs() < 1e-15);
+        assert!((rr.params().q() - 1.0 / (1.0 + e)).abs() < 1e-15);
+        assert!((rr.params().p() + rr.params().q() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn keeps_bit_with_probability_p() {
+        let rr = BinaryRandomizedResponse::new(0.5).unwrap();
+        let mut rng = rng_from_seed(1);
+        let n = 200_000;
+        let kept = (0..n).filter(|_| rr.perturb_bit(true, &mut rng)).count();
+        let rate = kept as f64 / n as f64;
+        let p = rr.params().p();
+        let tol = 5.0 * (p * (1.0 - p) / n as f64).sqrt();
+        assert!((rate - p).abs() < tol);
+    }
+
+    #[test]
+    fn support_and_accumulate() {
+        let rr = BinaryRandomizedResponse::new(0.5).unwrap();
+        assert!(rr.supports(&true, 1));
+        assert!(rr.supports(&false, 0));
+        assert!(!rr.supports(&true, 0));
+        let mut counts = [0u64; 2];
+        rr.accumulate(&true, &mut counts);
+        rr.accumulate(&false, &mut counts);
+        rr.accumulate(&true, &mut counts);
+        assert_eq!(counts, [1, 2]);
+    }
+
+    #[test]
+    fn matches_grr_with_domain_two() {
+        use crate::grr::Grr;
+        let rr = BinaryRandomizedResponse::new(0.7).unwrap();
+        let grr = Grr::new(0.7, Domain::new(2).unwrap()).unwrap();
+        assert!((rr.params().p() - grr.params().p()).abs() < 1e-15);
+        assert!((rr.params().q() - grr.params().q()).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,273 @@
+//! `ldp` — run a single LDPRecover experiment cell from the command line.
+//!
+//! ```text
+//! cargo run --release -p ldp-sim --bin ldp -- \
+//!     --dataset ipums --protocol oue --attack mga --targets 10 \
+//!     --beta 0.05 --eta 0.2 --epsilon 0.5 --trials 5 --scale 0.1
+//! ```
+//!
+//! Prints MSE (and FG for targeted attacks) for every recovery arm, plus
+//! the top-10 heavy-hitter recall — the full method comparison of the
+//! paper's Fig. 3/4 for any parameter combination.
+
+use ldp_attacks::AttackKind;
+use ldp_common::{LdpError, Result};
+use ldp_datasets::DatasetKind;
+use ldp_protocols::ProtocolKind;
+use ldp_sim::table::{fmt_mean, fmt_stat};
+use ldp_sim::{run_experiment, ExperimentConfig, PipelineOptions, Table};
+
+const USAGE: &str = "\
+ldp — run one LDPRecover experiment cell
+
+options:
+  --dataset ipums|fire          workload                [ipums]
+  --protocol grr|oue|olh|sue    LDP protocol            [grr]
+  --attack manip|mga|mga-sampled|aa|aa-camo|mga-ipa|multi|none
+                                poisoning attack        [aa]
+  --targets N                   r for targeted attacks / |H| for manip [10]
+  --attackers N                 attackers for `multi`   [5]
+  --beta F                      malicious fraction      [0.05]
+  --eta F                       recovery's assumed m/n  [0.2]
+  --epsilon F                   privacy budget          [0.5]
+  --trials N                    trials to average       [5]
+  --scale F                     population scale (0,1]  [0.1]
+  --seed N                      master seed             [0x1db05eed]
+  --csv                         CSV output
+  --help                        this text";
+
+struct Args {
+    dataset: DatasetKind,
+    protocol: ProtocolKind,
+    attack: Option<AttackKind>,
+    targets: usize,
+    attackers: usize,
+    beta: f64,
+    eta: f64,
+    epsilon: f64,
+    trials: usize,
+    scale: f64,
+    seed: u64,
+    csv: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            dataset: DatasetKind::Ipums,
+            protocol: ProtocolKind::Grr,
+            attack: Some(AttackKind::Adaptive),
+            targets: 10,
+            attackers: 5,
+            beta: 0.05,
+            eta: 0.2,
+            epsilon: 0.5,
+            trials: 5,
+            scale: 0.1,
+            seed: 0x1DB0_5EED,
+            csv: false,
+        }
+    }
+}
+
+fn parse_args<I: Iterator<Item = String>>(mut iter: I) -> Result<Args> {
+    let mut args = Args::default();
+    let mut attack_name = "aa".to_string();
+    let mut explicit_none = false;
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| -> Result<String> {
+            iter.next()
+                .ok_or_else(|| LdpError::invalid(format!("{name} requires a value")))
+        };
+        match flag.as_str() {
+            "--dataset" => {
+                args.dataset = match value("--dataset")?.to_ascii_lowercase().as_str() {
+                    "ipums" => DatasetKind::Ipums,
+                    "fire" => DatasetKind::Fire,
+                    other => return Err(LdpError::invalid(format!("unknown dataset '{other}'"))),
+                };
+            }
+            "--protocol" => args.protocol = ProtocolKind::parse(&value("--protocol")?)?,
+            "--attack" => {
+                attack_name = value("--attack")?.to_ascii_lowercase();
+                explicit_none = attack_name == "none";
+            }
+            "--targets" => args.targets = parse_num(&value("--targets")?, "--targets")?,
+            "--attackers" => args.attackers = parse_num(&value("--attackers")?, "--attackers")?,
+            "--beta" => args.beta = parse_f64(&value("--beta")?, "--beta")?,
+            "--eta" => args.eta = parse_f64(&value("--eta")?, "--eta")?,
+            "--epsilon" => args.epsilon = parse_f64(&value("--epsilon")?, "--epsilon")?,
+            "--trials" => args.trials = parse_num(&value("--trials")?, "--trials")?,
+            "--scale" => args.scale = parse_f64(&value("--scale")?, "--scale")?,
+            "--seed" => args.seed = parse_num(&value("--seed")?, "--seed")? as u64,
+            "--csv" => args.csv = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(LdpError::invalid(format!("unknown flag '{other}'"))),
+        }
+    }
+    args.attack = match attack_name.as_str() {
+        "manip" => Some(AttackKind::Manip { h: args.targets }),
+        "mga" => Some(AttackKind::Mga { r: args.targets }),
+        "mga-sampled" => Some(AttackKind::MgaSampled { r: args.targets }),
+        "aa" => Some(AttackKind::Adaptive),
+        "aa-camo" => Some(AttackKind::AdaptiveCamouflaged),
+        "mga-ipa" => Some(AttackKind::MgaIpa { r: args.targets }),
+        "multi" => Some(AttackKind::MultiAdaptive {
+            attackers: args.attackers,
+        }),
+        "none" => None,
+        other => return Err(LdpError::invalid(format!("unknown attack '{other}'"))),
+    };
+    if explicit_none {
+        args.beta = 0.0;
+    }
+    Ok(args)
+}
+
+fn parse_num(s: &str, flag: &str) -> Result<usize> {
+    s.parse()
+        .map_err(|e| LdpError::invalid(format!("{flag}: {e}")))
+}
+
+fn parse_f64(s: &str, flag: &str) -> Result<f64> {
+    s.parse()
+        .map_err(|e| LdpError::invalid(format!("{flag}: {e}")))
+}
+
+fn main() -> Result<()> {
+    let args = parse_args(std::env::args().skip(1))?;
+    let mut config = ExperimentConfig::paper_default(args.dataset, args.protocol, args.attack);
+    config.beta = if args.attack.is_some() {
+        args.beta
+    } else {
+        0.0
+    };
+    config.eta = args.eta;
+    config.epsilon = args.epsilon;
+    config.trials = args.trials;
+    config.scale = args.scale;
+    config.seed = args.seed;
+    config.validate()?;
+
+    let options = if args.attack.is_some() {
+        PipelineOptions::full_comparison()
+    } else {
+        PipelineOptions::default()
+    };
+    let result = run_experiment(&config, &options)?;
+
+    println!(
+        "cell {}  (dataset={}, eps={}, beta={}, eta={}, trials={}, scale={})\n",
+        config.label(),
+        args.dataset,
+        args.epsilon,
+        config.beta,
+        args.eta,
+        args.trials,
+        args.scale
+    );
+
+    let mut table = Table::new(["metric", "before", "Detection", "LDPRecover", "LDPRecover*"]);
+    table.push_row([
+        "MSE".to_string(),
+        fmt_mean(&result.mse_before),
+        fmt_stat(&result.mse_detection),
+        fmt_mean(&result.mse_recover),
+        fmt_stat(&result.mse_star),
+    ]);
+    if result.fg_before.is_some() {
+        table.push_row([
+            "FG".to_string(),
+            fmt_stat(&result.fg_before),
+            fmt_stat(&result.fg_detection),
+            fmt_stat(&result.fg_recover),
+            fmt_stat(&result.fg_star),
+        ]);
+    }
+    if args.csv {
+        print!("{}", table.render_csv());
+    } else {
+        print!("{}", table.render());
+    }
+    println!(
+        "\nnoise floor (genuine estimate MSE): {}",
+        fmt_mean(&result.mse_genuine)
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.dataset, DatasetKind::Ipums);
+        assert_eq!(a.protocol, ProtocolKind::Grr);
+        assert_eq!(a.attack, Some(AttackKind::Adaptive));
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let a = parse(&[
+            "--dataset",
+            "fire",
+            "--protocol",
+            "oue",
+            "--attack",
+            "mga",
+            "--targets",
+            "7",
+            "--beta",
+            "0.1",
+            "--eta",
+            "0.3",
+            "--epsilon",
+            "1.0",
+            "--trials",
+            "2",
+            "--scale",
+            "0.05",
+            "--seed",
+            "9",
+            "--csv",
+        ])
+        .unwrap();
+        assert_eq!(a.dataset, DatasetKind::Fire);
+        assert_eq!(a.protocol, ProtocolKind::Oue);
+        assert_eq!(a.attack, Some(AttackKind::Mga { r: 7 }));
+        assert_eq!(a.beta, 0.1);
+        assert!(a.csv);
+    }
+
+    #[test]
+    fn attack_none_zeroes_beta() {
+        let a = parse(&["--attack", "none"]).unwrap();
+        assert!(a.attack.is_none());
+        assert_eq!(a.beta, 0.0);
+    }
+
+    #[test]
+    fn targets_apply_regardless_of_flag_order() {
+        let a = parse(&["--attack", "mga", "--targets", "3"]).unwrap();
+        assert_eq!(a.attack, Some(AttackKind::Mga { r: 3 }));
+        let b = parse(&["--targets", "3", "--attack", "manip"]).unwrap();
+        assert_eq!(b.attack, Some(AttackKind::Manip { h: 3 }));
+    }
+
+    #[test]
+    fn rejects_unknown_inputs() {
+        assert!(parse(&["--dataset", "census"]).is_err());
+        assert!(parse(&["--attack", "ddos"]).is_err());
+        assert!(parse(&["--beta"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+    }
+}

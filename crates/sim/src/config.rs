@@ -1,0 +1,239 @@
+//! Declarative experiment configuration.
+
+use ldp_attacks::AttackKind;
+use ldp_common::{LdpError, Result};
+use ldp_datasets::DatasetKind;
+use ldp_protocols::ProtocolKind;
+use ldprecover::{KMeansDefense, MaliciousSumModel, PostProcess};
+use serde::{Deserialize, Serialize};
+
+/// One cell of the paper's evaluation grid.
+///
+/// Defaults mirror §VI-A: ε = 0.5, β = 0.05, η = 0.2, 10 trials,
+/// full-scale population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Which evaluation workload.
+    pub dataset: DatasetKind,
+    /// Which LDP protocol.
+    pub protocol: ProtocolKind,
+    /// Privacy budget ε.
+    pub epsilon: f64,
+    /// The poisoning attack, or `None` for the unpoisoned baseline
+    /// (Table I).
+    pub attack: Option<AttackKind>,
+    /// Fraction of malicious users β = m/(n+m).
+    pub beta: f64,
+    /// The recovery methods' assumed ratio η = m/n.
+    pub eta: f64,
+    /// Number of independent trials to average over.
+    pub trials: usize,
+    /// Population scale factor in (0, 1] (see `Dataset::subsample`).
+    pub scale: f64,
+    /// Master seed; per-trial streams are derived from it.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The paper's default cell for a given dataset/protocol/attack.
+    pub fn paper_default(
+        dataset: DatasetKind,
+        protocol: ProtocolKind,
+        attack: Option<AttackKind>,
+    ) -> Self {
+        Self {
+            dataset,
+            protocol,
+            epsilon: 0.5,
+            attack,
+            beta: 0.05,
+            eta: 0.2,
+            trials: 10,
+            scale: 1.0,
+            seed: 0x1DB0_5EED,
+        }
+    }
+
+    /// Validates the numeric ranges.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] for out-of-range ε, β, η, scale, or a
+    /// zero trial count.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.epsilon.is_finite() && self.epsilon > 0.0) {
+            return Err(LdpError::invalid(format!("epsilon = {}", self.epsilon)));
+        }
+        if !(0.0..1.0).contains(&self.beta) {
+            return Err(LdpError::invalid(format!(
+                "beta must be in [0,1), got {}",
+                self.beta
+            )));
+        }
+        if !(self.eta.is_finite() && self.eta >= 0.0) {
+            return Err(LdpError::invalid(format!("eta = {}", self.eta)));
+        }
+        if self.trials == 0 {
+            return Err(LdpError::invalid("trials must be ≥ 1"));
+        }
+        if !(self.scale > 0.0 && self.scale <= 1.0) {
+            return Err(LdpError::invalid(format!(
+                "scale must be in (0,1], got {}",
+                self.scale
+            )));
+        }
+        if self.attack.is_none() && self.beta > 0.0 {
+            return Err(LdpError::invalid(
+                "beta > 0 requires an attack; set beta = 0 for the unpoisoned baseline",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Number of malicious users for `n` genuine ones:
+    /// `m = round(β/(1−β)·n)` (so that β = m/(n+m)).
+    pub fn malicious_count(&self, genuine: usize) -> usize {
+        if self.attack.is_none() || self.beta == 0.0 {
+            return 0;
+        }
+        ((self.beta / (1.0 - self.beta)) * genuine as f64).round() as usize
+    }
+
+    /// Human-readable cell label, e.g. `"MGA-GRR"` (the paper's x-axis
+    /// naming) or `"unpoisoned-GRR"`.
+    pub fn label(&self) -> String {
+        match &self.attack {
+            Some(attack) => format!("{}-{}", attack.label(), self.protocol),
+            None => format!("unpoisoned-{}", self.protocol),
+        }
+    }
+}
+
+/// Which optional arms a pipeline run executes beyond plain LDPRecover.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineOptions {
+    /// Run LDPRecover\* (partial knowledge: oracle targets for targeted
+    /// attacks, the paper's top-r/2-increase rule otherwise).
+    pub run_star: bool,
+    /// Run the Detection baseline (requires retaining reports).
+    pub run_detection: bool,
+    /// Run the k-means defense and LDPRecover-KM (requires retaining
+    /// reports; used for the Fig. 9 IPA experiments).
+    pub kmeans: Option<KMeansDefense>,
+    /// Number of identified targets for untargeted attacks in the
+    /// partial-knowledge arm (the paper uses r/2 = 5).
+    pub star_top_k: usize,
+    /// Malicious-sum model ablation (default: the paper's Eq. 21).
+    pub sum_model: MaliciousSumModel,
+    /// Refinement ablation (default: norm-sub, the paper's Algorithm 1).
+    pub post_process: PostProcess,
+}
+
+impl PipelineOptions {
+    /// The full method set of the paper's Fig. 3/4: before + Detection +
+    /// LDPRecover + LDPRecover\*.
+    pub fn full_comparison() -> Self {
+        Self {
+            run_star: true,
+            run_detection: true,
+            star_top_k: 5,
+            ..Self::default()
+        }
+    }
+
+    /// Recovery-only (the Fig. 5/6 parameter sweeps).
+    pub fn recovery_only() -> Self {
+        Self {
+            run_star: true,
+            star_top_k: 5,
+            ..Self::default()
+        }
+    }
+
+    /// Whether any configured arm needs per-report retention.
+    pub fn needs_reports(&self) -> bool {
+        self.run_detection || self.kmeans.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> ExperimentConfig {
+        ExperimentConfig::paper_default(
+            DatasetKind::Ipums,
+            ProtocolKind::Grr,
+            Some(AttackKind::Adaptive),
+        )
+    }
+
+    #[test]
+    fn paper_defaults_match_section_vi() {
+        let c = base();
+        assert_eq!(c.epsilon, 0.5);
+        assert_eq!(c.beta, 0.05);
+        assert_eq!(c.eta, 0.2);
+        assert_eq!(c.trials, 10);
+        assert_eq!(c.scale, 1.0);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_ranges() {
+        for mutate in [
+            |c: &mut ExperimentConfig| c.epsilon = 0.0,
+            |c: &mut ExperimentConfig| c.beta = 1.0,
+            |c: &mut ExperimentConfig| c.beta = -0.1,
+            |c: &mut ExperimentConfig| c.eta = -1.0,
+            |c: &mut ExperimentConfig| c.trials = 0,
+            |c: &mut ExperimentConfig| c.scale = 0.0,
+            |c: &mut ExperimentConfig| c.scale = 1.2,
+            |c: &mut ExperimentConfig| c.attack = None, // beta stays 0.05
+        ] {
+            let mut c = base();
+            mutate(&mut c);
+            assert!(c.validate().is_err(), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn unpoisoned_baseline_is_legal() {
+        let mut c = base();
+        c.attack = None;
+        c.beta = 0.0;
+        assert!(c.validate().is_ok());
+        assert_eq!(c.malicious_count(1000), 0);
+        assert_eq!(c.label(), "unpoisoned-GRR");
+    }
+
+    #[test]
+    fn malicious_count_inverts_beta() {
+        let mut c = base();
+        c.beta = 0.05;
+        let n = 389_894usize;
+        let m = c.malicious_count(n);
+        let beta_realized = m as f64 / (n + m) as f64;
+        assert!((beta_realized - 0.05).abs() < 1e-6, "beta={beta_realized}");
+    }
+
+    #[test]
+    fn labels_match_figure_axes() {
+        let c = base();
+        assert_eq!(c.label(), "AA-GRR");
+        let mut c2 = base();
+        c2.attack = Some(AttackKind::Mga { r: 10 });
+        c2.protocol = ProtocolKind::Oue;
+        assert_eq!(c2.label(), "MGA-OUE");
+    }
+
+    #[test]
+    fn options_report_retention() {
+        assert!(!PipelineOptions::recovery_only().needs_reports());
+        assert!(PipelineOptions::full_comparison().needs_reports());
+        let km = PipelineOptions {
+            kmeans: Some(KMeansDefense::default()),
+            ..Default::default()
+        };
+        assert!(km.needs_reports());
+    }
+}

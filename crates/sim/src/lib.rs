@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! Simulation pipeline for the LDPRecover reproduction.
+//!
+//! Orchestrates one full evaluation trial exactly as the paper's §VI does:
+//!
+//! 1. materialize a dataset (genuine users' items),
+//! 2. perturb every genuine item with the configured LDP protocol,
+//! 3. craft malicious reports with the configured poisoning attack,
+//! 4. aggregate genuine / malicious / poisoned frequency estimates,
+//! 5. run the recovery arms (LDPRecover, LDPRecover\*, Detection, and the
+//!    k-means defenses where configured),
+//! 6. score everything with the paper's metrics (MSE, Eq. 36; FG, Eq. 37).
+//!
+//! * [`config::ExperimentConfig`] — declarative experiment description
+//!   (dataset, protocol, ε, attack, β, η, trials, scale, master seed).
+//! * [`pipeline`] — a single trial, split into the expensive aggregation
+//!   half ([`pipeline::TrialAggregates`]) and the cheap recovery half so
+//!   parameter sweeps (e.g. over η) can reuse aggregations.
+//! * [`runner`] — multi-trial execution with derived per-trial seeds and
+//!   [`metrics::Stats`] summaries.
+//! * [`table`] — fixed-width / CSV rendering for the experiment binaries.
+
+pub mod config;
+pub mod metrics;
+pub mod pipeline;
+pub mod runner;
+pub mod table;
+
+pub use config::{ExperimentConfig, PipelineOptions};
+pub use metrics::{frequency_gain, top_k_recall, Stats};
+pub use pipeline::{TrialAggregates, TrialResult};
+pub use runner::{run_experiment, ExperimentResult};
+pub use table::Table;

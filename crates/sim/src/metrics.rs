@@ -1,0 +1,175 @@
+//! The paper's evaluation metrics and trial-summary statistics.
+
+use ldp_common::{LdpError, Result};
+
+/// Mean squared error between two frequency vectors (paper Eq. 36).
+///
+/// Re-exported from `ldp_common::vecmath` for a single import site in the
+/// experiment binaries.
+pub use ldp_common::vecmath::mse;
+
+/// Frequency gain (paper Eq. 37): the summed increase of the target items'
+/// frequencies in `observed` relative to the genuine aggregated baseline.
+///
+/// Note the paper's Eq. (37) prints the operands as `f̃_X̃(t) − f̃*_Z(t)`,
+/// which would be negative for frequency-*boosting* attacks; its prose and
+/// reported magnitudes ("FG denotes the increase…") correspond to
+/// `observed − genuine`, which is what we compute.
+///
+/// # Errors
+/// [`LdpError::DomainMismatch`] on vector-length mismatch or out-of-range
+/// targets; [`LdpError::EmptyInput`] for an empty target set.
+pub fn frequency_gain(observed: &[f64], genuine: &[f64], targets: &[usize]) -> Result<f64> {
+    if observed.len() != genuine.len() {
+        return Err(LdpError::DomainMismatch {
+            expected: genuine.len(),
+            got: observed.len(),
+            context: "frequency gain",
+        });
+    }
+    if targets.is_empty() {
+        return Err(LdpError::EmptyInput("frequency-gain targets"));
+    }
+    let mut gain = 0.0;
+    for &t in targets {
+        if t >= observed.len() {
+            return Err(LdpError::DomainMismatch {
+                expected: observed.len(),
+                got: t,
+                context: "frequency-gain target index",
+            });
+        }
+        gain += observed[t] - genuine[t];
+    }
+    Ok(gain)
+}
+
+/// Top-k heavy-hitter identification quality: the fraction of the true
+/// top-k items that also appear in the estimate's top-k (recall == precision
+/// at equal k).
+///
+/// This is the downstream statistic the paper's introduction motivates:
+/// targeted poisoning "promotes items as popular items", i.e. corrupts
+/// exactly this set; recovery should restore it.
+///
+/// # Errors
+/// [`LdpError::DomainMismatch`] on length mismatch;
+/// [`LdpError::InvalidParameter`] when `k` is 0 or exceeds the domain.
+pub fn top_k_recall(estimate: &[f64], truth: &[f64], k: usize) -> Result<f64> {
+    if estimate.len() != truth.len() {
+        return Err(LdpError::DomainMismatch {
+            expected: truth.len(),
+            got: estimate.len(),
+            context: "top-k recall",
+        });
+    }
+    if k == 0 || k > truth.len() {
+        return Err(LdpError::invalid(format!(
+            "k must be in 1..={}, got {k}",
+            truth.len()
+        )));
+    }
+    let top_est = ldp_common::vecmath::top_k_indices(estimate, k);
+    let top_true = ldp_common::vecmath::top_k_indices(truth, k);
+    let true_set: std::collections::HashSet<usize> = top_true.into_iter().collect();
+    let hits = top_est.iter().filter(|v| true_set.contains(v)).count();
+    Ok(hits as f64 / k as f64)
+}
+
+/// Mean ± std summary over trials.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Stats {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single trial).
+    pub std: f64,
+    /// Number of trials folded in.
+    pub count: usize,
+}
+
+impl Stats {
+    /// Summarizes a slice of per-trial values.
+    ///
+    /// # Panics
+    /// Panics on an empty slice (harness bug).
+    pub fn from_values(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "no trial values to summarize");
+        let mut rm = ldp_common::stats::RunningMoments::new();
+        for &v in values {
+            rm.push(v);
+        }
+        Self {
+            mean: rm.mean(),
+            std: rm.std_dev(),
+            count: values.len(),
+        }
+    }
+
+    /// Summarizes an optional metric: `None` when no trial produced it.
+    pub fn from_optional(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            None
+        } else {
+            Some(Self::from_values(values))
+        }
+    }
+}
+
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3e} ±{:.1e}", self.mean, self.std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequency_gain_sums_target_increases() {
+        let genuine = [0.1, 0.2, 0.3, 0.4];
+        let observed = [0.15, 0.25, 0.28, 0.4];
+        let fg = frequency_gain(&observed, &genuine, &[0, 1]).unwrap();
+        assert!((fg - 0.1).abs() < 1e-12);
+        // A recovered vector *below* genuine yields negative FG
+        // (the LDPRecover* phenomenon in Fig. 4).
+        let fg = frequency_gain(&observed, &genuine, &[2]).unwrap();
+        assert!(fg < 0.0);
+    }
+
+    #[test]
+    fn frequency_gain_validation() {
+        assert!(frequency_gain(&[0.1], &[0.1, 0.2], &[0]).is_err());
+        assert!(frequency_gain(&[0.1, 0.2], &[0.1, 0.2], &[]).is_err());
+        assert!(frequency_gain(&[0.1, 0.2], &[0.1, 0.2], &[2]).is_err());
+    }
+
+    #[test]
+    fn top_k_recall_counts_overlap() {
+        let truth = [0.4, 0.3, 0.2, 0.1];
+        // Estimate swaps ranks 2 and 3.
+        let estimate = [0.4, 0.3, 0.1, 0.2];
+        assert_eq!(top_k_recall(&estimate, &truth, 2).unwrap(), 1.0);
+        assert_eq!(top_k_recall(&estimate, &truth, 3).unwrap(), 2.0 / 3.0);
+        assert_eq!(top_k_recall(&estimate, &truth, 4).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn top_k_recall_validation() {
+        assert!(top_k_recall(&[0.1], &[0.1, 0.2], 1).is_err());
+        assert!(top_k_recall(&[0.1, 0.2], &[0.1, 0.2], 0).is_err());
+        assert!(top_k_recall(&[0.1, 0.2], &[0.1, 0.2], 3).is_err());
+    }
+
+    #[test]
+    fn stats_summary() {
+        let s = Stats::from_values(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.count, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.std - 1.0).abs() < 1e-12);
+        assert!(Stats::from_optional(&[]).is_none());
+        assert!(Stats::from_optional(&[1.0]).is_some());
+        // Display renders scientific notation.
+        assert!(format!("{s}").contains('e'));
+    }
+}

@@ -1,0 +1,354 @@
+//! One evaluation trial: aggregation (expensive) + recovery arms (cheap).
+//!
+//! The split matters for the parameter sweeps: the η sweep of Fig. 5/6
+//! re-runs only [`apply_recoveries`] on a shared [`TrialAggregates`], while
+//! β and ε sweeps re-aggregate (the perturbation itself changes).
+
+use ldp_common::Result;
+use ldp_protocols::{AnyProtocol, CountAccumulator, LdpFrequencyProtocol, PureParams, Report};
+use ldprecover::{top_k_increase, Detection, LdpRecover};
+use rand::Rng;
+
+use crate::config::{ExperimentConfig, PipelineOptions};
+
+/// The expensive half of a trial: everything up to the frequency estimates.
+#[derive(Debug, Clone)]
+pub struct TrialAggregates {
+    /// The protocol instance (parameters feed the recovery arms).
+    pub protocol: AnyProtocol,
+    /// Ground-truth item frequencies `f_X` of the genuine population.
+    pub true_freqs: Vec<f64>,
+    /// Genuine aggregated estimate `f̃_X̃` (the FG baseline of Eq. 37).
+    pub genuine_freqs: Vec<f64>,
+    /// Poisoned aggregated estimate `f̃_Z`.
+    pub poisoned_freqs: Vec<f64>,
+    /// True malicious aggregated estimate `f̃_Y` (Fig. 7 ground truth);
+    /// `None` without an attack.
+    pub malicious_true_freqs: Option<Vec<f64>>,
+    /// The attack's true target set, if targeted.
+    pub attack_targets: Option<Vec<usize>>,
+    /// Retained reports (genuine then malicious) when an arm needs them.
+    pub reports: Option<Vec<Report>>,
+    /// Number of genuine users `n`.
+    pub genuine_count: usize,
+    /// Number of malicious users `m`.
+    pub malicious_count: usize,
+}
+
+impl TrialAggregates {
+    /// Protocol parameters shorthand.
+    pub fn params(&self) -> PureParams {
+        self.protocol.params()
+    }
+}
+
+/// Everything a trial produces, ready for metric extraction.
+#[derive(Debug, Clone)]
+pub struct TrialResult {
+    /// Ground-truth frequencies `f_X`.
+    pub true_freqs: Vec<f64>,
+    /// Genuine aggregated estimate `f̃_X̃`.
+    pub genuine: Vec<f64>,
+    /// Poisoned aggregated estimate `f̃_Z` ("before recovery").
+    pub poisoned: Vec<f64>,
+    /// LDPRecover output.
+    pub recovered: Vec<f64>,
+    /// LDPRecover\* output (partial knowledge), when run.
+    pub recovered_star: Option<Vec<f64>>,
+    /// Detection baseline output, when run and non-degenerate.
+    pub detection: Option<Vec<f64>>,
+    /// k-means defense estimate, when configured.
+    pub kmeans: Option<Vec<f64>>,
+    /// LDPRecover-KM output, when configured.
+    pub recover_km: Option<Vec<f64>>,
+    /// LDPRecover's malicious estimate `f̃′_Y` (Fig. 7).
+    pub malicious_estimate: Vec<f64>,
+    /// LDPRecover\*'s malicious estimate `f̃*_Y` (Fig. 7), when run.
+    pub malicious_estimate_star: Option<Vec<f64>>,
+    /// True malicious aggregated frequencies `f̃_Y`, when attacked.
+    pub malicious_true: Option<Vec<f64>>,
+    /// The target set the partial-knowledge arms used (oracle targets for
+    /// targeted attacks, top-k-increase identification otherwise).
+    pub star_targets: Option<Vec<usize>>,
+    /// The attack's true targets (FG measurement).
+    pub attack_targets: Option<Vec<usize>>,
+}
+
+/// Runs the aggregation half of one trial.
+///
+/// # Errors
+/// Propagates configuration validation, dataset generation, and estimation
+/// failures.
+pub fn run_aggregation<R: Rng>(
+    config: &ExperimentConfig,
+    options: &PipelineOptions,
+    rng: &mut R,
+) -> Result<TrialAggregates> {
+    config.validate()?;
+    let dataset = config.dataset.generate(config.scale, rng)?;
+    let domain = dataset.domain();
+    let protocol = config.protocol.build(config.epsilon, domain)?;
+    let params = protocol.params();
+    let n = dataset.len();
+    let m = config.malicious_count(n);
+
+    let mut reports: Option<Vec<Report>> =
+        options.needs_reports().then(|| Vec::with_capacity(n + m));
+
+    // Genuine users run Ψ.
+    let mut genuine_acc = CountAccumulator::new(domain);
+    for &item in dataset.items() {
+        let report = protocol.perturb(item as usize, rng);
+        genuine_acc.add(&protocol, &report);
+        if let Some(buf) = reports.as_mut() {
+            buf.push(report);
+        }
+    }
+    let genuine_freqs = genuine_acc.frequencies(params)?;
+
+    // Malicious users bypass Ψ (or, for IPA attacks, run it on adversarial
+    // inputs — the attack decides).
+    let mut poisoned_acc = genuine_acc;
+    let (malicious_true_freqs, attack_targets) = if m > 0 {
+        let attack_kind = config
+            .attack
+            .expect("validated: beta > 0 implies an attack");
+        let attack = attack_kind.instantiate(domain, rng);
+        let crafted = attack.craft(&protocol, m, rng);
+        let mut malicious_acc = CountAccumulator::new(domain);
+        malicious_acc.add_all(&protocol, &crafted);
+        poisoned_acc.merge(&malicious_acc);
+        let targets = attack.targets().map(<[usize]>::to_vec);
+        if let Some(buf) = reports.as_mut() {
+            buf.extend(crafted);
+        }
+        (Some(malicious_acc.frequencies(params)?), targets)
+    } else {
+        (None, None)
+    };
+    let poisoned_freqs = poisoned_acc.frequencies(params)?;
+
+    Ok(TrialAggregates {
+        protocol,
+        true_freqs: dataset.true_frequencies(),
+        genuine_freqs,
+        poisoned_freqs,
+        malicious_true_freqs,
+        attack_targets,
+        reports,
+        genuine_count: n,
+        malicious_count: m,
+    })
+}
+
+/// Runs the recovery arms on an aggregation.
+///
+/// # Errors
+/// Propagates recovery validation. A Detection arm that flags *every*
+/// report degrades to `None` rather than failing the trial.
+pub fn apply_recoveries<R: Rng>(
+    aggregates: &TrialAggregates,
+    eta: f64,
+    options: &PipelineOptions,
+    rng: &mut R,
+) -> Result<TrialResult> {
+    let params = aggregates.params();
+    let recover = LdpRecover::new(eta)?
+        .with_sum_model(options.sum_model)
+        .with_post_process(options.post_process);
+
+    // Plain LDPRecover: no attack knowledge.
+    let outcome = recover.recover(&aggregates.poisoned_freqs, params)?;
+
+    // Partial knowledge: oracle targets when the attack is targeted, the
+    // paper's top-k-increase identification otherwise (the pre-attack
+    // reference is the genuine estimate, standing in for the "historical
+    // data" of §V-D).
+    let star_targets: Option<Vec<usize>> = if options.run_star {
+        match &aggregates.attack_targets {
+            Some(targets) => Some(targets.clone()),
+            None if aggregates.malicious_count > 0 => top_k_increase(
+                &aggregates.poisoned_freqs,
+                &aggregates.genuine_freqs,
+                options.star_top_k.max(1),
+            )
+            .ok(),
+            None => None,
+        }
+    } else {
+        None
+    };
+
+    let star_outcome = match &star_targets {
+        Some(targets) => Some(
+            recover
+                .clone()
+                .with_targets(targets.clone())
+                .recover(&aggregates.poisoned_freqs, params)?,
+        ),
+        None => None,
+    };
+
+    // Detection baseline (needs reports + targets).
+    let detection = match (&star_targets, &aggregates.reports) {
+        (Some(targets), Some(reports)) if options.run_detection => Detection::new(targets.clone())
+            .and_then(|det| det.recover(&aggregates.protocol, reports))
+            .ok(),
+        _ => None,
+    };
+
+    // k-means defense + LDPRecover-KM (the Fig. 9 arms); one clustering
+    // pass serves both.
+    let (kmeans, recover_km) = match (&options.kmeans, &aggregates.reports) {
+        (Some(defense), Some(reports)) => {
+            let km = defense.run(&aggregates.protocol, reports, rng)?;
+            let km_rec = ldprecover::KMeansDefense::recover_from_outcome(
+                &recover,
+                &aggregates.protocol,
+                reports,
+                &km,
+            )?;
+            (Some(km.genuine_estimate), Some(km_rec.frequencies))
+        }
+        _ => (None, None),
+    };
+
+    Ok(TrialResult {
+        true_freqs: aggregates.true_freqs.clone(),
+        genuine: aggregates.genuine_freqs.clone(),
+        poisoned: aggregates.poisoned_freqs.clone(),
+        recovered: outcome.frequencies,
+        recovered_star: star_outcome.as_ref().map(|o| o.frequencies.clone()),
+        detection,
+        kmeans,
+        recover_km,
+        malicious_estimate: outcome.malicious_estimate,
+        malicious_estimate_star: star_outcome.map(|o| o.malicious_estimate),
+        malicious_true: aggregates.malicious_true_freqs.clone(),
+        star_targets,
+        attack_targets: aggregates.attack_targets.clone(),
+    })
+}
+
+/// Convenience: aggregation + recovery in one call.
+///
+/// # Errors
+/// Propagates both halves.
+pub fn run_trial<R: Rng>(
+    config: &ExperimentConfig,
+    options: &PipelineOptions,
+    rng: &mut R,
+) -> Result<TrialResult> {
+    let aggregates = run_aggregation(config, options, rng)?;
+    apply_recoveries(&aggregates, config.eta, options, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_attacks::AttackKind;
+    use ldp_common::rng::rng_from_seed;
+    use ldp_common::vecmath::is_probability_vector;
+    use ldp_datasets::DatasetKind;
+    use ldp_protocols::ProtocolKind;
+
+    fn small_config(attack: Option<AttackKind>) -> ExperimentConfig {
+        let mut c = ExperimentConfig::paper_default(DatasetKind::Ipums, ProtocolKind::Grr, attack);
+        c.scale = 0.02; // ~7.8k genuine users: fast but statistically alive
+        if attack.is_none() {
+            c.beta = 0.0;
+        }
+        c
+    }
+
+    #[test]
+    fn aggregation_shapes_and_counts() {
+        let config = small_config(Some(AttackKind::Adaptive));
+        let options = PipelineOptions::recovery_only();
+        let mut rng = rng_from_seed(1);
+        let agg = run_aggregation(&config, &options, &mut rng).unwrap();
+        let d = 102;
+        assert_eq!(agg.true_freqs.len(), d);
+        assert_eq!(agg.genuine_freqs.len(), d);
+        assert_eq!(agg.poisoned_freqs.len(), d);
+        assert!(agg.reports.is_none(), "recovery-only retains no reports");
+        assert!(agg.malicious_count > 0);
+        let beta = agg.malicious_count as f64 / (agg.genuine_count + agg.malicious_count) as f64;
+        assert!((beta - 0.05).abs() < 0.001);
+        assert!(agg.malicious_true_freqs.is_some());
+        assert!(agg.attack_targets.is_none(), "AA is untargeted");
+    }
+
+    #[test]
+    fn unpoisoned_trial_has_no_malicious_artifacts() {
+        let config = small_config(None);
+        let mut rng = rng_from_seed(2);
+        let result = run_trial(&config, &PipelineOptions::default(), &mut rng).unwrap();
+        assert!(result.malicious_true.is_none());
+        assert!(result.star_targets.is_none());
+        assert!(result.recovered_star.is_none());
+        // Poisoned == genuine without an attack.
+        assert_eq!(result.poisoned, result.genuine);
+        assert!(is_probability_vector(&result.recovered, 1e-9));
+    }
+
+    #[test]
+    fn targeted_trial_produces_all_arms() {
+        let mut config = small_config(Some(AttackKind::Mga { r: 10 }));
+        config.protocol = ProtocolKind::Oue;
+        let options = PipelineOptions::full_comparison();
+        let mut rng = rng_from_seed(3);
+        let result = run_trial(&config, &options, &mut rng).unwrap();
+        assert!(is_probability_vector(&result.recovered, 1e-9));
+        let star = result.recovered_star.as_ref().expect("star arm");
+        assert!(is_probability_vector(star, 1e-9));
+        assert!(result.detection.is_some(), "detection arm");
+        assert_eq!(result.star_targets, result.attack_targets);
+        assert_eq!(result.attack_targets.as_ref().unwrap().len(), 10);
+    }
+
+    #[test]
+    fn untargeted_star_uses_top_k_identification() {
+        let config = small_config(Some(AttackKind::Adaptive));
+        let options = PipelineOptions::recovery_only();
+        let mut rng = rng_from_seed(4);
+        let result = run_trial(&config, &options, &mut rng).unwrap();
+        let idented = result.star_targets.as_ref().expect("identified targets");
+        assert_eq!(idented.len(), 5, "paper's r/2 = 5 rule");
+        assert!(result.attack_targets.is_none());
+    }
+
+    #[test]
+    fn recovery_beats_poisoning_on_average() {
+        // The headline claim at miniature scale: MSE(recovered) <
+        // MSE(poisoned) for an adaptive attack (averaged over trials to
+        // damp noise).
+        let config = small_config(Some(AttackKind::Adaptive));
+        let options = PipelineOptions::recovery_only();
+        let mut before = 0.0;
+        let mut after = 0.0;
+        for trial in 0..5u64 {
+            let mut rng = rng_from_seed(100 + trial);
+            let r = run_trial(&config, &options, &mut rng).unwrap();
+            before += crate::metrics::mse(&r.poisoned, &r.true_freqs);
+            after += crate::metrics::mse(&r.recovered, &r.true_freqs);
+        }
+        assert!(
+            after < before,
+            "after={after}, before={before} (summed over 5 trials)"
+        );
+    }
+
+    #[test]
+    fn eta_sweep_reuses_aggregation() {
+        let config = small_config(Some(AttackKind::Adaptive));
+        let options = PipelineOptions::recovery_only();
+        let mut rng = rng_from_seed(5);
+        let agg = run_aggregation(&config, &options, &mut rng).unwrap();
+        let r1 = apply_recoveries(&agg, 0.05, &options, &mut rng).unwrap();
+        let r2 = apply_recoveries(&agg, 0.4, &options, &mut rng).unwrap();
+        // Same aggregation, different recovery knobs.
+        assert_eq!(r1.poisoned, r2.poisoned);
+        assert_ne!(r1.recovered, r2.recovered);
+    }
+}

@@ -1,0 +1,315 @@
+//! Multi-trial experiment execution.
+//!
+//! Each trial gets an independent RNG stream derived from the master seed
+//! (`derive_seed(seed, trial)`), so experiments are reproducible and
+//! individual trials can be re-run in isolation.
+
+use ldp_common::rng::{derive_seed, rng_from_seed};
+use ldp_common::Result;
+
+use crate::config::{ExperimentConfig, PipelineOptions};
+use crate::metrics::{frequency_gain, mse, Stats};
+use crate::pipeline::{apply_recoveries, run_aggregation, TrialResult};
+
+/// Per-method MSE / FG summaries for one experiment cell.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// The configuration that produced this result.
+    pub config: ExperimentConfig,
+    /// MSE of the *genuine* (unpoisoned) estimate — the LDP noise floor.
+    pub mse_genuine: Stats,
+    /// MSE of the poisoned estimate ("before recovery").
+    pub mse_before: Stats,
+    /// MSE of LDPRecover.
+    pub mse_recover: Stats,
+    /// MSE of LDPRecover\*, when run.
+    pub mse_star: Option<Stats>,
+    /// MSE of the Detection baseline, when run.
+    pub mse_detection: Option<Stats>,
+    /// MSE of the k-means defense, when configured.
+    pub mse_kmeans: Option<Stats>,
+    /// MSE of LDPRecover-KM, when configured.
+    pub mse_recover_km: Option<Stats>,
+    /// FG of the poisoned estimate (targeted attacks only).
+    pub fg_before: Option<Stats>,
+    /// FG after LDPRecover.
+    pub fg_recover: Option<Stats>,
+    /// FG after LDPRecover\*.
+    pub fg_star: Option<Stats>,
+    /// FG after Detection.
+    pub fg_detection: Option<Stats>,
+    /// MSE of LDPRecover's malicious estimate vs the true `f̃_Y` (Fig. 7).
+    pub malicious_mse_recover: Option<Stats>,
+    /// MSE of LDPRecover\*'s malicious estimate vs the true `f̃_Y` (Fig. 7).
+    pub malicious_mse_star: Option<Stats>,
+}
+
+/// Accumulates per-trial metric values before summarizing.
+#[derive(Default)]
+struct MetricBuffers {
+    mse_genuine: Vec<f64>,
+    mse_before: Vec<f64>,
+    mse_recover: Vec<f64>,
+    mse_star: Vec<f64>,
+    mse_detection: Vec<f64>,
+    mse_kmeans: Vec<f64>,
+    mse_recover_km: Vec<f64>,
+    fg_before: Vec<f64>,
+    fg_recover: Vec<f64>,
+    fg_star: Vec<f64>,
+    fg_detection: Vec<f64>,
+    malicious_mse_recover: Vec<f64>,
+    malicious_mse_star: Vec<f64>,
+}
+
+impl MetricBuffers {
+    fn push_trial(&mut self, r: &TrialResult) -> Result<()> {
+        let truth = &r.true_freqs;
+        self.mse_genuine.push(mse(&r.genuine, truth));
+        self.mse_before.push(mse(&r.poisoned, truth));
+        self.mse_recover.push(mse(&r.recovered, truth));
+        if let Some(star) = &r.recovered_star {
+            self.mse_star.push(mse(star, truth));
+        }
+        if let Some(det) = &r.detection {
+            self.mse_detection.push(mse(det, truth));
+        }
+        if let Some(km) = &r.kmeans {
+            self.mse_kmeans.push(mse(km, truth));
+        }
+        if let Some(km) = &r.recover_km {
+            self.mse_recover_km.push(mse(km, truth));
+        }
+
+        // FG only for attacks with true targets (Eq. 37 needs T).
+        if let Some(targets) = &r.attack_targets {
+            self.fg_before
+                .push(frequency_gain(&r.poisoned, &r.genuine, targets)?);
+            self.fg_recover
+                .push(frequency_gain(&r.recovered, &r.genuine, targets)?);
+            if let Some(star) = &r.recovered_star {
+                self.fg_star
+                    .push(frequency_gain(star, &r.genuine, targets)?);
+            }
+            if let Some(det) = &r.detection {
+                self.fg_detection
+                    .push(frequency_gain(det, &r.genuine, targets)?);
+            }
+        }
+
+        // Malicious-estimate accuracy (Fig. 7) whenever ground truth exists.
+        if let Some(mal_true) = &r.malicious_true {
+            self.malicious_mse_recover
+                .push(mse(&r.malicious_estimate, mal_true));
+            if let Some(star_est) = &r.malicious_estimate_star {
+                self.malicious_mse_star.push(mse(star_est, mal_true));
+            }
+        }
+        Ok(())
+    }
+
+    fn summarize(self, config: ExperimentConfig) -> ExperimentResult {
+        ExperimentResult {
+            config,
+            mse_genuine: Stats::from_values(&self.mse_genuine),
+            mse_before: Stats::from_values(&self.mse_before),
+            mse_recover: Stats::from_values(&self.mse_recover),
+            mse_star: Stats::from_optional(&self.mse_star),
+            mse_detection: Stats::from_optional(&self.mse_detection),
+            mse_kmeans: Stats::from_optional(&self.mse_kmeans),
+            mse_recover_km: Stats::from_optional(&self.mse_recover_km),
+            fg_before: Stats::from_optional(&self.fg_before),
+            fg_recover: Stats::from_optional(&self.fg_recover),
+            fg_star: Stats::from_optional(&self.fg_star),
+            fg_detection: Stats::from_optional(&self.fg_detection),
+            malicious_mse_recover: Stats::from_optional(&self.malicious_mse_recover),
+            malicious_mse_star: Stats::from_optional(&self.malicious_mse_star),
+        }
+    }
+}
+
+/// Runs `config.trials` independent trials and summarizes every metric.
+///
+/// Trials run on `min(available cores, trials)` threads. Every trial owns
+/// an RNG stream derived from `(seed, trial)` and results are folded in
+/// trial order, so the summary is bit-identical regardless of thread count
+/// (verified by `parallelism_does_not_change_results`).
+///
+/// # Errors
+/// Propagates the first trial failure (configuration errors surface on
+/// trial 0; statistical degeneracies inside optional arms are tolerated by
+/// the pipeline itself).
+pub fn run_experiment(
+    config: &ExperimentConfig,
+    options: &PipelineOptions,
+) -> Result<ExperimentResult> {
+    config.validate()?;
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(config.trials)
+        .max(1);
+    let results = if threads <= 1 {
+        let mut out = Vec::with_capacity(config.trials);
+        for trial in 0..config.trials {
+            let mut rng = rng_from_seed(derive_seed(config.seed, trial as u64));
+            out.push(crate::pipeline::run_trial(config, options, &mut rng)?);
+        }
+        out
+    } else {
+        run_trials_parallel(config, options, threads)?
+    };
+    let mut buffers = MetricBuffers::default();
+    for result in &results {
+        buffers.push_trial(result)?;
+    }
+    Ok(buffers.summarize(config.clone()))
+}
+
+/// Fan the trials across `threads` workers; results land in trial order.
+fn run_trials_parallel(
+    config: &ExperimentConfig,
+    options: &PipelineOptions,
+    threads: usize,
+) -> Result<Vec<TrialResult>> {
+    let mut slots: Vec<Option<Result<TrialResult>>> = Vec::new();
+    slots.resize_with(config.trials, || None);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slot_refs: Vec<std::sync::Mutex<&mut Option<Result<TrialResult>>>> =
+        slots.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let trial = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if trial >= config.trials {
+                    break;
+                }
+                let mut rng = rng_from_seed(derive_seed(config.seed, trial as u64));
+                let result = crate::pipeline::run_trial(config, options, &mut rng);
+                **slot_refs[trial].lock().expect("slot lock") = Some(result);
+            });
+        }
+    });
+    drop(slot_refs);
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every trial slot filled"))
+        .collect()
+}
+
+/// Runs an η sweep reusing one aggregation per trial (the recovery half is
+/// ~10⁴× cheaper than the aggregation half at paper scale).
+///
+/// Returns one [`ExperimentResult`] per η, each over `config.trials` trials.
+///
+/// # Errors
+/// Propagates trial failures.
+pub fn run_eta_sweep(
+    config: &ExperimentConfig,
+    etas: &[f64],
+    options: &PipelineOptions,
+) -> Result<Vec<ExperimentResult>> {
+    config.validate()?;
+    let mut buffers: Vec<MetricBuffers> = etas.iter().map(|_| MetricBuffers::default()).collect();
+    for trial in 0..config.trials {
+        let mut rng = rng_from_seed(derive_seed(config.seed, trial as u64));
+        let aggregates = run_aggregation(config, options, &mut rng)?;
+        for (buffer, &eta) in buffers.iter_mut().zip(etas) {
+            let result = apply_recoveries(&aggregates, eta, options, &mut rng)?;
+            buffer.push_trial(&result)?;
+        }
+    }
+    Ok(buffers
+        .into_iter()
+        .zip(etas)
+        .map(|(buffer, &eta)| {
+            let mut cfg = config.clone();
+            cfg.eta = eta;
+            buffer.summarize(cfg)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_attacks::AttackKind;
+    use ldp_datasets::DatasetKind;
+    use ldp_protocols::ProtocolKind;
+
+    fn quick_config(attack: Option<AttackKind>) -> ExperimentConfig {
+        let mut c = ExperimentConfig::paper_default(DatasetKind::Ipums, ProtocolKind::Grr, attack);
+        c.scale = 0.01;
+        c.trials = 3;
+        if attack.is_none() {
+            c.beta = 0.0;
+        }
+        c
+    }
+
+    #[test]
+    fn experiment_summarizes_all_trials() {
+        let config = quick_config(Some(AttackKind::MgaSampled { r: 5 }));
+        let options = PipelineOptions::full_comparison();
+        let result = run_experiment(&config, &options).unwrap();
+        assert_eq!(result.mse_before.count, 3);
+        assert_eq!(result.mse_recover.count, 3);
+        assert!(result.mse_star.is_some());
+        assert!(result.fg_before.is_some());
+        assert!(result.malicious_mse_recover.is_some());
+        assert!(result.malicious_mse_star.is_some());
+    }
+
+    #[test]
+    fn unpoisoned_experiment_skips_attack_metrics() {
+        let config = quick_config(None);
+        let result = run_experiment(&config, &PipelineOptions::default()).unwrap();
+        assert!(result.fg_before.is_none());
+        assert!(result.malicious_mse_recover.is_none());
+        assert!(result.mse_star.is_none());
+    }
+
+    #[test]
+    fn experiments_are_reproducible() {
+        let config = quick_config(Some(AttackKind::Adaptive));
+        let options = PipelineOptions::recovery_only();
+        let a = run_experiment(&config, &options).unwrap();
+        let b = run_experiment(&config, &options).unwrap();
+        assert_eq!(a.mse_before.mean, b.mse_before.mean);
+        assert_eq!(a.mse_recover.mean, b.mse_recover.mean);
+    }
+
+    #[test]
+    fn parallelism_does_not_change_results() {
+        // Per-trial seed derivation + ordered folding make the parallel
+        // path bit-identical to the sequential one.
+        let config = quick_config(Some(AttackKind::Adaptive));
+        let options = PipelineOptions::recovery_only();
+        let parallel = run_trials_parallel(&config, &options, 3).unwrap();
+        let mut sequential = Vec::new();
+        for trial in 0..config.trials {
+            let mut rng = rng_from_seed(derive_seed(config.seed, trial as u64));
+            sequential.push(crate::pipeline::run_trial(&config, &options, &mut rng).unwrap());
+        }
+        for (a, b) in parallel.iter().zip(&sequential) {
+            assert_eq!(a.poisoned, b.poisoned);
+            assert_eq!(a.recovered, b.recovered);
+        }
+    }
+
+    #[test]
+    fn eta_sweep_produces_one_result_per_eta() {
+        let config = quick_config(Some(AttackKind::Adaptive));
+        let options = PipelineOptions::recovery_only();
+        let etas = [0.01, 0.1, 0.4];
+        let results = run_eta_sweep(&config, &etas, &options).unwrap();
+        assert_eq!(results.len(), 3);
+        for (r, &eta) in results.iter().zip(&etas) {
+            assert_eq!(r.config.eta, eta);
+            // All sweep points share the same aggregations.
+            assert_eq!(r.mse_before.mean, results[0].mse_before.mean);
+        }
+        // Different η ⇒ different recovery error.
+        assert_ne!(results[0].mse_recover.mean, results[2].mse_recover.mean);
+    }
+}

@@ -1,0 +1,48 @@
+//! Quickstart: poison an LDP frequency estimation, then recover it.
+//!
+//! ```text
+//! cargo run --release -p ldp-sim --example quickstart
+//! ```
+//!
+//! Walks the full LDPRecover story on a scaled-down IPUMS-like workload:
+//! genuine users perturb their items with OUE, an adaptive attacker injects
+//! 5% malicious users, and the server recovers the aggregated frequencies
+//! without knowing anything about the attack.
+
+use ldp_attacks::AttackKind;
+use ldp_common::Result;
+use ldp_datasets::DatasetKind;
+use ldp_protocols::ProtocolKind;
+use ldp_sim::{pipeline::run_trial, ExperimentConfig, PipelineOptions};
+
+fn main() -> Result<()> {
+    // The paper's default cell: ε = 0.5, β = 0.05, η = 0.2 — scaled to 5%
+    // of the IPUMS population so the example runs in a couple of seconds.
+    let mut config = ExperimentConfig::paper_default(
+        DatasetKind::Ipums,
+        ProtocolKind::Oue,
+        Some(AttackKind::Adaptive),
+    );
+    config.scale = 0.05;
+
+    let options = PipelineOptions::recovery_only();
+    let mut rng = ldp_common::rng::rng_from_seed(config.seed);
+    let trial = run_trial(&config, &options, &mut rng)?;
+
+    let mse_before = ldp_sim::metrics::mse(&trial.poisoned, &trial.true_freqs);
+    let mse_after = ldp_sim::metrics::mse(&trial.recovered, &trial.true_freqs);
+    let mse_genuine = ldp_sim::metrics::mse(&trial.genuine, &trial.true_freqs);
+
+    println!("LDPRecover quickstart — {}", config.label());
+    println!("  domain size            : {}", trial.true_freqs.len());
+    println!("  MSE, genuine estimate  : {mse_genuine:.3e}   (LDP noise floor)");
+    println!("  MSE, poisoned estimate : {mse_before:.3e}   (before recovery)");
+    println!("  MSE, LDPRecover        : {mse_after:.3e}   (after recovery)");
+    println!("  error reduction        : {:.1}x", mse_before / mse_after);
+
+    // The recovered vector is a proper distribution again.
+    assert!(trial.recovered.iter().all(|&f| f >= 0.0));
+    let total: f64 = trial.recovered.iter().sum();
+    println!("  recovered sum          : {total:.6} (non-negative, sums to 1)");
+    Ok(())
+}

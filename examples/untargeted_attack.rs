@@ -1,0 +1,48 @@
+//! Untargeted degradation: the Manip attack against a census-style survey.
+//!
+//! ```text
+//! cargo run --release -p ldp-sim --example untargeted_attack
+//! ```
+//!
+//! Models the paper's motivating census scenario (the IPUMS "city"
+//! attribute collected with GRR). The attacker does not care *which* items
+//! gain — it floods a random sub-domain to maximize overall distortion.
+//! The example shows the distortion per protocol and how much of it
+//! LDPRecover undoes, including when the server's assumed η badly
+//! overshoots the truth.
+
+use ldp_attacks::AttackKind;
+use ldp_common::Result;
+use ldp_datasets::DatasetKind;
+use ldp_protocols::ProtocolKind;
+use ldp_sim::{run_experiment, ExperimentConfig, PipelineOptions, Table};
+
+fn main() -> Result<()> {
+    println!("Untargeted Manip attack on an IPUMS-like census (|H| = 10, β = 0.05)\n");
+    let mut table = Table::new(["protocol", "MSE before", "MSE LDPRecover", "reduction"]);
+
+    for protocol in ProtocolKind::ALL {
+        let mut config = ExperimentConfig::paper_default(
+            DatasetKind::Ipums,
+            protocol,
+            Some(AttackKind::Manip { h: 10 }),
+        );
+        config.scale = 0.05;
+        config.trials = 3;
+
+        let result = run_experiment(&config, &PipelineOptions::recovery_only())?;
+        table.push_row([
+            protocol.name().to_string(),
+            format!("{:.3e}", result.mse_before.mean),
+            format!("{:.3e}", result.mse_recover.mean),
+            format!("{:.1}x", result.mse_before.mean / result.mse_recover.mean),
+        ]);
+    }
+    print!("{}", table.render());
+
+    println!(
+        "\nNote: the server assumed η = 0.2 although the true ratio is only\n\
+         β/(1−β) ≈ 0.053 — LDPRecover tolerates the mismatch (paper §VI-D)."
+    );
+    Ok(())
+}

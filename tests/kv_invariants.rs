@@ -1,0 +1,104 @@
+//! Property-based invariants for the key-value extension.
+
+use ldp_common::rng::rng_from_seed;
+use ldp_common::vecmath::is_probability_vector;
+use ldp_common::Domain;
+use ldp_kv::{KvProtocol, KvRecover, M2ga};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Reports always carry in-domain probe indices, whatever the inputs.
+    #[test]
+    fn reports_stay_in_domain(
+        d in 2usize..64,
+        key_frac in 0.0f64..1.0,
+        value in -1.0f64..1.0,
+        seed in 0u64..500,
+    ) {
+        let domain = Domain::new(d).unwrap();
+        let kv = KvProtocol::new(1.0, domain).unwrap();
+        let key = ((key_frac * d as f64) as usize).min(d - 1);
+        let mut rng = rng_from_seed(seed);
+        for _ in 0..20 {
+            let r = kv.perturb(key, value, &mut rng).unwrap();
+            prop_assert!((r.index as usize) < d);
+        }
+    }
+
+    /// Aggregation counts are internally consistent:
+    /// positives ≤ presences ≤ probes, and probes sum to the report count.
+    #[test]
+    fn aggregate_count_hierarchy(
+        d in 2usize..32,
+        n in 1usize..400,
+        seed in 0u64..500,
+    ) {
+        let domain = Domain::new(d).unwrap();
+        let kv = KvProtocol::new(1.0, domain).unwrap();
+        let mut rng = rng_from_seed(seed);
+        let reports: Vec<_> = (0..n)
+            .map(|i| kv.perturb(i % d, 0.3, &mut rng).unwrap())
+            .collect();
+        let agg = kv.aggregate(&reports).unwrap();
+        let mut probe_total = 0u64;
+        for k in 0..d {
+            prop_assert!(agg.positives[k] <= agg.presences[k]);
+            prop_assert!(agg.presences[k] <= agg.probes[k]);
+            probe_total += agg.probes[k];
+        }
+        prop_assert_eq!(probe_total as usize, n);
+    }
+
+    /// Recovery output is always a probability vector with means in range,
+    /// for any mixture of genuine and crafted reports.
+    #[test]
+    fn recovery_output_well_formed(
+        d in 3usize..24,
+        n in 50usize..400,
+        m in 0usize..100,
+        seed in 0u64..500,
+    ) {
+        let domain = Domain::new(d).unwrap();
+        let kv = KvProtocol::new(1.5, domain).unwrap();
+        let mut rng = rng_from_seed(seed);
+        let mut reports: Vec<_> = (0..n)
+            .map(|i| kv.perturb(i % d, -0.4, &mut rng).unwrap())
+            .collect();
+        if m > 0 {
+            let attack = M2ga::new(vec![0]);
+            reports.extend(attack.craft(&kv, m, &mut rng));
+        }
+        let agg = kv.aggregate(&reports).unwrap();
+        let rec = KvRecover::default().recover(&kv, &agg).unwrap();
+        prop_assert!(is_probability_vector(&rec.frequencies, 1e-6));
+        prop_assert!(rec.means.iter().all(|&m| (-1.0..=1.0).contains(&m)));
+        prop_assert!(rec.malicious_probes.iter().all(|&m| m >= 0.0));
+    }
+
+    /// Estimated frequencies of clean crafted data match their counts
+    /// exactly (crafted reports bypass perturbation, so debias on a pure
+    /// present/absent mix is deterministic in expectation terms).
+    #[test]
+    fn crafted_estimates_are_deterministic(
+        d in 2usize..16,
+        present_count in 1usize..50,
+        absent_count in 0usize..50,
+    ) {
+        let domain = Domain::new(d).unwrap();
+        let kv = KvProtocol::new(1.0, domain).unwrap();
+        let mut reports = Vec::new();
+        for _ in 0..present_count {
+            reports.push(kv.craft_clean(0, true, true));
+        }
+        for _ in 0..absent_count {
+            reports.push(kv.craft_clean(0, false, false));
+        }
+        let est = kv.estimate(&kv.aggregate(&reports).unwrap()).unwrap();
+        let params = kv.bit_params();
+        let rate = present_count as f64 / (present_count + absent_count) as f64;
+        let expect = (rate - params.q()) / (params.p() - params.q());
+        prop_assert!((est.frequencies[0] - expect).abs() < 1e-9);
+    }
+}

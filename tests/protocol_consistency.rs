@@ -1,0 +1,112 @@
+//! Cross-crate protocol consistency: unbiasedness and variance of the three
+//! LDP protocols on realistic (Zipf) populations.
+
+use ldp_common::rng::rng_from_seed;
+use ldp_datasets::zipf_dataset;
+use ldp_protocols::{CountAccumulator, LdpFrequencyProtocol, ProtocolKind};
+
+/// Aggregates one full pass of a dataset through a protocol.
+fn estimate(kind: ProtocolKind, epsilon: f64, seed: u64) -> (Vec<f64>, Vec<f64>, usize) {
+    let mut rng = rng_from_seed(seed);
+    let dataset = zipf_dataset("z", 64, 60_000, 1.0, &mut rng).unwrap();
+    let protocol = kind.build(epsilon, dataset.domain()).unwrap();
+    let mut acc = CountAccumulator::new(dataset.domain());
+    for &item in dataset.items() {
+        let report = protocol.perturb(item as usize, &mut rng);
+        acc.add(&protocol, &report);
+    }
+    let est = acc.frequencies(protocol.params()).unwrap();
+    (est, dataset.true_frequencies(), dataset.len())
+}
+
+#[test]
+fn estimates_track_truth_within_theoretical_sigma() {
+    for kind in ProtocolKind::ALL {
+        let (est, truth, n) = estimate(kind, 1.0, 7);
+        let protocol = kind
+            .build(1.0, ldp_common::Domain::new(64).unwrap())
+            .unwrap();
+        for v in 0..64 {
+            let sigma = protocol.params().variance_frequency(truth[v], n).sqrt();
+            assert!(
+                (est[v] - truth[v]).abs() < 6.0 * sigma.max(1e-5),
+                "{kind:?} item {v}: est {} vs truth {} (σ={sigma:.2e})",
+                est[v],
+                truth[v]
+            );
+        }
+        // Estimated frequencies of a pure protocol sum to ≈ 1 on genuine
+        // data (the estimator is linear in the counts); tolerance from the
+        // variance of the sum, treating items as independent.
+        let total: f64 = est.iter().sum();
+        let sum_sigma: f64 = (0..64)
+            .map(|v| protocol.params().variance_frequency(truth[v], n))
+            .sum::<f64>()
+            .sqrt();
+        assert!(
+            (total - 1.0).abs() < 5.0 * sum_sigma,
+            "{kind:?} total {total} (σ_sum = {sum_sigma:.3e})"
+        );
+    }
+}
+
+#[test]
+fn empirical_variance_matches_formula() {
+    // Repeat small aggregations and compare the across-trial variance of a
+    // mid-frequency item with the closed form.
+    for kind in ProtocolKind::ALL {
+        let domain = ldp_common::Domain::new(16).unwrap();
+        let protocol = kind.build(0.5, domain).unwrap();
+        let n = 4_000usize;
+        let item = 0usize;
+        let truth = 0.25;
+        let mut estimates = Vec::new();
+        let mut rng = rng_from_seed(11);
+        for _ in 0..120 {
+            let mut acc = CountAccumulator::new(domain);
+            for i in 0..n {
+                // Exactly 25% of users hold `item`, the rest spread evenly.
+                let held = if i % 4 == 0 { item } else { 1 + (i % 15) };
+                let report = protocol.perturb(held, &mut rng);
+                acc.add(&protocol, &report);
+            }
+            estimates.push(acc.frequencies(protocol.params()).unwrap()[item]);
+        }
+        let mut rm = ldp_common::stats::RunningMoments::new();
+        for &e in &estimates {
+            rm.push(e);
+        }
+        let theory = protocol.params().variance_frequency(truth, n);
+        let ratio = rm.variance() / theory;
+        assert!(
+            (0.6..1.6).contains(&ratio),
+            "{kind:?}: empirical/theory variance ratio {ratio}"
+        );
+    }
+}
+
+#[test]
+fn higher_epsilon_means_lower_variance() {
+    for kind in ProtocolKind::ALL {
+        let domain = ldp_common::Domain::new(32).unwrap();
+        let low = kind.build(0.5, domain).unwrap();
+        let high = kind.build(2.0, domain).unwrap();
+        assert!(
+            high.params().variance_frequency(0.1, 1000)
+                < low.params().variance_frequency(0.1, 1000),
+            "{kind:?}"
+        );
+    }
+}
+
+#[test]
+fn oue_variance_beats_grr_on_large_domains() {
+    // The design rationale for OUE: domain-size-independent variance.
+    let domain = ldp_common::Domain::new(490).unwrap();
+    let grr = ProtocolKind::Grr.build(0.5, domain).unwrap();
+    let oue = ProtocolKind::Oue.build(0.5, domain).unwrap();
+    assert!(
+        oue.params().variance_frequency(0.01, 10_000)
+            < grr.params().variance_frequency(0.01, 10_000)
+    );
+}
