@@ -1,0 +1,87 @@
+//! `#[ignore]`-gated smoke tests for the figure/table reproduction
+//! binaries: each must parse its arguments and complete one tiny trial.
+//!
+//! These spawn the real binaries (via `CARGO_BIN_EXE_*`, so `cargo test`
+//! builds them first) at `--trials 1 --scale 0.005` — big enough to
+//! exercise the full pipeline, small enough that the whole set runs in a
+//! few seconds. They are ignored by default so `cargo test -q` stays lean;
+//! CI runs them explicitly with `cargo test -p ldp-bench -- --ignored`.
+
+use std::process::Command;
+
+/// Runs one binary with tiny-trial flags and asserts a clean exit plus
+/// non-empty tabular output.
+fn smoke(bin_path: &str) {
+    let output = Command::new(bin_path)
+        .args(["--trials", "1", "--scale", "0.005", "--seed", "7"])
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {bin_path}: {e}"));
+    assert!(
+        output.status.success(),
+        "{bin_path} exited with {:?}\nstderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.lines().count() > 3,
+        "{bin_path} produced no table output:\n{stdout}"
+    );
+}
+
+macro_rules! smoke_tests {
+    ($($name:ident => $bin:literal),* $(,)?) => {$(
+        #[test]
+        #[ignore = "spawns the release-grade repro binary; run with --ignored"]
+        fn $name() {
+            smoke(env!(concat!("CARGO_BIN_EXE_", $bin)));
+        }
+    )*};
+}
+
+smoke_tests! {
+    repro_runs_one_tiny_trial => "repro",
+    fig3_runs_one_tiny_trial => "fig3",
+    fig4_runs_one_tiny_trial => "fig4",
+    fig5_runs_one_tiny_trial => "fig5",
+    fig6_runs_one_tiny_trial => "fig6",
+    fig7_runs_one_tiny_trial => "fig7",
+    fig8_runs_one_tiny_trial => "fig8",
+    fig9_runs_one_tiny_trial => "fig9",
+    fig10_runs_one_tiny_trial => "fig10",
+    table1_runs_one_tiny_trial => "table1",
+    ablations_runs_one_tiny_trial => "ablations",
+    kv_extension_runs_one_tiny_trial => "kv_extension",
+}
+
+#[test]
+#[ignore = "spawns the release-grade repro binary; run with --ignored"]
+fn binaries_reject_malformed_flags() {
+    // Arg parsing must fail loudly, not fall through to defaults.
+    for (bin, args) in [
+        (env!("CARGO_BIN_EXE_fig3"), ["--frobnicate"].as_slice()),
+        (env!("CARGO_BIN_EXE_table1"), ["--trials", "0"].as_slice()),
+        (env!("CARGO_BIN_EXE_repro"), ["--scale", "2.0"].as_slice()),
+    ] {
+        let output = Command::new(bin).args(args).output().expect("spawn");
+        assert!(
+            !output.status.success(),
+            "{bin} {args:?} should exit non-zero"
+        );
+    }
+}
+
+#[test]
+#[ignore = "spawns the release-grade repro binary; run with --ignored"]
+fn csv_mode_emits_csv() {
+    let output = Command::new(env!("CARGO_BIN_EXE_fig3"))
+        .args(["--trials", "1", "--scale", "0.005", "--csv"])
+        .output()
+        .expect("spawn fig3");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.lines().any(|l| l.matches(',').count() >= 2),
+        "--csv produced no comma-separated rows:\n{stdout}"
+    );
+}

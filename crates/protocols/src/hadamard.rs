@@ -28,7 +28,7 @@ use crate::traits::LdpFrequencyProtocol;
 /// Sylvester-Hadamard entry: `+1` iff `popcount(x & y)` is even.
 #[inline(always)]
 pub fn hadamard_positive(x: u32, y: u32) -> bool {
-    (x & y).count_ones() % 2 == 0
+    (x & y).count_ones().is_multiple_of(2)
 }
 
 /// The Hadamard Response protocol instance for a fixed `(ε, D)`.

@@ -1,0 +1,45 @@
+//! `#[ignore]`-gated smoke test for the `ldp` CLI: argument parsing plus
+//! one tiny end-to-end experiment cell.
+
+use std::process::Command;
+
+#[test]
+#[ignore = "spawns the CLI binary; run with --ignored"]
+fn ldp_cli_runs_one_tiny_cell() {
+    let output = Command::new(env!("CARGO_BIN_EXE_ldp"))
+        .args([
+            "--protocol",
+            "oue",
+            "--attack",
+            "mga",
+            "--targets",
+            "5",
+            "--trials",
+            "1",
+            "--scale",
+            "0.005",
+        ])
+        .output()
+        .expect("spawn ldp");
+    assert!(
+        output.status.success(),
+        "ldp exited with {:?}\nstderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("LDPRecover"),
+        "expected method rows in output:\n{stdout}"
+    );
+}
+
+#[test]
+#[ignore = "spawns the CLI binary; run with --ignored"]
+fn ldp_cli_rejects_unknown_protocol() {
+    let output = Command::new(env!("CARGO_BIN_EXE_ldp"))
+        .args(["--protocol", "telepathy"])
+        .output()
+        .expect("spawn ldp");
+    assert!(!output.status.success());
+}

@@ -130,7 +130,7 @@ fn errors_format_without_panicking_for_every_variant() {
         },
         LdpError::EmptyInput("y"),
         LdpError::Numerical("z".into()),
-        LdpError::Io(std::io::Error::new(std::io::ErrorKind::Other, "io")),
+        LdpError::Io(std::io::Error::other("io")),
         LdpError::Parse {
             line: 1,
             message: "m".into(),

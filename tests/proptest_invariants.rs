@@ -201,4 +201,63 @@ proptest! {
         let total: f64 = est.iter().sum();
         prop_assert!((total - sum).abs() < 1e-6 * sum.abs().max(1.0));
     }
+
+    /// End-to-end KKT invariants of Algorithm 1 across the whole protocol ×
+    /// attack grid: for any (protocol, attack, η, seed), both LDPRecover and
+    /// LDPRecover*'s recovered frequencies are non-negative and sum to at
+    /// most 1 + tolerance. (Norm-sub's KKT conditions pin the output to the
+    /// probability simplex exactly; the tolerance only absorbs float
+    /// accumulation across the d-dimensional sum.)
+    #[test]
+    fn recovery_is_nonnegative_and_substochastic_for_all_protocol_attack_pairs(
+        protocol_idx in 0usize..3,
+        attack_idx in 0usize..6,
+        eta in 0.0f64..0.6,
+        seed in any::<u64>(),
+    ) {
+        use ldp_attacks::AttackKind;
+        use ldp_datasets::DatasetKind;
+        use ldp_protocols::ProtocolKind;
+        use ldp_sim::{ExperimentConfig, PipelineOptions};
+
+        let protocol = ProtocolKind::ALL[protocol_idx % ProtocolKind::ALL.len()];
+        let attack = [
+            AttackKind::Adaptive,
+            AttackKind::Mga { r: 5 },
+            AttackKind::MgaSampled { r: 5 },
+            AttackKind::Manip { h: 8 },
+            AttackKind::MgaIpa { r: 5 },
+            AttackKind::MultiAdaptive { attackers: 3 },
+        ][attack_idx % 6];
+
+        let mut config = ExperimentConfig::paper_default(DatasetKind::Ipums, protocol, Some(attack));
+        config.scale = 0.002; // ~780 genuine users: cheap but non-degenerate
+        config.eta = eta;
+        config.seed = seed;
+        config.trials = 1;
+
+        let mut rng = ldp_common::rng::rng_from_seed(seed);
+        let result =
+            ldp_sim::pipeline::run_trial(&config, &PipelineOptions::recovery_only(), &mut rng)
+                .unwrap();
+
+        let tol = 1e-6;
+        for (label, freqs) in [
+            ("LDPRecover", Some(&result.recovered)),
+            ("LDPRecover*", result.recovered_star.as_ref()),
+        ] {
+            let Some(freqs) = freqs else { continue };
+            for (v, &f) in freqs.iter().enumerate() {
+                prop_assert!(
+                    f >= 0.0,
+                    "{label} {protocol:?}×{attack:?} η={eta}: f[{v}] = {f} < 0"
+                );
+            }
+            let total: f64 = freqs.iter().sum();
+            prop_assert!(
+                total <= 1.0 + tol,
+                "{label} {protocol:?}×{attack:?} η={eta}: Σf = {total} > 1 + tol"
+            );
+        }
+    }
 }

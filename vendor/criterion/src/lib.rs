@@ -1,0 +1,317 @@
+//! Offline stand-in for the [`criterion`](https://bheisler.github.io/criterion.rs)
+//! benchmarking crate.
+//!
+//! Implements the API subset the workspace's five bench suites use —
+//! benchmark groups, `bench_function` / `bench_with_input`, throughput
+//! annotations, and the `criterion_group!` / `criterion_main!` macros —
+//! with a simple wall-clock measurement loop instead of criterion's
+//! statistical machinery.
+//!
+//! Two run modes, selected the same way real criterion does it:
+//!
+//! * `cargo bench` passes `--bench` to the target: each benchmark is warmed
+//!   up and measured over its configured measurement window, and mean
+//!   time-per-iteration (plus throughput if annotated) is printed.
+//! * Any other invocation (e.g. `cargo test --benches`) runs each benchmark
+//!   body exactly once as a smoke test, so bench targets are cheap to gate
+//!   in CI.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark, used to derive rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier (`function_id/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter display value.
+    pub fn new(function_id: impl core::fmt::Display, parameter: impl core::fmt::Display) -> Self {
+        Self {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl core::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Types usable as benchmark identifiers.
+pub trait IntoBenchmarkId {
+    /// Converts to the rendered id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    /// Mean seconds per iteration, filled by [`Bencher::iter`].
+    mean_secs: f64,
+    iters: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement (`--bench`).
+    Measure,
+    /// Run the body once (smoke / `cargo test`).
+    Smoke,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.mode == Mode::Smoke {
+            black_box(routine());
+            self.iters = 1;
+            return;
+        }
+        // Warm-up: run until the warm-up window elapses (at least once).
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        // Choose a batch size targeting the measurement window split over
+        // `sample_size` batches, based on the warm-up rate.
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let target_batch = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let batch = ((target_batch / per_iter.max(1e-12)).ceil() as u64).max(1);
+
+        let mut total_time = 0.0_f64;
+        let mut total_iters: u64 = 0;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measurement {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total_time += t.elapsed().as_secs_f64();
+            total_iters += batch;
+        }
+        self.mean_secs = total_time / total_iters.max(1) as f64;
+        self.iters = total_iters;
+    }
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measurement batches (advisory in the stand-in).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        self.run(&id, |b| routine(b));
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into_id();
+        self.run(&id, |b| routine(b, input));
+        self
+    }
+
+    fn run(&mut self, id: &str, mut routine: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            mode: self.criterion.mode,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            mean_secs: 0.0,
+            iters: 0,
+        };
+        routine(&mut bencher);
+        let full_id = format!("{}/{}", self.name, id);
+        match self.criterion.mode {
+            Mode::Smoke => println!("bench {full_id} ... ok (smoke: 1 iteration)"),
+            Mode::Measure => {
+                let rate = self.throughput.map(|t| match t {
+                    Throughput::Elements(n) => {
+                        format!("  ({:.3e} elem/s)", n as f64 / bencher.mean_secs.max(1e-12))
+                    }
+                    Throughput::Bytes(n) => {
+                        format!("  ({:.3e} B/s)", n as f64 / bencher.mean_secs.max(1e-12))
+                    }
+                });
+                println!(
+                    "bench {full_id}: {:>12.1} ns/iter over {} iters{}",
+                    bencher.mean_secs * 1e9,
+                    bencher.iters,
+                    rate.unwrap_or_default()
+                );
+            }
+        }
+    }
+
+    /// Finishes the group (printing a separator in measure mode).
+    pub fn finish(self) {
+        if self.criterion.mode == Mode::Measure {
+            println!();
+        }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    /// Selects measure mode iff `--bench` was passed (as `cargo bench` does).
+    fn default() -> Self {
+        let measure = std::env::args().any(|a| a == "--bench");
+        Self {
+            mode: if measure { Mode::Measure } else { Mode::Smoke },
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 100,
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_millis(2000),
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        let mut group = self.benchmark_group("crit");
+        group.bench_function(id, |b| routine(b));
+        group.finish();
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion { mode: Mode::Smoke };
+        let mut runs = 0;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("f", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("grr", 102).into_id(), "grr/102");
+        assert_eq!(BenchmarkId::from_parameter(7).into_id(), "7");
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for the [`serde`](https://serde.rs) crate.
+//!
+//! The workspace only uses serde for `#[derive(Serialize, Deserialize)]`
+//! annotations on config/report types — nothing actually serializes yet
+//! (tables are rendered by `ldp_sim::table`, CSV by hand). Since the build
+//! environment cannot reach crates.io, this stand-in provides the marker
+//! traits plus no-op derive macros so the annotations compile. When a real
+//! wire format is needed, swap this out for the real `serde` by pointing
+//! `[workspace.dependencies] serde` back at the registry.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stand-in).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the stand-in).
+pub trait Deserialize<'de>: Sized {}

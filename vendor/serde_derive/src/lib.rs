@@ -1,0 +1,20 @@
+//! No-op `Serialize` / `Deserialize` derive macros for the offline serde
+//! stand-in. They accept (and ignore) `#[serde(...)]` helper attributes so
+//! annotated types compile unchanged; no impls are emitted because nothing
+//! in the workspace serializes yet.
+
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
