@@ -1,0 +1,97 @@
+//! Per-user vs count-based batched aggregation throughput.
+//!
+//! Quantifies the batched engine's headline claim: GRR/OUE/SUE/HR
+//! aggregate support counts can be sampled in `O(d)`–`O(d·log n)`
+//! independent of the population size, versus the `O(n·d)` per-user loop.
+//! OLH is included as the honest baseline — its grouped fallback is still
+//! per-user (hash seeds are per-user state), so it bounds what "batched"
+//! can mean for seed-carrying protocols.
+//!
+//! Run with `cargo bench --bench aggregation`; CI only compiles it
+//! (`cargo bench --no-run`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ldp_common::rng::rng_from_seed;
+use ldp_common::sampling::zipf_weights;
+use ldp_common::Domain;
+use ldp_protocols::{CountAccumulator, LdpFrequencyProtocol, ProtocolKind};
+use std::hint::black_box;
+
+/// IPUMS-like domain size (paper §VI-A.1).
+const D: usize = 102;
+
+/// A Zipf(1)-shaped population of `n` users over `D` items — the skewed
+/// shape real frequency workloads have.
+fn item_counts(n: u64) -> Vec<u64> {
+    let weights = zipf_weights(D, 1.0);
+    let total: f64 = weights.iter().sum();
+    let mut counts: Vec<u64> = weights
+        .iter()
+        .map(|w| ((w / total) * n as f64).floor() as u64)
+        .collect();
+    let assigned: u64 = counts.iter().sum();
+    counts[0] += n - assigned;
+    counts
+}
+
+/// The population sizes of the comparison: 10⁴, 10⁵, and the paper-scale
+/// 10⁶.
+const POPULATIONS: [u64; 3] = [10_000, 100_000, 1_000_000];
+
+fn bench_per_user(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregate_per_user");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for kind in ProtocolKind::EXTENDED {
+        for n in POPULATIONS {
+            let domain = Domain::new(D).unwrap();
+            let protocol = kind.build(0.5, domain).unwrap();
+            let counts = item_counts(n);
+            let mut rng = rng_from_seed(1);
+            group.throughput(Throughput::Elements(n));
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &n, |b, _| {
+                b.iter(|| {
+                    let mut acc = CountAccumulator::new(domain);
+                    for (item, &c) in counts.iter().enumerate() {
+                        for _ in 0..c {
+                            let report = protocol.perturb(item, &mut rng);
+                            acc.add(&protocol, &report);
+                        }
+                    }
+                    black_box(acc.counts()[0])
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_batched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregate_batched");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for kind in ProtocolKind::EXTENDED {
+        for n in POPULATIONS {
+            let domain = Domain::new(D).unwrap();
+            let protocol = kind.build(0.5, domain).unwrap();
+            let counts = item_counts(n);
+            let mut rng = rng_from_seed(2);
+            group.throughput(Throughput::Elements(n));
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &n, |b, _| {
+                b.iter(|| {
+                    black_box(
+                        protocol
+                            .batch_aggregate(black_box(&counts), &mut rng)
+                            .expect("enum protocols all batch"),
+                    )
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_per_user, bench_batched);
+criterion_main!(benches);

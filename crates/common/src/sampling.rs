@@ -1,5 +1,6 @@
 //! Discrete sampling substrate: alias tables, Zipf weights, random
-//! probability vectors, and subset sampling.
+//! probability vectors, subset sampling, and exact binomial / multinomial
+//! count samplers.
 //!
 //! The adaptive attack (paper §V-C) models *every* poisoning attack as
 //! sampling malicious reports from an attacker-designed distribution `P`
@@ -7,6 +8,18 @@
 //! items from a ground-truth distribution. Both paths need O(1)-per-draw
 //! sampling from arbitrary discrete distributions, which is exactly what the
 //! Walker/Vose alias method provides.
+//!
+//! The count samplers ([`sample_binomial`], [`sample_multinomial`],
+//! [`sample_multinomial_uniform`]) power the batched aggregation engine
+//! end to end: population histograms are one multinomial draw
+//! (`ldp-datasets`' `generate_counts`), and for GRR/OUE/SUE/HR the
+//! aggregate support counts of a whole population are sums of independent
+//! categorical/Bernoulli draws, so one binomial draw replaces up to
+//! millions of per-user coin flips. They are exact
+//! (inverse-CDF, no normal approximation) up to the ~2⁻⁵² probability
+//! quantization inherent in `f64` arithmetic — the same tolerance class as
+//! [`crate::rng::FastBernoulli`] — and fully deterministic under the
+//! workspace RNG.
 
 use rand::Rng;
 
@@ -179,6 +192,219 @@ pub fn sample_distinct<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Vec<
     chosen
 }
 
+/// `ln k!` for `k = 0, …, 9` (exact integer factorials, then `ln`).
+const LN_FACTORIAL_SMALL: [f64; 10] = [
+    0.0,
+    0.0,
+    std::f64::consts::LN_2, // ln 2
+    1.791_759_469_228_055,  // ln 6
+    3.178_053_830_347_946,  // ln 24
+    4.787_491_742_782_046,  // ln 120
+    6.579_251_212_010_101,  // ln 720
+    8.525_161_361_065_415,  // ln 5040
+    10.604_602_902_745_25,  // ln 40320
+    12.801_827_480_081_469, // ln 362880
+];
+
+/// `ln n!` via the Stirling series for `n ≥ 10` (absolute error < 1e−12),
+/// exact table below.
+fn ln_factorial(n: u64) -> f64 {
+    if n < 10 {
+        return LN_FACTORIAL_SMALL[n as usize];
+    }
+    let x = n as f64;
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    (x + 0.5) * x.ln() - x
+        + 0.918_938_533_204_672_7 // ln √(2π)
+        + inv * (1.0 / 12.0 - inv2 * (1.0 / 360.0 - inv2 / 1260.0))
+}
+
+/// Draws `X ~ Binomial(n, p)` exactly (inverse CDF, no normal
+/// approximation) with **one** uniform variate per call.
+///
+/// Two regimes, both exact up to `f64` probability quantization:
+///
+/// * small mean (`n·min(p,1−p) ≤ 16`): bottom-up CDF inversion from 0,
+///   expected `O(n·p)` pmf steps;
+/// * large mean: CDF inversion zig-zagging outward from the mode, expected
+///   `O(√(n·p·(1−p)))` steps — ~400 steps at `n = 10⁶, p = ½`, versus the
+///   10⁶ Bernoulli draws it replaces.
+///
+/// Out-of-range `p` is clamped to `[0, 1]`; NaN is treated as 0 (the
+/// [`crate::rng::FastBernoulli`] convention).
+pub fn sample_binomial<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    if n == 0 || p.is_nan() || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    if p > 0.5 {
+        return n - binomial_le_half(n, 1.0 - p, rng);
+    }
+    binomial_le_half(n, p, rng)
+}
+
+/// [`sample_binomial`] restricted to `p ∈ (0, ½]`.
+fn binomial_le_half<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    debug_assert!(p > 0.0 && p <= 0.5);
+    let u: f64 = rng.gen();
+    let odds = p / (1.0 - p);
+    let nf = n as f64;
+
+    if nf * p <= 16.0 {
+        // Bottom-up inversion: pmf(0) = (1−p)^n cannot underflow here
+        // (n·p ≤ 16 and p ≤ ½ give (1−p)^n ≥ e^{−32}).
+        let mut pmf = (nf * (1.0 - p).ln()).exp();
+        let mut cdf = pmf;
+        let mut k = 0u64;
+        while u >= cdf && k < n {
+            pmf *= (n - k) as f64 / (k + 1) as f64 * odds;
+            k += 1;
+            cdf += pmf;
+        }
+        return k;
+    }
+
+    // Zig-zag inversion from the mode m = ⌊(n+1)p⌋: accumulate pmf mass
+    // outward (right step, then left step, …) until the target quantile u
+    // is covered. pmf(m) via `ln_factorial` is accurate to ~1e−12, far
+    // below every statistical tolerance in the workspace.
+    let m = (((n + 1) as f64) * p).floor() as u64;
+    let m = m.min(n);
+    let ln_pmf_m = ln_factorial(n) - ln_factorial(m) - ln_factorial(n - m)
+        + m as f64 * p.ln()
+        + (n - m) as f64 * (1.0 - p).ln();
+    let pmf_m = ln_pmf_m.exp();
+    let mut cdf = pmf_m;
+    if u < cdf {
+        return m;
+    }
+    let (mut lo, mut hi) = (m, m);
+    let (mut pmf_lo, mut pmf_hi) = (pmf_m, pmf_m);
+    loop {
+        if hi < n {
+            // pmf(hi+1)/pmf(hi) = (n−hi)/(hi+1) · p/(1−p).
+            pmf_hi *= (n - hi) as f64 / (hi + 1) as f64 * odds;
+            hi += 1;
+            cdf += pmf_hi;
+            if u < cdf {
+                return hi;
+            }
+        }
+        if lo > 0 {
+            // pmf(lo−1)/pmf(lo) = lo/(n−lo+1) · (1−p)/p.
+            pmf_lo *= lo as f64 / (n - lo + 1) as f64 / odds;
+            lo -= 1;
+            cdf += pmf_lo;
+            if u < cdf {
+                return lo;
+            }
+        }
+        if lo == 0 && hi == n {
+            // The full support is accumulated but rounding left
+            // cdf < u < 1: attribute the residual mass to the mode.
+            return m;
+        }
+    }
+}
+
+/// Draws counts `(X_0, …, X_{k−1}) ~ Multinomial(n, weights)` exactly via
+/// conditional binomial splitting: `O(k)` binomial draws regardless of `n`.
+///
+/// `weights` need not be normalized. Any `f64` residue left after the last
+/// positive-weight bin (the conditional fractions are computed in floating
+/// point) is attributed to that bin — a ≤ 2⁻⁵²-probability event per draw.
+///
+/// # Errors
+/// Same contract as [`AliasTable::new`]: empty, negative, non-finite, or
+/// all-zero weights are rejected.
+pub fn sample_multinomial<R: Rng + ?Sized>(
+    n: u64,
+    weights: &[f64],
+    rng: &mut R,
+) -> Result<Vec<u64>> {
+    if weights.is_empty() {
+        return Err(LdpError::EmptyInput("multinomial weights"));
+    }
+    let mut total = 0.0f64;
+    let mut last_positive = None;
+    for (i, &w) in weights.iter().enumerate() {
+        if !w.is_finite() || w < 0.0 {
+            return Err(LdpError::invalid(format!(
+                "weight {i} is {w}; weights must be finite and non-negative"
+            )));
+        }
+        if w > 0.0 {
+            last_positive = Some(i);
+        }
+        total += w;
+    }
+    let Some(last_positive) = last_positive else {
+        return Err(LdpError::invalid("all weights are zero"));
+    };
+
+    let mut counts = vec![0u64; weights.len()];
+    let mut remaining_n = n;
+    let mut remaining_mass = total;
+    for (i, &w) in weights.iter().enumerate() {
+        if remaining_n == 0 {
+            break;
+        }
+        if i == last_positive {
+            break;
+        }
+        if w <= 0.0 {
+            continue;
+        }
+        let frac = (w / remaining_mass).clamp(0.0, 1.0);
+        let x = sample_binomial(remaining_n, frac, rng);
+        counts[i] = x;
+        remaining_n -= x;
+        remaining_mass -= w;
+    }
+    counts[last_positive] += remaining_n;
+    Ok(counts)
+}
+
+/// Draws counts from `Multinomial(n, uniform over bins)` exactly.
+///
+/// Picks the cheaper of two exact strategies: `n` individual uniform draws
+/// when `n < bins` (the counts of iid uniform draws *are* the multinomial),
+/// conditional binomial splitting (`O(bins)` draws) otherwise.
+///
+/// # Panics
+/// Panics if `bins == 0` while `n > 0`.
+pub fn sample_multinomial_uniform<R: Rng + ?Sized>(n: u64, bins: usize, rng: &mut R) -> Vec<u64> {
+    if n == 0 {
+        return vec![0u64; bins];
+    }
+    assert!(bins >= 1, "cannot scatter {n} draws over zero bins");
+    let mut counts = vec![0u64; bins];
+    if n < bins as u64 {
+        for _ in 0..n {
+            counts[uniform_index(rng, bins)] += 1;
+        }
+        return counts;
+    }
+    let mut remaining = n;
+    for (i, c) in counts.iter_mut().enumerate() {
+        if remaining == 0 {
+            break;
+        }
+        let left = (bins - i) as u64;
+        if left == 1 {
+            *c = remaining;
+            break;
+        }
+        let x = sample_binomial(remaining, 1.0 / left as f64, rng);
+        *c = x;
+        remaining -= x;
+    }
+    counts
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,6 +499,181 @@ mod tests {
             let set: std::collections::HashSet<_> = s.iter().collect();
             assert_eq!(set.len(), k, "duplicates in {s:?}");
             assert!(s.iter().all(|&x| x < n));
+        }
+    }
+
+    #[test]
+    fn ln_factorial_matches_direct_summation() {
+        let mut acc = 0.0f64;
+        for k in 1..=200u64 {
+            acc += (k as f64).ln();
+            assert!(
+                (ln_factorial(k) - acc).abs() < 1e-10 * acc.max(1.0),
+                "k={k}: {} vs {acc}",
+                ln_factorial(k)
+            );
+        }
+        assert_eq!(ln_factorial(0), 0.0);
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut rng = rng_from_seed(10);
+        assert_eq!(sample_binomial(0, 0.5, &mut rng), 0);
+        assert_eq!(sample_binomial(100, 0.0, &mut rng), 0);
+        assert_eq!(sample_binomial(100, -0.5, &mut rng), 0);
+        assert_eq!(sample_binomial(100, f64::NAN, &mut rng), 0);
+        assert_eq!(sample_binomial(100, 1.0, &mut rng), 100);
+        assert_eq!(sample_binomial(100, 1.5, &mut rng), 100);
+        for _ in 0..1000 {
+            assert!(sample_binomial(1, 0.5, &mut rng) <= 1);
+        }
+    }
+
+    #[test]
+    fn binomial_is_deterministic() {
+        let mut a = rng_from_seed(11);
+        let mut b = rng_from_seed(11);
+        for &(n, p) in &[(10u64, 0.3), (1_000_000, 0.5), (50, 0.97)] {
+            assert_eq!(sample_binomial(n, p, &mut a), sample_binomial(n, p, &mut b));
+        }
+    }
+
+    #[test]
+    fn binomial_mean_and_variance_match_in_both_regimes() {
+        // Covers bottom-up inversion (small n·p), zig-zag from the mode
+        // (large n·p), and the p > ½ reflection.
+        let mut rng = rng_from_seed(12);
+        for &(n, p) in &[
+            (40u64, 0.1),        // small-mean regime
+            (1_000u64, 0.004),   // small mean at large n
+            (100_000u64, 0.37),  // mode regime
+            (1_000_000u64, 0.5), // mode regime, paper-scale n
+            (2_000u64, 0.93),    // reflection
+        ] {
+            let trials = 3_000usize;
+            let mut sum = 0.0f64;
+            let mut sum_sq = 0.0f64;
+            for _ in 0..trials {
+                let x = sample_binomial(n, p, &mut rng) as f64;
+                assert!(x <= n as f64);
+                sum += x;
+                sum_sq += x * x;
+            }
+            let mean = sum / trials as f64;
+            let var = sum_sq / trials as f64 - mean * mean;
+            let expect_mean = n as f64 * p;
+            let expect_var = n as f64 * p * (1.0 - p);
+            let mean_tol = 6.0 * (expect_var / trials as f64).sqrt();
+            assert!(
+                (mean - expect_mean).abs() < mean_tol,
+                "n={n}, p={p}: mean={mean}, expect={expect_mean}"
+            );
+            // Sample variance of a binomial: se ≈ Var·√(2/trials) plus a
+            // kurtosis term; 8σ keeps the test non-flaky.
+            let var_tol = 8.0 * expect_var * (2.0 / trials as f64).sqrt();
+            assert!(
+                (var - expect_var).abs() < var_tol,
+                "n={n}, p={p}: var={var}, expect={expect_var}"
+            );
+        }
+    }
+
+    #[test]
+    fn binomial_small_n_matches_exact_pmf() {
+        // χ²-style check against the exact Binomial(8, 0.3) distribution.
+        let (n, p) = (8u64, 0.3f64);
+        let mut rng = rng_from_seed(13);
+        let trials = 200_000usize;
+        let mut hist = [0usize; 9];
+        for _ in 0..trials {
+            hist[sample_binomial(n, p, &mut rng) as usize] += 1;
+        }
+        let mut pmf = (1.0 - p).powi(8);
+        for (k, &observed) in hist.iter().enumerate() {
+            let expect = pmf * trials as f64;
+            let sigma = (pmf * (1.0 - pmf) * trials as f64).sqrt();
+            assert!(
+                (observed as f64 - expect).abs() < 6.0 * sigma.max(1.0),
+                "k={k}: {observed} vs {expect}"
+            );
+            pmf *= (n - k as u64) as f64 / (k + 1) as f64 * p / (1.0 - p);
+        }
+    }
+
+    #[test]
+    fn multinomial_rejects_bad_weights() {
+        let mut rng = rng_from_seed(14);
+        assert!(sample_multinomial(10, &[], &mut rng).is_err());
+        assert!(sample_multinomial(10, &[1.0, -1.0], &mut rng).is_err());
+        assert!(sample_multinomial(10, &[0.0, 0.0], &mut rng).is_err());
+        assert!(sample_multinomial(10, &[f64::NAN], &mut rng).is_err());
+        assert!(sample_multinomial(10, &[f64::INFINITY, 1.0], &mut rng).is_err());
+    }
+
+    #[test]
+    fn multinomial_conserves_total_and_respects_zeros() {
+        let mut rng = rng_from_seed(15);
+        let weights = [0.0, 3.0, 1.0, 0.0, 6.0, 0.0];
+        for n in [0u64, 1, 17, 100_000] {
+            let counts = sample_multinomial(n, &weights, &mut rng).unwrap();
+            assert_eq!(counts.iter().sum::<u64>(), n);
+            assert_eq!(counts[0], 0);
+            assert_eq!(counts[3], 0);
+            assert_eq!(counts[5], 0);
+        }
+    }
+
+    #[test]
+    fn multinomial_matches_weights_statistically() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let n = 40_000u64;
+        let trials = 300usize;
+        let mut rng = rng_from_seed(16);
+        let mut sums = [0.0f64; 4];
+        for _ in 0..trials {
+            let counts = sample_multinomial(n, &weights, &mut rng).unwrap();
+            for (s, &c) in sums.iter_mut().zip(&counts) {
+                *s += c as f64;
+            }
+        }
+        for (i, &s) in sums.iter().enumerate() {
+            let p = weights[i] / 10.0;
+            let expect = n as f64 * p;
+            let mean = s / trials as f64;
+            let tol = 6.0 * (n as f64 * p * (1.0 - p) / trials as f64).sqrt();
+            assert!((mean - expect).abs() < tol, "bin {i}: {mean} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn multinomial_uniform_both_strategies() {
+        let mut rng = rng_from_seed(17);
+        // n < bins: per-draw path. n ≥ bins: splitting path.
+        for (n, bins) in [(5u64, 100usize), (0, 10), (5_000, 16), (64, 64)] {
+            let counts = sample_multinomial_uniform(n, bins, &mut rng);
+            assert_eq!(counts.len(), bins);
+            assert_eq!(counts.iter().sum::<u64>(), n);
+        }
+        // Uniformity of the splitting path.
+        let bins = 8usize;
+        let trials = 400usize;
+        let n = 8_000u64;
+        let mut sums = vec![0.0f64; bins];
+        for _ in 0..trials {
+            for (s, &c) in sums
+                .iter_mut()
+                .zip(&sample_multinomial_uniform(n, bins, &mut rng))
+            {
+                *s += c as f64;
+            }
+        }
+        let p = 1.0 / bins as f64;
+        let expect = n as f64 * p;
+        let tol = 6.0 * (n as f64 * p * (1.0 - p) / trials as f64).sqrt();
+        for (i, &s) in sums.iter().enumerate() {
+            let mean = s / trials as f64;
+            assert!((mean - expect).abs() < tol, "bin {i}: {mean} vs {expect}");
         }
     }
 

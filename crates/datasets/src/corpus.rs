@@ -12,12 +12,13 @@
 //! substitution argument and `Dataset::from_item_file` for plugging in the
 //! real extracts.
 
-use ldp_common::Result;
+use ldp_common::sampling::sample_multinomial;
+use ldp_common::{LdpError, Result};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::dataset::Dataset;
-use crate::synthetic::zipf_dataset;
+use crate::dataset::{Dataset, PopulationCounts};
+use crate::synthetic::{zipf_counts, zipf_dataset};
 
 /// IPUMS domain size (paper §VI-A.1).
 pub const IPUMS_DOMAIN: usize = 102;
@@ -33,7 +34,8 @@ pub const FIRE_USERS: usize = 667_574;
 /// # Errors
 /// Propagates generator validation (never fails for these constants).
 pub fn ipums_like<R: Rng + ?Sized>(rng: &mut R) -> Result<Dataset> {
-    zipf_dataset("IPUMS", IPUMS_DOMAIN, IPUMS_USERS, 1.05, rng)
+    let (name, d, n, s) = DatasetKind::Ipums.spec();
+    zipf_dataset(name, d, n, s, rng)
 }
 
 /// Fire-like synthetic workload (d = 490, n = 667,574, Zipf 0.75).
@@ -41,7 +43,8 @@ pub fn ipums_like<R: Rng + ?Sized>(rng: &mut R) -> Result<Dataset> {
 /// # Errors
 /// Propagates generator validation (never fails for these constants).
 pub fn fire_like<R: Rng + ?Sized>(rng: &mut R) -> Result<Dataset> {
-    zipf_dataset("Fire", FIRE_DOMAIN, FIRE_USERS, 0.75, rng)
+    let (name, d, n, s) = DatasetKind::Fire.spec();
+    zipf_dataset(name, d, n, s, rng)
 }
 
 /// Which evaluation workload an experiment uses.
@@ -56,6 +59,14 @@ pub enum DatasetKind {
 impl DatasetKind {
     /// Both workloads, in the paper's presentation order.
     pub const ALL: [DatasetKind; 2] = [DatasetKind::Ipums, DatasetKind::Fire];
+
+    /// `(name, d, n, zipf exponent)` of the synthetic stand-in.
+    fn spec(self) -> (&'static str, usize, usize, f64) {
+        match self {
+            DatasetKind::Ipums => ("IPUMS", IPUMS_DOMAIN, IPUMS_USERS, 1.05),
+            DatasetKind::Fire => ("Fire", FIRE_DOMAIN, FIRE_USERS, 0.75),
+        }
+    }
 
     /// Materializes the workload (optionally scaled down; see
     /// [`Dataset::subsample`]).
@@ -72,6 +83,42 @@ impl DatasetKind {
         } else {
             full.subsample(scale, rng)
         }
+    }
+
+    /// Samples the workload's *count vector* directly, in `O(d)` instead
+    /// of `O(n)` — exactly distributed as [`DatasetKind::generate`]'s
+    /// counts at the same scale. The full-corpus counts are one
+    /// `Multinomial(n, zipf)` draw; scaling down composes a second
+    /// multinomial over the realized full-corpus frequencies, mirroring
+    /// [`Dataset::subsample`]'s draw-with-replacement (whose counts have
+    /// that exact conditional law).
+    ///
+    /// This is the dataset path of the batched aggregation engine: the
+    /// engine never looks at individual users, so nothing `O(n)` needs to
+    /// exist at all.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] when `scale ∉ (0, 1]`; otherwise
+    /// propagates generator validation.
+    pub fn generate_counts<R: Rng + ?Sized>(
+        self,
+        scale: f64,
+        rng: &mut R,
+    ) -> Result<PopulationCounts> {
+        if !(scale > 0.0 && scale <= 1.0) {
+            return Err(LdpError::invalid(format!(
+                "scale must be in (0,1], got {scale}"
+            )));
+        }
+        let (name, d, n, s) = self.spec();
+        let full = zipf_counts(name, d, n, s, rng)?;
+        if scale == 1.0 {
+            return Ok(full);
+        }
+        let target = ((n as f64) * scale).ceil().max(1.0) as u64;
+        let weights: Vec<f64> = full.counts().iter().map(|&c| c as f64).collect();
+        let counts = sample_multinomial(target, &weights, rng)?;
+        PopulationCounts::from_counts(format!("{name}@{scale}"), full.domain(), counts)
     }
 
     /// Display name matching the paper's figures.
@@ -130,5 +177,62 @@ mod tests {
         assert_eq!(IPUMS_USERS, 389_894);
         assert_eq!(FIRE_DOMAIN, 490);
         assert_eq!(FIRE_USERS, 667_574);
+    }
+
+    #[test]
+    fn generate_counts_matches_generate_dimensions() {
+        for kind in DatasetKind::ALL {
+            let mut rng = rng_from_seed(4);
+            let (_, d, n, _) = kind.spec();
+            for scale in [1.0, 0.01] {
+                let pop = kind.generate_counts(scale, &mut rng).unwrap();
+                assert_eq!(pop.domain().size(), d);
+                let expect = if scale == 1.0 {
+                    n
+                } else {
+                    (n as f64 * scale).ceil() as usize
+                };
+                assert_eq!(pop.len(), expect, "{kind} at scale {scale}");
+            }
+            assert!(kind.generate_counts(0.0, &mut rng).is_err());
+            assert!(kind.generate_counts(1.5, &mut rng).is_err());
+        }
+    }
+
+    #[test]
+    fn generate_counts_is_deterministic_per_seed() {
+        let a = DatasetKind::Ipums
+            .generate_counts(0.1, &mut rng_from_seed(9))
+            .unwrap();
+        let b = DatasetKind::Ipums
+            .generate_counts(0.1, &mut rng_from_seed(9))
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generate_counts_matches_materialized_frequencies() {
+        // Same distribution as the item-materializing path: the realized
+        // frequency vectors must agree within the multinomial envelope
+        // (6σ per item at n ≈ 19.5k).
+        let mut rng_counts = rng_from_seed(11);
+        let mut rng_items = rng_from_seed(12);
+        let scale = 0.05;
+        let pop = DatasetKind::Ipums
+            .generate_counts(scale, &mut rng_counts)
+            .unwrap();
+        let ds = DatasetKind::Ipums.generate(scale, &mut rng_items).unwrap();
+        assert_eq!(pop.len(), ds.len());
+        let n = pop.len() as f64;
+        for (v, (&a, &b)) in pop
+            .true_frequencies()
+            .iter()
+            .zip(&ds.true_frequencies())
+            .enumerate()
+        {
+            let p = f64::midpoint(a, b);
+            let sigma = (p.max(1e-6) * (1.0 - p) / n).sqrt();
+            assert!((a - b).abs() < 6.0 * sigma * 2.0, "item {v}: {a} vs {b}");
+        }
     }
 }

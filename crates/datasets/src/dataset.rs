@@ -138,6 +138,90 @@ impl Dataset {
     }
 }
 
+/// A population materialized only as per-item counts — no item array.
+///
+/// The count-based batched aggregation engine never looks at individual
+/// users, so trials that run it can sample the population histogram
+/// directly (`Multinomial(n, f)` — the exact distribution of the counts of
+/// `n` iid item draws) and skip the `O(n)` item materialization entirely.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PopulationCounts {
+    name: String,
+    domain: Domain,
+    counts: Vec<u64>,
+    total: usize,
+}
+
+impl PopulationCounts {
+    /// Wraps a count vector, validating shape and non-emptiness.
+    ///
+    /// # Errors
+    /// [`LdpError::DomainMismatch`] when `counts` does not cover the
+    /// domain; [`LdpError::EmptyInput`] when all counts are zero.
+    pub fn from_counts(name: impl Into<String>, domain: Domain, counts: Vec<u64>) -> Result<Self> {
+        if counts.len() != domain.size() {
+            return Err(LdpError::DomainMismatch {
+                expected: domain.size(),
+                got: counts.len(),
+                context: "population count vector",
+            });
+        }
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return Err(LdpError::EmptyInput("population counts"));
+        }
+        Ok(Self {
+            name: name.into(),
+            domain,
+            counts,
+            total: total as usize,
+        })
+    }
+
+    /// Population name (for experiment tables).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The item domain.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Number of users `n`.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// `true` when the population has no users (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact item counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The ground-truth frequency vector `f_X` (sums to 1).
+    pub fn true_frequencies(&self) -> Vec<f64> {
+        let n = self.total as f64;
+        self.counts.iter().map(|&c| c as f64 / n).collect()
+    }
+}
+
+impl Dataset {
+    /// This dataset's count-level view (drops the item array).
+    pub fn to_counts(&self) -> PopulationCounts {
+        PopulationCounts {
+            name: self.name.clone(),
+            domain: self.domain,
+            counts: self.counts(),
+            total: self.items.len(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +275,27 @@ mod tests {
         assert!(ds.subsample(1.5, &mut rng).is_err());
         let full = ds.subsample(1.0, &mut rng).unwrap();
         assert_eq!(full.items(), ds.items());
+    }
+
+    #[test]
+    fn population_counts_mirror_dataset_views() {
+        let ds = tiny();
+        let pop = ds.to_counts();
+        assert_eq!(pop.len(), ds.len());
+        assert_eq!(pop.counts(), &ds.counts()[..]);
+        assert_eq!(pop.true_frequencies(), ds.true_frequencies());
+        assert_eq!(pop.domain(), ds.domain());
+        assert!(!pop.is_empty());
+    }
+
+    #[test]
+    fn population_counts_validate() {
+        let d = Domain::new(3).unwrap();
+        assert!(PopulationCounts::from_counts("x", d, vec![1, 2]).is_err());
+        assert!(PopulationCounts::from_counts("x", d, vec![0, 0, 0]).is_err());
+        let pop = PopulationCounts::from_counts("x", d, vec![0, 4, 1]).unwrap();
+        assert_eq!(pop.len(), 5);
+        assert_eq!(pop.name(), "x");
     }
 
     #[test]

@@ -20,5 +20,5 @@ pub mod dataset;
 pub mod synthetic;
 
 pub use corpus::{fire_like, ipums_like, DatasetKind};
-pub use dataset::Dataset;
-pub use synthetic::{geometric_dataset, uniform_dataset, zipf_dataset};
+pub use dataset::{Dataset, PopulationCounts};
+pub use synthetic::{geometric_dataset, uniform_dataset, zipf_counts, zipf_dataset};

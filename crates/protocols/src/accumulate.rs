@@ -27,6 +27,14 @@ impl CountAccumulator {
         }
     }
 
+    /// Wraps pre-computed support counts for `reports` reports — the entry
+    /// point for the batched aggregation engine
+    /// (`LdpFrequencyProtocol::batch_aggregate`), which samples the count
+    /// vector without materializing individual reports.
+    pub fn from_parts(counts: Vec<u64>, reports: usize) -> Self {
+        Self { counts, reports }
+    }
+
     /// Folds one report in.
     pub fn add<P: LdpFrequencyProtocol>(&mut self, protocol: &P, report: &P::Report) {
         protocol.accumulate(report, &mut self.counts);

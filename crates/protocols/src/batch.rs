@@ -1,0 +1,432 @@
+//! Count-based batched aggregation: sample aggregate support counts
+//! directly instead of simulating users one report at a time.
+//!
+//! For a pure protocol, the support-count vector of `n` genuine users is a
+//! sum of `n` independent draws whose law depends only on each user's true
+//! item. Grouping users by item therefore lets the server-side counts be
+//! sampled *exactly* — same joint distribution as the per-user loop — in
+//! `O(d)`–`O(d·log n)` work instead of `O(n·d)`:
+//!
+//! * **GRR** — the perturbation kernel is the mixture
+//!   `λ·δ_v + (1−λ)·Uniform(D)` with `λ = 1 − q·d` (check:
+//!   `λ + (1−λ)/d = p` and `(1−λ)/d = q`). One binomial per occupied item
+//!   splits keep-vs-uniform, and all uniform draws pool into a **single**
+//!   d-outcome multinomial.
+//! * **OUE / SUE** — bits are independent across users *and* columns, so
+//!   each column's count is `Binomial(c_v, p) + Binomial(n − c_v, q)`:
+//!   two binomials per column.
+//! * **HR** — a report is a Hadamard column drawn from the mixture
+//!   `(2p−1)·Uniform(positives of row_v) + (2−2p)·Uniform(all K columns)`
+//!   (valid since `p > ½`). Per occupied item one binomial plus a
+//!   multinomial over that row's `K/2` positive columns; the uniform part
+//!   pools into a single K-outcome multinomial. Support counts then read
+//!   off the column histogram.
+//! * **OLH** — the sampled hash seed is irreducible per-user state, so
+//!   there is no closed-form count sampler; the fallback loops over item
+//!   groups calling the *concrete* [`Olh`] (per-report enum dispatch and
+//!   `Report` wrapping hoisted out of the hot loop).
+//!
+//! Batched sampling consumes different RNG draws than the per-user loop,
+//! so a batched trial is statistically — not bitwise — equivalent to a
+//! per-user trial at the same seed. Each mode is individually
+//! deterministic: same seed, same counts.
+
+use ldp_common::sampling::{sample_binomial, sample_multinomial_uniform};
+use rand::Rng;
+
+use crate::grr::Grr;
+use crate::hadamard::{hadamard_positive, HadamardResponse};
+use crate::olh::Olh;
+use crate::oue::Oue;
+use crate::params::PureParams;
+use crate::sue::Sue;
+use crate::traits::LdpFrequencyProtocol;
+
+/// Grouped per-user aggregation over item counts — the fallback for
+/// protocols without a closed-form count sampler (OLH, and any future
+/// protocol whose `batch_aggregate` keeps the trait default). Walks the
+/// item groups calling the concrete protocol's `perturb` + `accumulate`:
+/// still `O(n·d)`, but with per-report enum dispatch, `Report` wrapping,
+/// and item-array chasing hoisted out.
+///
+/// # Panics
+/// Panics if `item_counts.len()` differs from the protocol's domain size.
+pub fn grouped_support_counts<P, R>(protocol: &P, item_counts: &[u64], rng: &mut R) -> Vec<u64>
+where
+    P: LdpFrequencyProtocol,
+    R: Rng + ?Sized,
+{
+    let d = protocol.domain().size();
+    assert_eq!(item_counts.len(), d, "item counts must cover the domain");
+    let mut counts = vec![0u64; d];
+    for (item, &c) in item_counts.iter().enumerate() {
+        for _ in 0..c {
+            let report = protocol.perturb(item, rng);
+            protocol.accumulate(&report, &mut counts);
+        }
+    }
+    counts
+}
+
+/// Shared OUE/SUE column sampler: holders of `v` set bit `v` with
+/// probability `p`, everyone else with probability `q`, independently.
+fn unary_batch_support_counts<R: Rng + ?Sized>(
+    params: PureParams,
+    item_counts: &[u64],
+    rng: &mut R,
+) -> Vec<u64> {
+    let n: u64 = item_counts.iter().sum();
+    let (p, q) = (params.p(), params.q());
+    item_counts
+        .iter()
+        .map(|&c| sample_binomial(c, p, rng) + sample_binomial(n - c, q, rng))
+        .collect()
+}
+
+impl Grr {
+    /// Samples the aggregate support counts of `item_counts[v]` users per
+    /// item `v` in one pass: one keep-vs-uniform binomial per occupied
+    /// item, then a single pooled uniform multinomial over the domain.
+    ///
+    /// # Panics
+    /// Panics if `item_counts.len()` differs from the domain size.
+    pub fn batch_support_counts<R: Rng + ?Sized>(
+        &self,
+        item_counts: &[u64],
+        rng: &mut R,
+    ) -> Vec<u64> {
+        let d = self.domain().size();
+        assert_eq!(item_counts.len(), d, "item counts must cover the domain");
+        // Mixture weight of "report the true item verbatim". λ > 0 for
+        // every ε > 0 (q·d = d/(d−1+e^ε) < 1); the max(0) guards f64 dust.
+        let lambda = (1.0 - self.params().q() * d as f64).max(0.0);
+        let mut counts = vec![0u64; d];
+        let mut pooled_uniform = 0u64;
+        for (v, &c) in item_counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let kept = sample_binomial(c, lambda, rng);
+            counts[v] += kept;
+            pooled_uniform += c - kept;
+        }
+        for (slot, extra) in
+            counts
+                .iter_mut()
+                .zip(sample_multinomial_uniform(pooled_uniform, d, rng))
+        {
+            *slot += extra;
+        }
+        counts
+    }
+}
+
+impl Oue {
+    /// Samples the aggregate support counts column-wise: bit `v` is set by
+    /// `Binomial(c_v, p) + Binomial(n − c_v, q)` reporters.
+    ///
+    /// # Panics
+    /// Panics if `item_counts.len()` differs from the domain size.
+    pub fn batch_support_counts<R: Rng + ?Sized>(
+        &self,
+        item_counts: &[u64],
+        rng: &mut R,
+    ) -> Vec<u64> {
+        assert_eq!(
+            item_counts.len(),
+            self.domain().size(),
+            "item counts must cover the domain"
+        );
+        unary_batch_support_counts(self.params(), item_counts, rng)
+    }
+}
+
+impl Sue {
+    /// Samples the aggregate support counts column-wise (same independence
+    /// structure as [`Oue::batch_support_counts`], SUE's `(p, q)`).
+    ///
+    /// # Panics
+    /// Panics if `item_counts.len()` differs from the domain size.
+    pub fn batch_support_counts<R: Rng + ?Sized>(
+        &self,
+        item_counts: &[u64],
+        rng: &mut R,
+    ) -> Vec<u64> {
+        assert_eq!(
+            item_counts.len(),
+            self.domain().size(),
+            "item counts must cover the domain"
+        );
+        unary_batch_support_counts(self.params(), item_counts, rng)
+    }
+}
+
+impl HadamardResponse {
+    /// Samples the aggregate support counts via a column histogram: per
+    /// occupied item, a binomial splits row-targeted vs pooled-uniform
+    /// reports; the histogram then folds into per-item support counts.
+    ///
+    /// # Panics
+    /// Panics if `item_counts.len()` differs from the domain size.
+    pub fn batch_support_counts<R: Rng + ?Sized>(
+        &self,
+        item_counts: &[u64],
+        rng: &mut R,
+    ) -> Vec<u64> {
+        let d = self.domain().size();
+        assert_eq!(item_counts.len(), d, "item counts must cover the domain");
+        let k = self.order() as usize;
+        // Mixture weight of "uniform over the K/2 positive columns of the
+        // user's row"; the complement is uniform over all K columns.
+        // Valid because p = e^ε/(1+e^ε) > ½ for every ε > 0.
+        let lambda = (2.0 * self.params().p() - 1.0).max(0.0);
+        let mut col_counts = vec![0u64; k];
+        let mut pooled_uniform = 0u64;
+        for (item, &c) in item_counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let targeted = sample_binomial(c, lambda, rng);
+            pooled_uniform += c - targeted;
+            if targeted == 0 {
+                continue;
+            }
+            let row = self.row_of(item);
+            let positives: Vec<usize> = (0..k)
+                .filter(|&y| hadamard_positive(row, y as u32))
+                .collect();
+            for (j, extra) in sample_multinomial_uniform(targeted, positives.len(), rng)
+                .into_iter()
+                .enumerate()
+            {
+                col_counts[positives[j]] += extra;
+            }
+        }
+        for (slot, extra) in
+            col_counts
+                .iter_mut()
+                .zip(sample_multinomial_uniform(pooled_uniform, k, rng))
+        {
+            *slot += extra;
+        }
+        // C(w) = Σ_y col_counts[y] · [had⁺(row_w, y)].
+        (0..d)
+            .map(|w| {
+                let row = self.row_of(w);
+                col_counts
+                    .iter()
+                    .enumerate()
+                    .filter(|&(y, _)| hadamard_positive(row, y as u32))
+                    .map(|(_, &c)| c)
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+impl Olh {
+    /// Grouped per-user aggregation: OLH has no closed-form count sampler
+    /// (each report carries its own hash seed), so this delegates to
+    /// [`grouped_support_counts`].
+    ///
+    /// # Panics
+    /// Panics if `item_counts.len()` differs from the domain size.
+    pub fn batch_support_counts<R: Rng + ?Sized>(
+        &self,
+        item_counts: &[u64],
+        rng: &mut R,
+    ) -> Vec<u64> {
+        grouped_support_counts(self, item_counts, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accumulate::CountAccumulator;
+    use crate::report::ProtocolKind;
+    use ldp_common::rng::rng_from_seed;
+    use ldp_common::Domain;
+
+    /// A small skewed population over `d` items, `n` users total.
+    fn population(d: usize, n: u64) -> Vec<u64> {
+        let mut counts = vec![0u64; d];
+        let mut remaining = n;
+        for slot in &mut counts {
+            let c = (remaining / 2).max(1).min(remaining);
+            *slot = c;
+            remaining -= c;
+            if remaining == 0 {
+                break;
+            }
+        }
+        counts
+    }
+
+    fn per_user_counts(
+        kind: ProtocolKind,
+        epsilon: f64,
+        item_counts: &[u64],
+        rng: &mut impl rand::Rng,
+    ) -> Vec<u64> {
+        let domain = Domain::new(item_counts.len()).unwrap();
+        let protocol = kind.build(epsilon, domain).unwrap();
+        let mut acc = CountAccumulator::new(domain);
+        for (item, &c) in item_counts.iter().enumerate() {
+            for _ in 0..c {
+                let r = protocol.perturb(item, rng);
+                acc.add(&protocol, &r);
+            }
+        }
+        acc.counts().to_vec()
+    }
+
+    #[test]
+    fn batched_counts_total_is_bounded_by_support_geometry() {
+        // GRR: exactly one supported item per report. OUE/SUE/HR/OLH: at
+        // most d per report. Totals must respect that.
+        let d = 24;
+        let n = 10_000u64;
+        let item_counts = population(d, n);
+        let domain = Domain::new(d).unwrap();
+        let mut rng = rng_from_seed(1);
+        for kind in ProtocolKind::EXTENDED {
+            let protocol = kind.build(0.5, domain).unwrap();
+            let counts = protocol
+                .batch_aggregate(&item_counts, &mut rng)
+                .expect("all enum protocols support batching");
+            assert_eq!(counts.len(), d);
+            let total: u64 = counts.iter().sum();
+            match kind {
+                ProtocolKind::Grr => assert_eq!(total, n, "{kind}"),
+                _ => assert!(total <= n * d as u64, "{kind}"),
+            }
+        }
+    }
+
+    #[test]
+    fn batched_is_deterministic_per_seed() {
+        let d = 16;
+        let item_counts = population(d, 5_000);
+        let domain = Domain::new(d).unwrap();
+        for kind in ProtocolKind::EXTENDED {
+            let protocol = kind.build(1.0, domain).unwrap();
+            let a = protocol
+                .batch_aggregate(&item_counts, &mut rng_from_seed(7))
+                .unwrap();
+            let b = protocol
+                .batch_aggregate(&item_counts, &mut rng_from_seed(7))
+                .unwrap();
+            assert_eq!(a, b, "{kind}");
+            let c = protocol
+                .batch_aggregate(&item_counts, &mut rng_from_seed(8))
+                .unwrap();
+            assert_ne!(a, c, "{kind}: distinct seeds must differ");
+        }
+    }
+
+    #[test]
+    fn batched_matches_per_user_in_mean_and_variance() {
+        // The statistical-equivalence contract: for every protocol, the
+        // batched sampler and the per-user loop draw from the *same*
+        // distribution. Per item, E[C(v)] = c_v·p + (n−c_v)·q and (users
+        // independent) Var[C(v)] = c_v·p(1−p) + (n−c_v)·q(1−q); both paths
+        // must sit within 6σ of the analytic mean, and their sample
+        // variances within 8·se of the analytic variance.
+        let d = 12;
+        let n = 4_000u64;
+        let item_counts = population(d, n);
+        let domain = Domain::new(d).unwrap();
+        let reps = 220usize;
+        for kind in ProtocolKind::EXTENDED {
+            let protocol = kind.build(0.8, domain).unwrap();
+            let params = protocol.params();
+            let (p, q) = (params.p(), params.q());
+
+            let mut rng = rng_from_seed(100);
+            let mut batched_sum = vec![0.0f64; d];
+            let mut batched_sq = vec![0.0f64; d];
+            let mut user_sum = vec![0.0f64; d];
+            let mut user_sq = vec![0.0f64; d];
+            for _ in 0..reps {
+                let b = protocol.batch_aggregate(&item_counts, &mut rng).unwrap();
+                let u = per_user_counts(kind, 0.8, &item_counts, &mut rng);
+                for v in 0..d {
+                    batched_sum[v] += b[v] as f64;
+                    batched_sq[v] += (b[v] as f64).powi(2);
+                    user_sum[v] += u[v] as f64;
+                    user_sq[v] += (u[v] as f64).powi(2);
+                }
+            }
+
+            for v in 0..d {
+                let c = item_counts[v] as f64;
+                let expect_mean = c * p + (n as f64 - c) * q;
+                let expect_var = c * p * (1.0 - p) + (n as f64 - c) * q * (1.0 - q);
+                let mean_tol = 6.0 * (expect_var / reps as f64).sqrt();
+                let var_tol = 8.0 * expect_var * (2.0 / reps as f64).sqrt();
+                for (label, sum, sq) in [
+                    ("batched", &batched_sum, &batched_sq),
+                    ("per-user", &user_sum, &user_sq),
+                ] {
+                    let mean = sum[v] / reps as f64;
+                    let var = sq[v] / reps as f64 - mean * mean;
+                    assert!(
+                        (mean - expect_mean).abs() < mean_tol,
+                        "{kind} {label} item {v}: mean={mean}, expect={expect_mean}"
+                    );
+                    assert!(
+                        (var - expect_var).abs() < var_tol,
+                        "{kind} {label} item {v}: var={var}, expect={expect_var}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grr_batched_mixture_is_exactly_the_kernel() {
+        // Single-occupied-item population: the batched GRR marginal at the
+        // true item must be Binomial(n, p), at any other item
+        // Binomial-mean n·q. Checked via tight mean bounds.
+        let d = 10;
+        let n = 2_000u64;
+        let mut item_counts = vec![0u64; d];
+        item_counts[3] = n;
+        let grr = Grr::new(0.7, Domain::new(d).unwrap()).unwrap();
+        let (p, q) = (grr.params().p(), grr.params().q());
+        let reps = 400usize;
+        let mut rng = rng_from_seed(5);
+        let mut sums = vec![0.0f64; d];
+        for _ in 0..reps {
+            for (s, c) in sums
+                .iter_mut()
+                .zip(grr.batch_support_counts(&item_counts, &mut rng))
+            {
+                *s += c as f64;
+            }
+        }
+        for (v, &s) in sums.iter().enumerate() {
+            let mean = s / reps as f64;
+            let target = if v == 3 { n as f64 * p } else { n as f64 * q };
+            let var = if v == 3 {
+                n as f64 * p * (1.0 - p)
+            } else {
+                n as f64 * q * (1.0 - q)
+            };
+            let tol = 6.0 * (var / reps as f64).sqrt();
+            assert!((mean - target).abs() < tol, "item {v}: {mean} vs {target}");
+        }
+    }
+
+    #[test]
+    fn batched_rejects_wrong_domain_shape() {
+        let domain = Domain::new(8).unwrap();
+        let grr = Grr::new(0.5, domain).unwrap();
+        let result = std::panic::catch_unwind(|| {
+            let mut rng = rng_from_seed(1);
+            grr.batch_support_counts(&[1, 2, 3], &mut rng)
+        });
+        assert!(result.is_err(), "shape mismatch must panic");
+    }
+}

@@ -89,6 +89,14 @@ impl LdpFrequencyProtocol for Grr {
         debug_assert_eq!(counts.len(), self.domain.size());
         counts[*report as usize] += 1;
     }
+
+    fn batch_aggregate<R: Rng + ?Sized>(
+        &self,
+        item_counts: &[u64],
+        rng: &mut R,
+    ) -> Option<Vec<u64>> {
+        Some(self.batch_support_counts(item_counts, rng))
+    }
 }
 
 #[cfg(test)]

@@ -27,6 +27,9 @@
 //! * [`report::Report`] / [`report::AnyProtocol`] — a closed enum over the
 //!   three protocols so heterogeneous experiment code stays monomorphic.
 //! * [`accumulate::CountAccumulator`] — streaming support-count aggregation.
+//! * [`batch`] — count-based batched aggregation: sample a whole
+//!   population's support counts in `O(d)`–`O(d·log n)` instead of
+//!   simulating `n` users (the `batch_aggregate` trait hook).
 //! * [`rr`] / [`harmony`] — binary randomized response and Harmony mean
 //!   estimation built on top of it.
 //!
@@ -51,6 +54,7 @@
 //! ```
 
 pub mod accumulate;
+pub mod batch;
 pub mod grr;
 pub mod hadamard;
 pub mod harmony;

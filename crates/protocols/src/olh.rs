@@ -152,6 +152,16 @@ impl LdpFrequencyProtocol for Olh {
             }
         }
     }
+
+    fn batch_aggregate<R: Rng + ?Sized>(
+        &self,
+        item_counts: &[u64],
+        rng: &mut R,
+    ) -> Option<Vec<u64>> {
+        // Not a closed-form sampler — the grouped per-user fallback (see
+        // `crate::batch`) — but batched callers still get one entry point.
+        Some(self.batch_support_counts(item_counts, rng))
+    }
 }
 
 #[cfg(test)]

@@ -108,6 +108,14 @@ impl LdpFrequencyProtocol for Oue {
             counts[v] += 1;
         }
     }
+
+    fn batch_aggregate<R: Rng + ?Sized>(
+        &self,
+        item_counts: &[u64],
+        rng: &mut R,
+    ) -> Option<Vec<u64>> {
+        Some(self.batch_support_counts(item_counts, rng))
+    }
 }
 
 #[cfg(test)]

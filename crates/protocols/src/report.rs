@@ -101,7 +101,8 @@ impl ProtocolKind {
         }
     }
 
-    /// Parses `"GRR" | "OUE" | "OLH"` (case-insensitive).
+    /// Parses `"GRR" | "OUE" | "OLH" | "SUE" | "HR"` (case-insensitive) —
+    /// the paper's trio plus both extension protocols.
     ///
     /// # Errors
     /// [`LdpError::InvalidParameter`] for unknown names.
@@ -241,6 +242,20 @@ impl LdpFrequencyProtocol for AnyProtocol {
             _ => self.report_mismatch(report),
         }
     }
+
+    fn batch_aggregate<R: Rng + ?Sized>(
+        &self,
+        item_counts: &[u64],
+        rng: &mut R,
+    ) -> Option<Vec<u64>> {
+        match self {
+            AnyProtocol::Grr(x) => x.batch_aggregate(item_counts, rng),
+            AnyProtocol::Oue(x) => x.batch_aggregate(item_counts, rng),
+            AnyProtocol::Olh(x) => x.batch_aggregate(item_counts, rng),
+            AnyProtocol::Sue(x) => x.batch_aggregate(item_counts, rng),
+            AnyProtocol::Hr(x) => x.batch_aggregate(item_counts, rng),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -269,6 +284,11 @@ mod tests {
             );
         }
         assert!(ProtocolKind::parse("RAPPOR").is_err());
+        // Near-misses of the extension names must be rejected too, not
+        // silently coerced (regression for the SUE/HR parse-doc drift).
+        assert!(ProtocolKind::parse("").is_err());
+        assert!(ProtocolKind::parse("SUE2").is_err());
+        assert!(ProtocolKind::parse("H R").is_err());
     }
 
     #[test]

@@ -50,4 +50,25 @@ pub trait LdpFrequencyProtocol {
     /// # Panics
     /// Panics if `counts.len() != d`.
     fn accumulate(&self, report: &Self::Report, counts: &mut [u64]);
+
+    /// Ψ + Φ for a whole population at once: samples the aggregate
+    /// support-count vector of `item_counts[v]` genuine users holding each
+    /// item `v`, exactly distributed as running [`Self::perturb`] +
+    /// [`Self::accumulate`] per user (see `crate::batch`).
+    ///
+    /// Returns `None` when the protocol has no batched sampler (the
+    /// default) — callers then fall back to the per-user loop. Batched and
+    /// per-user paths consume different RNG draws, so they are
+    /// statistically, not bitwise, interchangeable.
+    ///
+    /// # Panics
+    /// Implementations panic if `item_counts.len() != d`.
+    fn batch_aggregate<R: Rng + ?Sized>(
+        &self,
+        item_counts: &[u64],
+        rng: &mut R,
+    ) -> Option<Vec<u64>> {
+        let _ = (item_counts, rng);
+        None
+    }
 }

@@ -15,14 +15,14 @@ use ldp_common::{LdpError, Result};
 use ldp_datasets::DatasetKind;
 use ldp_protocols::ProtocolKind;
 use ldp_sim::table::{fmt_mean, fmt_stat};
-use ldp_sim::{run_experiment, ExperimentConfig, PipelineOptions, Table};
+use ldp_sim::{run_experiment, AggregationMode, ExperimentConfig, PipelineOptions, Table};
 
 const USAGE: &str = "\
 ldp — run one LDPRecover experiment cell
 
 options:
   --dataset ipums|fire          workload                [ipums]
-  --protocol grr|oue|olh|sue    LDP protocol            [grr]
+  --protocol grr|oue|olh|sue|hr LDP protocol            [grr]
   --attack manip|mga|mga-sampled|aa|aa-camo|mga-ipa|multi|none
                                 poisoning attack        [aa]
   --targets N                   r for targeted attacks / |H| for manip [10]
@@ -33,6 +33,8 @@ options:
   --trials N                    trials to average       [5]
   --scale F                     population scale (0,1]  [0.1]
   --seed N                      master seed             [0x1db05eed]
+  --aggregation per-user|batched|auto
+                                genuine-user aggregation [auto]
   --csv                         CSV output
   --help                        this text";
 
@@ -48,6 +50,7 @@ struct Args {
     trials: usize,
     scale: f64,
     seed: u64,
+    aggregation: AggregationMode,
     csv: bool,
 }
 
@@ -65,6 +68,7 @@ impl Default for Args {
             trials: 5,
             scale: 0.1,
             seed: 0x1DB0_5EED,
+            aggregation: AggregationMode::Auto,
             csv: false,
         }
     }
@@ -100,6 +104,9 @@ fn parse_args<I: Iterator<Item = String>>(mut iter: I) -> Result<Args> {
             "--trials" => args.trials = parse_num(&value("--trials")?, "--trials")?,
             "--scale" => args.scale = parse_f64(&value("--scale")?, "--scale")?,
             "--seed" => args.seed = parse_num(&value("--seed")?, "--seed")? as u64,
+            "--aggregation" => {
+                args.aggregation = AggregationMode::parse(&value("--aggregation")?)?;
+            }
             "--csv" => args.csv = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -152,11 +159,18 @@ fn main() -> Result<()> {
     config.seed = args.seed;
     config.validate()?;
 
-    let options = if args.attack.is_some() {
-        PipelineOptions::full_comparison()
-    } else {
-        PipelineOptions::default()
+    // Forcing batched aggregation is incompatible with the Detection arm
+    // (it consumes raw reports), so that combination degrades to the
+    // recovery-only arm set instead of erroring.
+    let mut options = match (args.attack.is_some(), args.aggregation) {
+        (true, AggregationMode::Batched) => {
+            eprintln!("note: --aggregation batched retains no reports; skipping Detection");
+            PipelineOptions::recovery_only()
+        }
+        (true, _) => PipelineOptions::full_comparison(),
+        (false, _) => PipelineOptions::default(),
     };
+    options.aggregation = args.aggregation;
     let result = run_experiment(&config, &options)?;
 
     println!(
@@ -269,5 +283,19 @@ mod tests {
         assert!(parse(&["--attack", "ddos"]).is_err());
         assert!(parse(&["--beta"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
+        assert!(parse(&["--aggregation", "vectorized"]).is_err());
+    }
+
+    #[test]
+    fn aggregation_flag_defaults_to_auto() {
+        assert_eq!(parse(&[]).unwrap().aggregation, AggregationMode::Auto);
+        assert_eq!(
+            parse(&["--aggregation", "batched"]).unwrap().aggregation,
+            AggregationMode::Batched
+        );
+        assert_eq!(
+            parse(&["--aggregation", "per-user"]).unwrap().aggregation,
+            AggregationMode::PerUser
+        );
     }
 }

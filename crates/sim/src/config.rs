@@ -108,6 +108,70 @@ impl ExperimentConfig {
     }
 }
 
+/// How the genuine population is aggregated into support counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AggregationMode {
+    /// Simulate each user individually (`perturb` + `accumulate` per
+    /// report): `O(n·d)`, required whenever an arm consumes raw reports.
+    PerUser,
+    /// Sample the aggregate support-count vector directly
+    /// (`batch_aggregate`): `O(d)`–`O(d·log n)` for GRR/OUE/SUE/HR,
+    /// grouped per-user for OLH. Statistically equivalent to `PerUser`
+    /// (exact, not approximate) but consumes different RNG draws, so the
+    /// two modes are not bitwise interchangeable. Incompatible with arms
+    /// that need per-user reports (Detection, k-means).
+    Batched,
+    /// `Batched` whenever no configured arm retains reports, `PerUser`
+    /// otherwise — the default, and what the sweep binaries run.
+    #[default]
+    Auto,
+}
+
+impl AggregationMode {
+    /// Resolves the mode against the pipeline's report-retention needs.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] when `Batched` is forced while an
+    /// arm needs raw reports — batched aggregation never materializes
+    /// them, so the combination cannot be honored.
+    pub fn use_batched(self, needs_reports: bool) -> Result<bool> {
+        match self {
+            AggregationMode::PerUser => Ok(false),
+            AggregationMode::Auto => Ok(!needs_reports),
+            AggregationMode::Batched if needs_reports => Err(LdpError::invalid(
+                "Batched aggregation retains no per-user reports; \
+                 the Detection / k-means arms need PerUser (or Auto)",
+            )),
+            AggregationMode::Batched => Ok(true),
+        }
+    }
+
+    /// Parses `"per-user" | "batched" | "auto"` (case-insensitive).
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] for unknown names.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "per-user" | "peruser" | "per_user" => Ok(AggregationMode::PerUser),
+            "batched" | "batch" => Ok(AggregationMode::Batched),
+            "auto" => Ok(AggregationMode::Auto),
+            other => Err(LdpError::invalid(format!(
+                "unknown aggregation mode '{other}' (per-user|batched|auto)"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for AggregationMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AggregationMode::PerUser => "per-user",
+            AggregationMode::Batched => "batched",
+            AggregationMode::Auto => "auto",
+        })
+    }
+}
+
 /// Which optional arms a pipeline run executes beyond plain LDPRecover.
 #[derive(Debug, Clone, Default)]
 pub struct PipelineOptions {
@@ -126,6 +190,8 @@ pub struct PipelineOptions {
     pub sum_model: MaliciousSumModel,
     /// Refinement ablation (default: norm-sub, the paper's Algorithm 1).
     pub post_process: PostProcess,
+    /// How to aggregate the genuine population (default: [`AggregationMode::Auto`]).
+    pub aggregation: AggregationMode,
 }
 
 impl PipelineOptions {
@@ -235,5 +301,45 @@ mod tests {
             ..Default::default()
         };
         assert!(km.needs_reports());
+    }
+
+    #[test]
+    fn aggregation_mode_resolution() {
+        // Auto switches on report retention.
+        assert!(AggregationMode::Auto.use_batched(false).unwrap());
+        assert!(!AggregationMode::Auto.use_batched(true).unwrap());
+        // Explicit modes are honored…
+        assert!(!AggregationMode::PerUser.use_batched(false).unwrap());
+        assert!(!AggregationMode::PerUser.use_batched(true).unwrap());
+        assert!(AggregationMode::Batched.use_batched(false).unwrap());
+        // …except the impossible combination, which errors loudly.
+        assert!(AggregationMode::Batched.use_batched(true).is_err());
+        // Auto is the default everywhere.
+        assert_eq!(
+            PipelineOptions::default().aggregation,
+            AggregationMode::Auto
+        );
+        assert_eq!(
+            PipelineOptions::full_comparison().aggregation,
+            AggregationMode::Auto
+        );
+    }
+
+    #[test]
+    fn aggregation_mode_parse_and_display() {
+        for (name, mode) in [
+            ("per-user", AggregationMode::PerUser),
+            ("PerUser", AggregationMode::PerUser),
+            ("batched", AggregationMode::Batched),
+            ("BATCH", AggregationMode::Batched),
+            ("auto", AggregationMode::Auto),
+        ] {
+            assert_eq!(AggregationMode::parse(name).unwrap(), mode);
+        }
+        assert!(AggregationMode::parse("vectorized").is_err());
+        assert_eq!(
+            AggregationMode::parse(&AggregationMode::Batched.to_string()).unwrap(),
+            AggregationMode::Batched
+        );
     }
 }

@@ -4,7 +4,9 @@
 //! Orchestrates one full evaluation trial exactly as the paper's §VI does:
 //!
 //! 1. materialize a dataset (genuine users' items),
-//! 2. perturb every genuine item with the configured LDP protocol,
+//! 2. aggregate the genuine population with the configured LDP protocol —
+//!    per-user perturbation, or the count-based batched engine
+//!    ([`config::AggregationMode`]) that samples support counts directly,
 //! 3. craft malicious reports with the configured poisoning attack,
 //! 4. aggregate genuine / malicious / poisoned frequency estimates,
 //! 5. run the recovery arms (LDPRecover, LDPRecover\*, Detection, and the
@@ -26,8 +28,8 @@ pub mod pipeline;
 pub mod runner;
 pub mod table;
 
-pub use config::{ExperimentConfig, PipelineOptions};
+pub use config::{AggregationMode, ExperimentConfig, PipelineOptions};
 pub use metrics::{frequency_gain, top_k_recall, Stats};
 pub use pipeline::{TrialAggregates, TrialResult};
-pub use runner::{run_experiment, ExperimentResult};
+pub use runner::{run_eta_sweep, run_experiment, ExperimentResult};
 pub use table::Table;

@@ -76,19 +76,48 @@ pub struct TrialResult {
 
 /// Runs the aggregation half of one trial.
 ///
+/// The genuine population goes through one of two statistically equivalent
+/// paths chosen by [`PipelineOptions::aggregation`]:
+///
+/// * **per-user** — materialize the dataset, then `perturb` + `accumulate`
+///   each report (`O(n·d)`);
+/// * **batched** — sample the population's count vector directly
+///   (`DatasetKind::generate_counts`, one multinomial) and feed it to the
+///   protocol's count sampler (`batch_aggregate`), so the whole genuine
+///   half is `O(d)`–`O(d·log n)` for GRR/OUE/SUE/HR — nothing `O(n)` is
+///   ever materialized. This is what makes full-paper-scale sweeps
+///   affordable.
+///
+/// Malicious reports are always crafted individually — the attack decides
+/// their joint shape.
+///
 /// # Errors
-/// Propagates configuration validation, dataset generation, and estimation
-/// failures.
+/// Propagates configuration validation (including a forced `Batched` mode
+/// combined with report-retaining arms), dataset generation, and
+/// estimation failures.
 pub fn run_aggregation<R: Rng>(
     config: &ExperimentConfig,
     options: &PipelineOptions,
     rng: &mut R,
 ) -> Result<TrialAggregates> {
     config.validate()?;
+    if options.aggregation.use_batched(options.needs_reports())? {
+        run_aggregation_batched(config, rng)
+    } else {
+        run_aggregation_per_user(config, options, rng)
+    }
+}
+
+/// The per-user aggregation path: materialized dataset, one report per
+/// genuine user, optional report retention.
+fn run_aggregation_per_user<R: Rng>(
+    config: &ExperimentConfig,
+    options: &PipelineOptions,
+    rng: &mut R,
+) -> Result<TrialAggregates> {
     let dataset = config.dataset.generate(config.scale, rng)?;
     let domain = dataset.domain();
     let protocol = config.protocol.build(config.epsilon, domain)?;
-    let params = protocol.params();
     let n = dataset.len();
     let m = config.malicious_count(n);
 
@@ -104,6 +133,69 @@ pub fn run_aggregation<R: Rng>(
             buf.push(report);
         }
     }
+
+    finish_aggregation(
+        config,
+        protocol,
+        dataset.true_frequencies(),
+        genuine_acc,
+        reports,
+        n,
+        m,
+        rng,
+    )
+}
+
+/// The batched aggregation path: population counts sampled directly, then
+/// the protocol's count sampler. Falls back to a grouped per-user loop for
+/// protocols whose `batch_aggregate` returns `None` (the trait default) —
+/// never panics on them.
+fn run_aggregation_batched<R: Rng>(
+    config: &ExperimentConfig,
+    rng: &mut R,
+) -> Result<TrialAggregates> {
+    let population = config.dataset.generate_counts(config.scale, rng)?;
+    let domain = population.domain();
+    let protocol = config.protocol.build(config.epsilon, domain)?;
+    let n = population.len();
+    let m = config.malicious_count(n);
+
+    // Batched mode never retains reports, so only counts matter; protocols
+    // without a count sampler fall back to the shared grouped loop.
+    let genuine_counts = protocol
+        .batch_aggregate(population.counts(), rng)
+        .unwrap_or_else(|| {
+            ldp_protocols::batch::grouped_support_counts(&protocol, population.counts(), rng)
+        });
+    let genuine_acc = CountAccumulator::from_parts(genuine_counts, n);
+
+    finish_aggregation(
+        config,
+        protocol,
+        population.true_frequencies(),
+        genuine_acc,
+        None,
+        n,
+        m,
+        rng,
+    )
+}
+
+/// Shared tail of both aggregation paths: craft + fold in the malicious
+/// reports, debias everything, assemble the [`TrialAggregates`].
+#[allow(clippy::too_many_arguments)]
+fn finish_aggregation<R: Rng>(
+    config: &ExperimentConfig,
+    protocol: AnyProtocol,
+    true_freqs: Vec<f64>,
+    genuine_acc: CountAccumulator,
+    mut reports: Option<Vec<Report>>,
+    n: usize,
+    m: usize,
+    rng: &mut R,
+) -> Result<TrialAggregates> {
+    let domain = protocol.domain();
+    let params = protocol.params();
     let genuine_freqs = genuine_acc.frequencies(params)?;
 
     // Malicious users bypass Ψ (or, for IPA attacks, run it on adversarial
@@ -130,7 +222,7 @@ pub fn run_aggregation<R: Rng>(
 
     Ok(TrialAggregates {
         protocol,
-        true_freqs: dataset.true_frequencies(),
+        true_freqs,
         genuine_freqs,
         poisoned_freqs,
         malicious_true_freqs,
@@ -337,6 +429,62 @@ mod tests {
             after < before,
             "after={after}, before={before} (summed over 5 trials)"
         );
+    }
+
+    #[test]
+    fn auto_mode_batches_exactly_when_reports_are_unneeded() {
+        let config = small_config(Some(AttackKind::Adaptive));
+        // recovery_only retains no reports → Auto takes the batched path;
+        // the batched path draws far fewer RNG values than per-user, so
+        // the two modes must diverge bitwise while both remaining valid.
+        let batched_opts = PipelineOptions::recovery_only();
+        let per_user_opts = PipelineOptions {
+            aggregation: crate::config::AggregationMode::PerUser,
+            ..PipelineOptions::recovery_only()
+        };
+        let mut rng_a = rng_from_seed(11);
+        let mut rng_b = rng_from_seed(11);
+        let a = run_aggregation(&config, &batched_opts, &mut rng_a).unwrap();
+        let b = run_aggregation(&config, &per_user_opts, &mut rng_b).unwrap();
+        assert_eq!(a.genuine_count, b.genuine_count);
+        assert_ne!(
+            a.genuine_freqs, b.genuine_freqs,
+            "modes consume different RNG streams"
+        );
+        assert!(a.reports.is_none());
+        assert!(b.reports.is_none(), "recovery_only never retains reports");
+        // Both land within the same statistical envelope of the truth.
+        let mse_a = crate::metrics::mse(&a.genuine_freqs, &a.true_freqs);
+        let mse_b = crate::metrics::mse(&b.genuine_freqs, &b.true_freqs);
+        assert!(
+            mse_a < 10.0 * mse_b + 1e-6,
+            "batched mse={mse_a}, per-user mse={mse_b}"
+        );
+        assert!(
+            mse_b < 10.0 * mse_a + 1e-6,
+            "batched mse={mse_a}, per-user mse={mse_b}"
+        );
+    }
+
+    #[test]
+    fn forced_batched_with_report_arms_is_rejected() {
+        let config = small_config(Some(AttackKind::Mga { r: 5 }));
+        let options = PipelineOptions {
+            aggregation: crate::config::AggregationMode::Batched,
+            ..PipelineOptions::full_comparison()
+        };
+        let mut rng = rng_from_seed(12);
+        assert!(run_aggregation(&config, &options, &mut rng).is_err());
+    }
+
+    #[test]
+    fn report_arms_force_per_user_under_auto() {
+        let config = small_config(Some(AttackKind::Mga { r: 5 }));
+        let options = PipelineOptions::full_comparison(); // Auto + Detection
+        let mut rng = rng_from_seed(13);
+        let agg = run_aggregation(&config, &options, &mut rng).unwrap();
+        let reports = agg.reports.as_ref().expect("per-user path retains reports");
+        assert_eq!(reports.len(), agg.genuine_count + agg.malicious_count);
     }
 
     #[test]

@@ -144,21 +144,10 @@ pub fn run_experiment(
     options: &PipelineOptions,
 ) -> Result<ExperimentResult> {
     config.validate()?;
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(config.trials)
-        .max(1);
-    let results = if threads <= 1 {
-        let mut out = Vec::with_capacity(config.trials);
-        for trial in 0..config.trials {
-            let mut rng = rng_from_seed(derive_seed(config.seed, trial as u64));
-            out.push(crate::pipeline::run_trial(config, options, &mut rng)?);
-        }
-        out
-    } else {
-        run_trials_parallel(config, options, threads)?
-    };
+    let results = map_trials(config.trials, thread_count(config.trials), |trial| {
+        let mut rng = rng_from_seed(derive_seed(config.seed, trial as u64));
+        crate::pipeline::run_trial(config, options, &mut rng)
+    })?;
     let mut buffers = MetricBuffers::default();
     for result in &results {
         buffers.push_trial(result)?;
@@ -166,26 +155,41 @@ pub fn run_experiment(
     Ok(buffers.summarize(config.clone()))
 }
 
-/// Fan the trials across `threads` workers; results land in trial order.
-fn run_trials_parallel(
-    config: &ExperimentConfig,
-    options: &PipelineOptions,
-    threads: usize,
-) -> Result<Vec<TrialResult>> {
-    let mut slots: Vec<Option<Result<TrialResult>>> = Vec::new();
-    slots.resize_with(config.trials, || None);
+/// Worker count for a trial batch: `min(available cores, trials)`.
+fn thread_count(trials: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(trials)
+        .max(1)
+}
+
+/// Runs `run(trial)` for every trial index, fanned across `threads`
+/// workers, with results returned in trial order — the shared machinery of
+/// [`run_experiment`] and [`run_eta_sweep`]. Every trial owns a caller-
+/// derived RNG stream, so the output is bit-identical for any `threads`
+/// (verified by `parallelism_does_not_change_results`).
+fn map_trials<T, F>(trials: usize, threads: usize, run: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+{
+    if threads <= 1 {
+        return (0..trials).map(run).collect();
+    }
+    let mut slots: Vec<Option<Result<T>>> = Vec::new();
+    slots.resize_with(trials, || None);
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let slot_refs: Vec<std::sync::Mutex<&mut Option<Result<TrialResult>>>> =
+    let slot_refs: Vec<std::sync::Mutex<&mut Option<Result<T>>>> =
         slots.iter_mut().map(std::sync::Mutex::new).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
                 let trial = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if trial >= config.trials {
+                if trial >= trials {
                     break;
                 }
-                let mut rng = rng_from_seed(derive_seed(config.seed, trial as u64));
-                let result = crate::pipeline::run_trial(config, options, &mut rng);
+                let result = run(trial);
                 **slot_refs[trial].lock().expect("slot lock") = Some(result);
             });
         }
@@ -198,7 +202,16 @@ fn run_trials_parallel(
 }
 
 /// Runs an η sweep reusing one aggregation per trial (the recovery half is
-/// ~10⁴× cheaper than the aggregation half at paper scale).
+/// ~10⁴× cheaper than the aggregation half at paper scale), fanned across
+/// cores by the same machinery as [`run_experiment`].
+///
+/// Every `(trial, η)` cell gets its own RNG stream: a clone of the trial
+/// RNG taken right after aggregation — exactly the state a standalone
+/// [`run_experiment`] at that η would hand to the recovery arms. Cells are
+/// therefore bit-identical to standalone runs and independent of which
+/// *other* η values share the sweep (regression-tested by
+/// `eta_sweep_cells_match_standalone_runs`; threading one RNG through all
+/// ηs used to couple the k-means arm across cells).
 ///
 /// Returns one [`ExperimentResult`] per η, each over `config.trials` trials.
 ///
@@ -210,13 +223,21 @@ pub fn run_eta_sweep(
     options: &PipelineOptions,
 ) -> Result<Vec<ExperimentResult>> {
     config.validate()?;
+    let per_trial: Vec<Vec<TrialResult>> =
+        map_trials(config.trials, thread_count(config.trials), |trial| {
+            let mut rng = rng_from_seed(derive_seed(config.seed, trial as u64));
+            let aggregates = run_aggregation(config, options, &mut rng)?;
+            etas.iter()
+                .map(|&eta| {
+                    let mut eta_rng = rng.clone();
+                    apply_recoveries(&aggregates, eta, options, &mut eta_rng)
+                })
+                .collect()
+        })?;
     let mut buffers: Vec<MetricBuffers> = etas.iter().map(|_| MetricBuffers::default()).collect();
-    for trial in 0..config.trials {
-        let mut rng = rng_from_seed(derive_seed(config.seed, trial as u64));
-        let aggregates = run_aggregation(config, options, &mut rng)?;
-        for (buffer, &eta) in buffers.iter_mut().zip(etas) {
-            let result = apply_recoveries(&aggregates, eta, options, &mut rng)?;
-            buffer.push_trial(&result)?;
+    for trial_results in &per_trial {
+        for (buffer, result) in buffers.iter_mut().zip(trial_results) {
+            buffer.push_trial(result)?;
         }
     }
     Ok(buffers
@@ -285,12 +306,12 @@ mod tests {
         // path bit-identical to the sequential one.
         let config = quick_config(Some(AttackKind::Adaptive));
         let options = PipelineOptions::recovery_only();
-        let parallel = run_trials_parallel(&config, &options, 3).unwrap();
-        let mut sequential = Vec::new();
-        for trial in 0..config.trials {
+        let run = |trial: usize| {
             let mut rng = rng_from_seed(derive_seed(config.seed, trial as u64));
-            sequential.push(crate::pipeline::run_trial(&config, &options, &mut rng).unwrap());
-        }
+            crate::pipeline::run_trial(&config, &options, &mut rng)
+        };
+        let parallel = map_trials(config.trials, 3, run).unwrap();
+        let sequential = map_trials(config.trials, 1, run).unwrap();
         for (a, b) in parallel.iter().zip(&sequential) {
             assert_eq!(a.poisoned, b.poisoned);
             assert_eq!(a.recovered, b.recovered);
@@ -311,5 +332,86 @@ mod tests {
         }
         // Different η ⇒ different recovery error.
         assert_ne!(results[0].mse_recover.mean, results[2].mse_recover.mean);
+    }
+
+    #[test]
+    fn eta_sweep_cells_match_standalone_runs() {
+        // The RNG-coupling regression: with an rng-consuming arm (k-means)
+        // configured, each (trial, η) cell must be bit-identical to a
+        // standalone run_experiment at that η — in particular independent
+        // of which *other* η values share the sweep. The old code threaded
+        // one RNG through every η in sequence, so a cell's k-means draws
+        // depended on its position in the grid.
+        let mut config = quick_config(Some(AttackKind::MgaIpa { r: 5 }));
+        config.trials = 2;
+        let options = PipelineOptions {
+            kmeans: Some(ldprecover::KMeansDefense::default()),
+            ..PipelineOptions::default()
+        };
+        let etas = [0.05, 0.2, 0.4];
+        let swept = run_eta_sweep(&config, &etas, &options).unwrap();
+        for (cell, &eta) in swept.iter().zip(&etas) {
+            let mut standalone_cfg = config.clone();
+            standalone_cfg.eta = eta;
+            let standalone = run_experiment(&standalone_cfg, &options).unwrap();
+            assert_eq!(
+                cell.mse_recover.mean.to_bits(),
+                standalone.mse_recover.mean.to_bits(),
+                "eta={eta}: recover"
+            );
+            let (a, b) = (
+                cell.mse_kmeans.as_ref().unwrap(),
+                standalone.mse_kmeans.as_ref().unwrap(),
+            );
+            assert_eq!(a.mean.to_bits(), b.mean.to_bits(), "eta={eta}: k-means");
+            let (a, b) = (
+                cell.mse_recover_km.as_ref().unwrap(),
+                standalone.mse_recover_km.as_ref().unwrap(),
+            );
+            assert_eq!(a.mean.to_bits(), b.mean.to_bits(), "eta={eta}: recover-KM");
+        }
+        // And the sweep order must not matter: reversing the grid yields
+        // the same per-η cells.
+        let reversed: Vec<f64> = etas.iter().rev().copied().collect();
+        let swept_rev = run_eta_sweep(&config, &reversed, &options).unwrap();
+        for (fwd, rev) in swept.iter().zip(swept_rev.iter().rev()) {
+            assert_eq!(
+                fwd.mse_recover_km.as_ref().unwrap().mean.to_bits(),
+                rev.mse_recover_km.as_ref().unwrap().mean.to_bits(),
+                "eta={}: grid order leaked into the cell",
+                fwd.config.eta
+            );
+        }
+    }
+
+    #[test]
+    fn batched_and_per_user_experiments_agree_statistically() {
+        // Same config, both aggregation modes, means within a loose
+        // envelope of each other (they share no RNG draws, so only the
+        // distribution can agree).
+        let mut config = quick_config(Some(AttackKind::Adaptive));
+        config.trials = 6;
+        let batched = PipelineOptions {
+            aggregation: crate::config::AggregationMode::Batched,
+            ..PipelineOptions::default()
+        };
+        let per_user = PipelineOptions {
+            aggregation: crate::config::AggregationMode::PerUser,
+            ..PipelineOptions::default()
+        };
+        let a = run_experiment(&config, &batched).unwrap();
+        let b = run_experiment(&config, &per_user).unwrap();
+        for (x, y, what) in [
+            (&a.mse_genuine, &b.mse_genuine, "genuine"),
+            (&a.mse_before, &b.mse_before, "before"),
+        ] {
+            let spread = x.std.max(y.std).max(1e-9);
+            assert!(
+                (x.mean - y.mean).abs() < 8.0 * spread,
+                "{what}: batched {} vs per-user {}",
+                x.mean,
+                y.mean
+            );
+        }
     }
 }

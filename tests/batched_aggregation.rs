@@ -1,0 +1,118 @@
+//! Workspace-level contract of the count-based batched aggregation engine:
+//! batched trials are (a) deterministic per seed, (b) statistically
+//! interchangeable with per-user trials all the way through recovery, and
+//! (c) honest about their incompatibility with report-consuming arms.
+
+use ldp_attacks::AttackKind;
+use ldp_datasets::DatasetKind;
+use ldp_protocols::ProtocolKind;
+use ldp_sim::{run_experiment, AggregationMode, ExperimentConfig, PipelineOptions};
+
+fn config(protocol: ProtocolKind) -> ExperimentConfig {
+    let mut c =
+        ExperimentConfig::paper_default(DatasetKind::Ipums, protocol, Some(AttackKind::Adaptive));
+    c.scale = 0.02;
+    c.trials = 4;
+    c
+}
+
+fn options(mode: AggregationMode) -> PipelineOptions {
+    PipelineOptions {
+        aggregation: mode,
+        ..PipelineOptions::recovery_only()
+    }
+}
+
+#[test]
+fn batched_experiments_are_deterministic() {
+    for protocol in ProtocolKind::EXTENDED {
+        let c = config(protocol);
+        let opts = options(AggregationMode::Batched);
+        let a = run_experiment(&c, &opts).unwrap();
+        let b = run_experiment(&c, &opts).unwrap();
+        assert_eq!(
+            a.mse_recover.mean.to_bits(),
+            b.mse_recover.mean.to_bits(),
+            "{protocol:?}"
+        );
+        assert_eq!(
+            a.mse_before.mean.to_bits(),
+            b.mse_before.mean.to_bits(),
+            "{protocol:?}"
+        );
+    }
+}
+
+#[test]
+fn batched_recovery_matches_per_user_recovery_statistically() {
+    // The end-to-end equivalence check: for every protocol, both modes
+    // must land in the same MSE envelope before *and* after recovery.
+    // They share no RNG draws, so the comparison is distributional: means
+    // within 8 pooled standard deviations.
+    for protocol in ProtocolKind::ALL {
+        let c = config(protocol);
+        let batched = run_experiment(&c, &options(AggregationMode::Batched)).unwrap();
+        let per_user = run_experiment(&c, &options(AggregationMode::PerUser)).unwrap();
+        for (a, b, what) in [
+            (&batched.mse_genuine, &per_user.mse_genuine, "genuine"),
+            (&batched.mse_before, &per_user.mse_before, "before"),
+            (&batched.mse_recover, &per_user.mse_recover, "recover"),
+        ] {
+            let spread = a.std.max(b.std).max(1e-9);
+            assert!(
+                (a.mean - b.mean).abs() < 8.0 * spread,
+                "{protocol:?} {what}: batched {} vs per-user {} (spread {spread})",
+                a.mean,
+                b.mean
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_recovery_still_beats_poisoning() {
+    // The paper's headline ordering must survive the engine swap.
+    let mut c = config(ProtocolKind::Grr);
+    c.trials = 6;
+    let result = run_experiment(&c, &options(AggregationMode::Batched)).unwrap();
+    assert!(
+        result.mse_recover.mean < result.mse_before.mean,
+        "recover {} !< before {}",
+        result.mse_recover.mean,
+        result.mse_before.mean
+    );
+}
+
+#[test]
+fn forced_batched_mode_rejects_report_arms() {
+    let c = config(ProtocolKind::Oue);
+    let opts = PipelineOptions {
+        aggregation: AggregationMode::Batched,
+        ..PipelineOptions::full_comparison()
+    };
+    assert!(run_experiment(&c, &opts).is_err());
+}
+
+#[test]
+fn auto_mode_preserves_full_comparison_arms() {
+    // Auto must silently fall back to per-user when Detection/k-means are
+    // in play: every arm of the Fig. 3/4 comparison still materializes.
+    let mut c = config(ProtocolKind::Oue);
+    c.attack = Some(AttackKind::Mga { r: 10 });
+    let result = run_experiment(&c, &PipelineOptions::full_comparison()).unwrap();
+    assert!(result.mse_star.is_some());
+    assert!(result.mse_detection.is_some());
+    assert!(result.fg_before.is_some());
+}
+
+#[test]
+fn batched_estimates_stay_near_truth_at_tiny_scale() {
+    // Direct accuracy guard (independent of the per-user path): the
+    // batched genuine estimate must sit at the LDP noise floor, i.e. its
+    // MSE against the truth is far below the poisoned estimate's.
+    let mut c = config(ProtocolKind::Grr);
+    c.beta = 0.10;
+    let result = run_experiment(&c, &options(AggregationMode::Batched)).unwrap();
+    assert!(result.mse_genuine.mean < result.mse_before.mean);
+    assert!(result.mse_genuine.mean.is_finite());
+}

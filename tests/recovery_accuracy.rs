@@ -190,7 +190,9 @@ fn recovery_restores_the_heavy_hitter_list() {
     let options = PipelineOptions::recovery_only();
     let mut recall_poisoned = 0.0;
     let mut recall_recovered = 0.0;
-    let trials = 4;
+    // Top-10 recall moves in 0.1 quanta, so 4 trials leave the margin one
+    // flipped item wide; 10 trials keep the assertion honest.
+    let trials = 10;
     for trial in 0..trials {
         let mut rng = rng_from_seed(1000 + trial);
         let r = run_trial(&config, &options, &mut rng).unwrap();
