@@ -1,188 +1,11 @@
 //! Ablation studies for the design choices DESIGN.md §6 calls out —
 //! experiments beyond the paper that quantify each modeling decision:
-//!
-//! 1. **Malicious-sum model** (Eq. 21 vs collision-aware) on OLH, where the
-//!    paper's constant ignores hash collisions.
-//! 2. **Refinement solver** (norm-sub vs exact simplex projection vs
-//!    clip+normalize) — Algorithm 1 vs alternatives.
-//! 3. **D₁ fallback** on AA-OUE, where Eq. (26)'s positive-frequency
-//!    heuristic degenerates (see EXPERIMENTS.md).
-//! 4. **MGA padding** — attack strength vs detectability trade-off.
+//! malicious-sum model (OLH), refinement solver, D₁ fallback (OUE), and
+//! MGA padding. Defined as custom scenario cells in
+//! `ldp_sim::scenario::catalog`.
 
-use ldp_attacks::AttackKind;
-use ldp_bench::Cli;
-use ldp_common::rng::{derive_seed, rng_from_seed};
 use ldp_common::Result;
-use ldp_datasets::DatasetKind;
-use ldp_protocols::ProtocolKind;
-use ldp_sim::pipeline::run_aggregation;
-use ldp_sim::{metrics::mse, ExperimentConfig, PipelineOptions, Table};
-use ldprecover::{LdpRecover, MaliciousSumModel, PostProcess};
 
 fn main() -> Result<()> {
-    let cli = Cli::parse()?;
-    cli.print_header(
-        "Ablations: malicious-sum model, solver, D1 fallback, MGA padding",
-        "",
-    );
-
-    sum_model_ablation(&cli)?;
-    solver_ablation(&cli)?;
-    d1_fallback_ablation(&cli)?;
-    mga_padding_ablation(&cli)?;
-    Ok(())
-}
-
-/// Per-trial aggregates for an attack/protocol cell.
-fn aggregates_for(
-    cli: &Cli,
-    protocol: ProtocolKind,
-    attack: AttackKind,
-    trial: u64,
-) -> Result<ldp_sim::TrialAggregates> {
-    let mut config = ExperimentConfig::paper_default(DatasetKind::Ipums, protocol, Some(attack));
-    cli.apply(&mut config);
-    let mut rng = rng_from_seed(derive_seed(config.seed, trial));
-    run_aggregation(&config, &PipelineOptions::default(), &mut rng)
-}
-
-fn sum_model_ablation(cli: &Cli) -> Result<()> {
-    let mut table = Table::new([
-        "attack",
-        "MSE paper-sum (Eq.21)",
-        "MSE collision-aware",
-        "malicious-MSE paper",
-        "malicious-MSE aware",
-    ]);
-    for attack in [AttackKind::Adaptive, AttackKind::Mga { r: 10 }] {
-        let mut acc = [0.0f64; 4];
-        for trial in 0..cli.trials as u64 {
-            let agg = aggregates_for(cli, ProtocolKind::Olh, attack, trial)?;
-            let params = agg.params();
-            let mal_true = agg.malicious_true_freqs.as_ref().expect("attacked");
-            for (i, model) in [MaliciousSumModel::Paper, MaliciousSumModel::CollisionAware]
-                .into_iter()
-                .enumerate()
-            {
-                let out = LdpRecover::new(0.2)?
-                    .with_sum_model(model)
-                    .recover(&agg.poisoned_freqs, params)?;
-                acc[i] += mse(&out.frequencies, &agg.true_freqs);
-                acc[2 + i] += mse(&out.malicious_estimate, mal_true);
-            }
-        }
-        let t = cli.trials as f64;
-        table.push_row([
-            format!("{}-OLH", attack.label()),
-            format!("{:.3e}", acc[0] / t),
-            format!("{:.3e}", acc[1] / t),
-            format!("{:.3e}", acc[2] / t),
-            format!("{:.3e}", acc[3] / t),
-        ]);
-    }
-    cli.print_table("Ablation 1: malicious-sum model on OLH (IPUMS)", &table);
-    Ok(())
-}
-
-fn solver_ablation(cli: &Cli) -> Result<()> {
-    let mut table = Table::new(["solver", "MSE AA-GRR", "MSE MGA-GRR"]);
-    let solvers = [
-        ("norm-sub (Alg. 1)", PostProcess::NormSub),
-        ("simplex projection", PostProcess::SimplexProjection),
-        ("clip+normalize", PostProcess::ClipNormalize),
-        ("base-cut", PostProcess::BaseCut),
-    ];
-    let mut rows = vec![[0.0f64; 2]; solvers.len()];
-    for (col, attack) in [AttackKind::Adaptive, AttackKind::Mga { r: 10 }]
-        .into_iter()
-        .enumerate()
-    {
-        for trial in 0..cli.trials as u64 {
-            let agg = aggregates_for(cli, ProtocolKind::Grr, attack, trial)?;
-            for (row, (_, solver)) in solvers.iter().enumerate() {
-                let out = LdpRecover::new(0.2)?
-                    .with_post_process(*solver)
-                    .recover(&agg.poisoned_freqs, agg.params())?;
-                rows[row][col] += mse(&out.frequencies, &agg.true_freqs);
-            }
-        }
-    }
-    let t = cli.trials as f64;
-    for ((name, _), row) in solvers.iter().zip(&rows) {
-        table.push_row([
-            name.to_string(),
-            format!("{:.3e}", row[0] / t),
-            format!("{:.3e}", row[1] / t),
-        ]);
-    }
-    cli.print_table("Ablation 2: refinement solver on GRR (IPUMS)", &table);
-    Ok(())
-}
-
-fn d1_fallback_ablation(cli: &Cli) -> Result<()> {
-    let mut table = Table::new(["attack", "MSE paper-exact", "MSE with D1 fallback (10%)"]);
-    for attack in [AttackKind::Adaptive, AttackKind::AdaptiveCamouflaged] {
-        let mut acc = [0.0f64; 2];
-        for trial in 0..cli.trials as u64 {
-            let agg = aggregates_for(cli, ProtocolKind::Oue, attack, trial)?;
-            let params = agg.params();
-            let paper = LdpRecover::new(0.2)?.recover(&agg.poisoned_freqs, params)?;
-            let fallback = LdpRecover::new(0.2)?
-                .with_d1_fallback(0.1)
-                .recover(&agg.poisoned_freqs, params)?;
-            acc[0] += mse(&paper.frequencies, &agg.true_freqs);
-            acc[1] += mse(&fallback.frequencies, &agg.true_freqs);
-        }
-        let t = cli.trials as f64;
-        table.push_row([
-            format!("{}-OUE", attack.label()),
-            format!("{:.3e}", acc[0] / t),
-            format!("{:.3e}", acc[1] / t),
-        ]);
-    }
-    cli.print_table("Ablation 3: D1 uniform fallback on OUE (IPUMS)", &table);
-    Ok(())
-}
-
-fn mga_padding_ablation(cli: &Cli) -> Result<()> {
-    use ldp_attacks::{Mga, PoisoningAttack};
-    use ldp_common::Domain;
-    use ldp_protocols::LdpFrequencyProtocol;
-    use ldprecover::Detection;
-
-    let domain = Domain::new(102)?;
-    let protocol = ProtocolKind::Oue.build(0.5, domain)?;
-    let mut rng = rng_from_seed(cli.seed);
-    let targets: Vec<usize> = (20..30).collect();
-    let detection = Detection::new(targets.clone())?;
-    let m = 2_000;
-
-    let mut table = Table::new(["variant", "targets/report", "flagged by detection"]);
-    for (name, attack) in [
-        ("padded (default)", Mga::new(targets.clone())),
-        ("un-padded", Mga::new(targets.clone()).without_padding()),
-    ] {
-        let reports = attack.craft(&protocol, m, &mut rng);
-        let avg_support: f64 = reports
-            .iter()
-            .map(|r| targets.iter().filter(|&&t| protocol.supports(r, t)).count() as f64)
-            .sum::<f64>()
-            / m as f64;
-        let flagged = detection
-            .keep_mask(&protocol, &reports)
-            .iter()
-            .filter(|&&keep| !keep)
-            .count();
-        table.push_row([
-            name.to_string(),
-            format!("{avg_support:.1}"),
-            format!("{:.1}%", 100.0 * flagged as f64 / m as f64),
-        ]);
-    }
-    cli.print_table(
-        "Ablation 4: MGA-OUE padding (both support all targets; padding \
-         changes the popcount signature, not the r-target one)",
-        &table,
-    );
-    Ok(())
+    ldp_bench::run_figure("ablations")
 }

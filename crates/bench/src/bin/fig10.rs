@@ -1,49 +1,9 @@
 //! Figure 10 — multi-attacker poisoning: five independent adaptive
 //! attackers share the malicious population (IPUMS, β ∈ [0.05, 0.25]).
-//!
-//! Paper anchor (§VII-C): LDPRecover recovers accurately from
-//! multi-attacker poisoning — e.g. an average 80.2% MSE improvement over
-//! the poisoned frequencies for GRR.
+//! Grid definition: `ldp_sim::scenario::catalog`.
 
-use ldp_attacks::AttackKind;
-use ldp_bench::{Cli, BETA_GRID_WIDE};
 use ldp_common::Result;
-use ldp_datasets::DatasetKind;
-use ldp_protocols::ProtocolKind;
-use ldp_sim::table::fmt_mean;
-use ldp_sim::{run_experiment, ExperimentConfig, PipelineOptions, Table};
 
 fn main() -> Result<()> {
-    let cli = Cli::parse()?;
-    cli.print_header(
-        "Figure 10: multi-attacker adaptive poisoning (5 attackers, IPUMS)",
-        "LDPRecover ≈ 80.2% average MSE improvement for GRR (paper)",
-    );
-
-    for protocol in ProtocolKind::ALL {
-        let mut table = Table::new(["beta", "MSE before", "MSE LDPRecover", "improvement"]);
-        let mut improvements = Vec::new();
-        for &beta in &BETA_GRID_WIDE {
-            let mut config = ExperimentConfig::paper_default(
-                DatasetKind::Ipums,
-                protocol,
-                Some(AttackKind::MultiAdaptive { attackers: 5 }),
-            );
-            cli.apply(&mut config);
-            config.beta = beta;
-            let result = run_experiment(&config, &PipelineOptions::default())?;
-            let improvement = 1.0 - result.mse_recover.mean / result.mse_before.mean;
-            improvements.push(improvement);
-            table.push_row([
-                format!("{beta}"),
-                fmt_mean(&result.mse_before),
-                fmt_mean(&result.mse_recover),
-                format!("{:.1}%", 100.0 * improvement),
-            ]);
-        }
-        cli.print_table(&format!("Fig. 10 (MUL-AA-{protocol}, IPUMS)"), &table);
-        let avg = improvements.iter().sum::<f64>() / improvements.len() as f64;
-        println!("average improvement ({protocol}): {:.1}%\n", 100.0 * avg);
-    }
-    Ok(())
+    ldp_bench::run_figure("fig10")
 }

@@ -1,57 +1,12 @@
 //! Figure 3 — MSE of {before recovery, Detection, LDPRecover, LDPRecover\*}
 //! for Manip-GRR, MGA-{GRR,OUE,OLH}, AA-{GRR,OUE,OLH} on both datasets.
 //!
-//! Paper reading (ε = 0.5, β = 0.05, η = 0.2, 10 trials, full scale):
-//! before-recovery bars sit around 10⁻² and both LDPRecover variants drop
-//! them to the 10⁻³–10⁻⁴ decade, with LDPRecover\* lowest under MGA and
-//! Detection in between.
+//! The grid lives in the shared scenario catalog
+//! (`ldp_sim::scenario::catalog`); this binary only parses the common
+//! flags and drives the engine.
 
-use ldp_attacks::AttackKind;
-use ldp_bench::Cli;
 use ldp_common::Result;
-use ldp_datasets::DatasetKind;
-use ldp_protocols::ProtocolKind;
-use ldp_sim::table::{fmt_mean, fmt_stat};
-use ldp_sim::{run_experiment, ExperimentConfig, PipelineOptions, Table};
 
 fn main() -> Result<()> {
-    let cli = Cli::parse()?;
-    cli.print_header(
-        "Figure 3: MSE across attacks, protocols, and recovery methods",
-        "before ≈ 1e-2; LDPRecover/LDPRecover* ≈ 1e-3..1e-4; Detection in between",
-    );
-
-    let cells: [(AttackKind, ProtocolKind); 7] = [
-        (AttackKind::Manip { h: 10 }, ProtocolKind::Grr),
-        (AttackKind::Mga { r: 10 }, ProtocolKind::Grr),
-        (AttackKind::Mga { r: 10 }, ProtocolKind::Oue),
-        (AttackKind::Mga { r: 10 }, ProtocolKind::Olh),
-        (AttackKind::Adaptive, ProtocolKind::Grr),
-        (AttackKind::Adaptive, ProtocolKind::Oue),
-        (AttackKind::Adaptive, ProtocolKind::Olh),
-    ];
-
-    for dataset in DatasetKind::ALL {
-        let mut table = Table::new([
-            "cell",
-            "MSE before",
-            "MSE Detection",
-            "MSE LDPRecover",
-            "MSE LDPRecover*",
-        ]);
-        for (attack, protocol) in cells {
-            let mut config = ExperimentConfig::paper_default(dataset, protocol, Some(attack));
-            cli.apply(&mut config);
-            let result = run_experiment(&config, &PipelineOptions::full_comparison())?;
-            table.push_row([
-                config.label(),
-                fmt_mean(&result.mse_before),
-                fmt_stat(&result.mse_detection),
-                fmt_mean(&result.mse_recover),
-                fmt_stat(&result.mse_star),
-            ]);
-        }
-        cli.print_table(&format!("Fig. 3 ({dataset} dataset)"), &table);
-    }
-    Ok(())
+    ldp_bench::run_figure("fig3")
 }

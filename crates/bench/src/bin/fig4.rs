@@ -1,47 +1,8 @@
 //! Figure 4 — frequency gain (FG) of the four methods under MGA on both
-//! datasets.
-//!
-//! Paper reading: before-recovery FG ≈ 8 (GRR) / ≈ 4 (OUE, OLH) on IPUMS
-//! and up to ≈ 30 (GRR) on Fire; LDPRecover collapses the gain,
-//! LDPRecover\* drives it to ≈ 0 or negative, Detection lands in between.
+//! datasets. Grid definition: `ldp_sim::scenario::catalog`.
 
-use ldp_attacks::AttackKind;
-use ldp_bench::Cli;
 use ldp_common::Result;
-use ldp_datasets::DatasetKind;
-use ldp_protocols::ProtocolKind;
-use ldp_sim::table::fmt_stat;
-use ldp_sim::{run_experiment, ExperimentConfig, PipelineOptions, Table};
 
 fn main() -> Result<()> {
-    let cli = Cli::parse()?;
-    cli.print_header(
-        "Figure 4: frequency gain under MGA (r = 10)",
-        "IPUMS before: GRR ≈ 8, OUE/OLH ≈ 4; Fire GRR ≈ 30; recovered ≈ 0, star ≤ 0",
-    );
-
-    for dataset in DatasetKind::ALL {
-        let mut table = Table::new([
-            "cell",
-            "FG before",
-            "FG Detection",
-            "FG LDPRecover",
-            "FG LDPRecover*",
-        ]);
-        for protocol in ProtocolKind::ALL {
-            let mut config =
-                ExperimentConfig::paper_default(dataset, protocol, Some(AttackKind::Mga { r: 10 }));
-            cli.apply(&mut config);
-            let result = run_experiment(&config, &PipelineOptions::full_comparison())?;
-            table.push_row([
-                config.label(),
-                fmt_stat(&result.fg_before),
-                fmt_stat(&result.fg_detection),
-                fmt_stat(&result.fg_recover),
-                fmt_stat(&result.fg_star),
-            ]);
-        }
-        cli.print_table(&format!("Fig. 4 ({dataset} dataset)"), &table);
-    }
-    Ok(())
+    ldp_bench::run_figure("fig4")
 }

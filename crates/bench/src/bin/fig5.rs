@@ -1,20 +1,10 @@
 //! Figure 5 — impact of β ∈ [0.001, 0.1], ε ∈ [0.1, 1.6], η ∈ [0.01, 0.4]
-//! on recovery from the adaptive attack (IPUMS, three protocols).
-//!
-//! Paper anchor (§VI-D): at β = 0.05 and η = 0.4 on GRR, LDPRecover
-//! averages MSE ≈ 1.42 × 10⁻⁴ vs ≈ 8.78 × 10⁻² for the poisoned
-//! frequencies; MSE before recovery grows with β; LDPRecover\* stays low
-//! and stable across ε; both methods are effective for every η.
+//! on recovery from the adaptive attack (IPUMS, three protocols). The η
+//! grid shares one aggregation per trial via the engine's η-sweep fusion.
+//! Grid definition: `ldp_sim::scenario::catalog`.
 
-use ldp_bench::{sweeps::run_parameter_sweeps, Cli};
 use ldp_common::Result;
-use ldp_datasets::DatasetKind;
 
 fn main() -> Result<()> {
-    let cli = Cli::parse()?;
-    cli.print_header(
-        "Figure 5: parameter impact on recovery from AA (IPUMS)",
-        "GRR @ beta=0.05, eta=0.4: LDPRecover ≈ 1.42e-4 vs poisoned ≈ 8.78e-2 (full scale)",
-    );
-    run_parameter_sweeps(&cli, DatasetKind::Ipums, "Fig. 5")
+    ldp_bench::run_figure("fig5")
 }

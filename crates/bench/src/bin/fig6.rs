@@ -1,17 +1,8 @@
 //! Figure 6 — the Fig. 5 parameter sweeps repeated on the Fire dataset.
-//!
-//! Paper reading: same qualitative shapes as Fig. 5 with lower absolute
-//! MSE levels (Fire has ≈ 1.7× the users and a flatter distribution).
+//! Grid definition: `ldp_sim::scenario::catalog`.
 
-use ldp_bench::{sweeps::run_parameter_sweeps, Cli};
 use ldp_common::Result;
-use ldp_datasets::DatasetKind;
 
 fn main() -> Result<()> {
-    let cli = Cli::parse()?;
-    cli.print_header(
-        "Figure 6: parameter impact on recovery from AA (Fire)",
-        "same shapes as Fig. 5 at lower MSE levels (larger n, flatter distribution)",
-    );
-    run_parameter_sweeps(&cli, DatasetKind::Fire, "Fig. 6")
+    ldp_bench::run_figure("fig6")
 }

@@ -1,49 +1,9 @@
-//! Figure 7 — MSE between the *estimated* malicious frequencies
-//! (LDPRecover's uniform spread vs LDPRecover\*'s target-aware model) and
-//! the *true* malicious aggregated frequencies, under MGA on IPUMS,
-//! β ∈ [0.05, 0.25].
-//!
-//! Paper reading: LDPRecover\* estimates malicious frequencies one-plus
-//! orders of magnitude more accurately than LDPRecover across the whole β
-//! range and all three protocols — the mechanism behind its lower MSE/FG.
+//! Figure 7 — MSE between the *estimated* malicious frequencies and the
+//! *true* malicious aggregated frequencies, under MGA on IPUMS,
+//! β ∈ [0.05, 0.25]. Grid definition: `ldp_sim::scenario::catalog`.
 
-use ldp_attacks::AttackKind;
-use ldp_bench::{Cli, BETA_GRID_WIDE};
 use ldp_common::Result;
-use ldp_datasets::DatasetKind;
-use ldp_protocols::ProtocolKind;
-use ldp_sim::table::fmt_stat;
-use ldp_sim::{run_experiment, ExperimentConfig, PipelineOptions, Table};
 
 fn main() -> Result<()> {
-    let cli = Cli::parse()?;
-    cli.print_header(
-        "Figure 7: accuracy of the estimated malicious frequencies (IPUMS, MGA)",
-        "LDPRecover* beats LDPRecover by ≥ 1 order of magnitude across beta",
-    );
-
-    for protocol in ProtocolKind::ALL {
-        let mut table = Table::new([
-            "beta",
-            "malicious-MSE LDPRecover",
-            "malicious-MSE LDPRecover*",
-        ]);
-        for &beta in &BETA_GRID_WIDE {
-            let mut config = ExperimentConfig::paper_default(
-                DatasetKind::Ipums,
-                protocol,
-                Some(AttackKind::Mga { r: 10 }),
-            );
-            cli.apply(&mut config);
-            config.beta = beta;
-            let result = run_experiment(&config, &PipelineOptions::recovery_only())?;
-            table.push_row([
-                format!("{beta}"),
-                fmt_stat(&result.malicious_mse_recover),
-                fmt_stat(&result.malicious_mse_star),
-            ]);
-        }
-        cli.print_table(&format!("Fig. 7 ({protocol}, IPUMS)"), &table);
-    }
-    Ok(())
+    ldp_bench::run_figure("fig7")
 }

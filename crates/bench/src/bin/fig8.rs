@@ -1,50 +1,9 @@
 //! Figure 8 — MGA vs MGA-IPA: poisoned-frequency MSE under the general
 //! attack and its input-poisoning variant (IPUMS, β ∈ [0.05, 0.25]).
-//!
-//! Paper anchor (§VII-B): attacking GRR, the original MGA's MSE spans
-//! 6.07 × 10⁻² – 1.08 while MGA-IPA stays at 5.16 × 10⁻⁴ – 6.21 × 10⁻⁴ —
-//! a 2–4 order-of-magnitude gap. (At reduced scale the IPA numbers are
-//! dominated by the LDP noise floor, which the table also reports.)
+//! Grid definition: `ldp_sim::scenario::catalog`.
 
-use ldp_attacks::AttackKind;
-use ldp_bench::{Cli, BETA_GRID_WIDE};
 use ldp_common::Result;
-use ldp_datasets::DatasetKind;
-use ldp_protocols::ProtocolKind;
-use ldp_sim::table::fmt_mean;
-use ldp_sim::{run_experiment, ExperimentConfig, PipelineOptions, Table};
 
 fn main() -> Result<()> {
-    let cli = Cli::parse()?;
-    cli.print_header(
-        "Figure 8: general MGA vs input-poisoning MGA-IPA (IPUMS)",
-        "GRR: MGA MSE 6.07e-2..1.08 vs MGA-IPA 5.16e-4..6.21e-4 (paper, full scale)",
-    );
-
-    for protocol in ProtocolKind::ALL {
-        let mut table = Table::new(["beta", "MSE MGA", "MSE MGA-IPA", "noise floor"]);
-        for &beta in &BETA_GRID_WIDE {
-            let mut mga = ExperimentConfig::paper_default(
-                DatasetKind::Ipums,
-                protocol,
-                Some(AttackKind::Mga { r: 10 }),
-            );
-            cli.apply(&mut mga);
-            mga.beta = beta;
-            let mga_result = run_experiment(&mga, &PipelineOptions::default())?;
-
-            let mut ipa = mga.clone();
-            ipa.attack = Some(AttackKind::MgaIpa { r: 10 });
-            let ipa_result = run_experiment(&ipa, &PipelineOptions::default())?;
-
-            table.push_row([
-                format!("{beta}"),
-                fmt_mean(&mga_result.mse_before),
-                fmt_mean(&ipa_result.mse_before),
-                fmt_mean(&ipa_result.mse_genuine),
-            ]);
-        }
-        cli.print_table(&format!("Fig. 8 ({protocol}, IPUMS)"), &table);
-    }
-    Ok(())
+    ldp_bench::run_figure("fig8")
 }

@@ -1,49 +1,9 @@
-//! Figure 9 — defending input poisoning: LDPRecover-KM vs plain k-means vs
-//! no defense, under MGA-IPA on IPUMS, sample rate ξ ∈ [0.1, 0.9].
-//!
-//! Paper anchor (§VII-B): integrating LDPRecover with the k-means subset
-//! defense improves recovery accuracy by ≈ 48.9% over k-means alone when
-//! MGA-IPA attacks GRR.
+//! Figure 9 — defending input poisoning: LDPRecover-KM vs plain k-means
+//! vs no defense, under MGA-IPA on IPUMS, sample rate ξ ∈ [0.1, 0.9].
+//! Grid definition: `ldp_sim::scenario::catalog`.
 
-use ldp_attacks::AttackKind;
-use ldp_bench::{Cli, XI_GRID};
 use ldp_common::Result;
-use ldp_datasets::DatasetKind;
-use ldp_protocols::ProtocolKind;
-use ldp_sim::table::{fmt_mean, fmt_stat};
-use ldp_sim::{run_experiment, ExperimentConfig, PipelineOptions, Table};
-use ldprecover::KMeansDefense;
 
 fn main() -> Result<()> {
-    let cli = Cli::parse()?;
-    cli.print_header(
-        "Figure 9: LDPRecover-KM vs k-means under MGA-IPA (IPUMS)",
-        "LDPRecover-KM ≈ 48.9% better than k-means alone for GRR (paper)",
-    );
-
-    for protocol in ProtocolKind::ALL {
-        let mut table = Table::new(["xi", "MSE before", "MSE k-means", "MSE LDPRecover-KM"]);
-        for &xi in &XI_GRID {
-            let mut config = ExperimentConfig::paper_default(
-                DatasetKind::Ipums,
-                protocol,
-                Some(AttackKind::MgaIpa { r: 10 }),
-            );
-            cli.apply(&mut config);
-            // Keep the clustering cost bounded: G = 20 subsets of rate ξ.
-            let options = PipelineOptions {
-                kmeans: Some(KMeansDefense::new(20, xi)?),
-                ..Default::default()
-            };
-            let result = run_experiment(&config, &options)?;
-            table.push_row([
-                format!("{xi}"),
-                fmt_mean(&result.mse_before),
-                fmt_stat(&result.mse_kmeans),
-                fmt_stat(&result.mse_recover_km),
-            ]);
-        }
-        cli.print_table(&format!("Fig. 9 ({protocol}, IPUMS)"), &table);
-    }
-    Ok(())
+    ldp_bench::run_figure("fig9")
 }

@@ -1,114 +1,10 @@
 //! Extension experiment — key-value LDP under M2GA poisoning and
-//! LDPRecover-KV (the base paper's stated future work; see
-//! `ldp-kv` crate docs and EXPERIMENTS.md "Key-value extension").
-//!
-//! Reports, per β, the target-key frequency gain and mean shift before and
-//! after recovery, plus the probe-anomaly localization accuracy.
+//! LDPRecover-KV (the base paper's stated future work; see the `ldp-kv`
+//! crate docs). Defined as custom scenario cells in
+//! `ldp_sim::scenario::catalog`.
 
-use ldp_bench::{Cli, BETA_GRID_WIDE};
-use ldp_common::rng::{derive_seed, rng_from_seed};
-use ldp_common::sampling::{zipf_weights, AliasTable};
-use ldp_common::{Domain, Result};
-use ldp_kv::{KvProtocol, KvRecover, M2ga};
-use ldp_sim::Table;
-use rand::Rng;
-
-const D: usize = 50;
-const BASE_USERS: usize = 200_000;
-const EPSILON: f64 = 2.0;
-
-struct Cell {
-    fg_before: f64,
-    fg_after: f64,
-    mean_shift_before: f64,
-    mean_shift_after: f64,
-    probe_accuracy: f64,
-}
-
-fn run_cell(beta: f64, trials: usize, scale: f64, seed: u64) -> Result<Cell> {
-    let n = ((BASE_USERS as f64) * scale).round() as usize;
-    let m = ((beta / (1.0 - beta)) * n as f64).round() as usize;
-    let domain = Domain::new(D)?;
-    let kv = KvProtocol::new(EPSILON, domain)?;
-    let weights = zipf_weights(D, 1.0);
-    let sampler = AliasTable::new(&weights)?;
-    let mean_of = |k: usize| if k.is_multiple_of(2) { 0.4 } else { -0.4 };
-
-    let mut acc = Cell {
-        fg_before: 0.0,
-        fg_after: 0.0,
-        mean_shift_before: 0.0,
-        mean_shift_after: 0.0,
-        probe_accuracy: 0.0,
-    };
-    for trial in 0..trials {
-        let mut rng = rng_from_seed(derive_seed(seed, trial as u64));
-        let mut reports = Vec::with_capacity(n + m);
-        for _ in 0..n {
-            let key = sampler.sample(&mut rng);
-            reports.push(kv.perturb(key, mean_of(key), &mut rng)?);
-        }
-        let clean = kv.estimate(&kv.aggregate(&reports)?)?;
-
-        let target = D - 1;
-        let attack = M2ga::new(vec![target]);
-        reports.extend(attack.craft(&kv, m, &mut rng));
-        let agg = kv.aggregate(&reports)?;
-        let poisoned = kv.estimate(&agg)?;
-        let recovered = KvRecover::default().recover(&kv, &agg)?;
-
-        acc.fg_before += poisoned.frequencies[target] - clean.frequencies[target];
-        acc.fg_after += recovered.frequencies[target] - clean.frequencies[target];
-        acc.mean_shift_before += poisoned.means[target] - mean_of(target);
-        acc.mean_shift_after += recovered.means[target] - mean_of(target);
-        acc.probe_accuracy += if m > 0 {
-            (recovered.malicious_probes[target] / m as f64).min(2.0)
-        } else {
-            1.0
-        };
-    }
-    let t = trials as f64;
-    acc.fg_before /= t;
-    acc.fg_after /= t;
-    acc.mean_shift_before /= t;
-    acc.mean_shift_after /= t;
-    acc.probe_accuracy /= t;
-    Ok(acc)
-}
+use ldp_common::Result;
 
 fn main() -> Result<()> {
-    let cli = Cli::parse()?;
-    cli.print_header(
-        "Extension: key-value LDP (PrivKV-style) under M2GA + LDPRecover-KV",
-        "future work of the base paper; d=50, eps=2.0, Zipf(1) keys, means ±0.4",
-    );
-
-    let mut table = Table::new([
-        "beta",
-        "FG before",
-        "FG after",
-        "mean shift before",
-        "mean shift after",
-        "probe-anomaly recall",
-    ]);
-    for &beta in &BETA_GRID_WIDE {
-        let cell = run_cell(beta, cli.trials, cli.scale, cli.seed)?;
-        table.push_row([
-            format!("{beta}"),
-            format!("{:+.4}", cell.fg_before),
-            format!("{:+.4}", cell.fg_after),
-            format!("{:+.3}", cell.mean_shift_before),
-            format!("{:+.3}", cell.mean_shift_after),
-            format!("{:.2}", cell.probe_accuracy),
-        ]);
-    }
-    cli.print_table("Key-value extension (target = rarest key)", &table);
-
-    // Keep the harness honest about what the probe-anomaly defense cannot
-    // see: attackers spreading across ≥ d/2 keys defeat the median
-    // baseline (documented breakdown point).
-    let mut rng = rng_from_seed(cli.seed);
-    let wide: usize = rng.gen_range(D / 2..D);
-    println!("note: probe-anomaly baseline breaks down past ~d/2 targeted keys ({wide}+ of {D}).");
-    Ok(())
+    ldp_bench::run_figure("kv_extension")
 }

@@ -1,53 +1,16 @@
 //! Runs the complete reproduction: every table and figure of the paper's
-//! evaluation, in order. Accepts the common flags of all `fig*` binaries;
-//! `--quick` produces a fast smoke run, `--full` the paper-scale run.
+//! evaluation, in catalog order, in-process through the scenario engine.
+//! Accepts the common flags of all `fig*` binaries; `--quick` produces a
+//! fast smoke run, `--full` (or `--scale paper`) the paper-scale run, and
+//! `--json DIR` writes one structured report per figure.
 //!
 //! ```text
 //! cargo run --release -p ldp-bench --bin repro -- --quick
+//! cargo run --release -p ldp-bench --bin repro -- --scale small --json reports
 //! ```
 
-use ldp_bench::Cli;
 use ldp_common::Result;
-use std::process::Command;
-
-/// The paper's experiments in presentation order, then the extensions.
-const EXPERIMENTS: [&str; 11] = [
-    "fig3",
-    "fig4",
-    "fig5",
-    "fig6",
-    "fig7",
-    "table1",
-    "fig8",
-    "fig9",
-    "fig10",
-    "ablations",
-    "kv_extension",
-];
 
 fn main() -> Result<()> {
-    // Validate flags once up front (each child re-parses its own copy).
-    let _cli = Cli::parse()?;
-    let args: Vec<String> = std::env::args().skip(1).collect();
-
-    let exe = std::env::current_exe()?;
-    let bin_dir = exe.parent().expect("binary directory");
-
-    for name in EXPERIMENTS {
-        let path = bin_dir.join(name);
-        println!("################################################################");
-        println!("## {name}");
-        println!("################################################################");
-        let status = Command::new(&path).args(&args).status()?;
-        if !status.success() {
-            return Err(ldp_common::LdpError::invalid(format!(
-                "{name} exited with {status}"
-            )));
-        }
-    }
-    println!(
-        "repro complete: all {} experiments finished.",
-        EXPERIMENTS.len()
-    );
-    Ok(())
+    ldp_bench::run_all_figures()
 }

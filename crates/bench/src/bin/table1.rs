@@ -1,69 +1,10 @@
 //! Table I — MSE of LDPRecover executed on *unpoisoned* frequencies
-//! (β = 0): the cost of running recovery when no attack happened.
-//!
-//! Paper values (full scale):
-//!
-//! | LDP | IPUMS before | IPUMS after | Fire before | Fire after |
-//! |-----|--------------|-------------|-------------|------------|
-//! | GRR | 5.89e-4      | 5.31e-4     | 1.68e-3     | 3.62e-5    |
-//! | OUE | 3.81e-5      | 5.33e-4     | 2.93e-5     | 3.64e-5    |
-//! | OLH | 1.21e-6      | 5.30e-4     | 6.87e-7     | 3.63e-5    |
-//!
-//! i.e. recovery helps GRR (whose raw variance is d-dependent and large)
-//! and hurts the already-tight OUE/OLH estimates. Note the paper's OLH
-//! "before" values sit well below the OUE ones although both protocols
-//! share the same theoretical variance (Eqs. 7 vs 10) — our measured
-//! numbers keep OUE ≈ OLH, see EXPERIMENTS.md.
+//! (β = 0): the cost of running recovery when no attack happened. The
+//! printed table carries the paper's own full-scale values alongside the
+//! measured ones. Grid definition: `ldp_sim::scenario::catalog`.
 
-use ldp_bench::Cli;
 use ldp_common::Result;
-use ldp_datasets::DatasetKind;
-use ldp_protocols::ProtocolKind;
-use ldp_sim::table::fmt_mean;
-use ldp_sim::{run_experiment, ExperimentConfig, PipelineOptions, Table};
-
-/// The paper's Table I values for the "paper vs measured" columns.
-const PAPER: [(ProtocolKind, [f64; 4]); 3] = [
-    (ProtocolKind::Grr, [5.89e-4, 5.31e-4, 1.68e-3, 3.62e-5]),
-    (ProtocolKind::Oue, [3.81e-5, 5.33e-4, 2.93e-5, 3.64e-5]),
-    (ProtocolKind::Olh, [1.21e-6, 5.30e-4, 6.87e-7, 3.63e-5]),
-];
 
 fn main() -> Result<()> {
-    let cli = Cli::parse()?;
-    cli.print_header(
-        "Table I: LDPRecover on unpoisoned frequencies (beta = 0)",
-        "recovery helps GRR, hurts OUE/OLH (see module docs for the paper's numbers)",
-    );
-
-    let mut table = Table::new([
-        "LDP",
-        "dataset",
-        "Before-Rec (measured)",
-        "Before-Rec (paper)",
-        "After-Rec (measured)",
-        "After-Rec (paper)",
-    ]);
-    for (protocol, paper_vals) in PAPER {
-        for (di, dataset) in DatasetKind::ALL.into_iter().enumerate() {
-            let mut config = ExperimentConfig::paper_default(dataset, protocol, None);
-            cli.apply(&mut config);
-            config.beta = 0.0;
-            let result = run_experiment(&config, &PipelineOptions::default())?;
-            table.push_row([
-                protocol.name().to_string(),
-                dataset.name().to_string(),
-                fmt_mean(&result.mse_before),
-                format!("{:.2e}", paper_vals[di * 2]),
-                fmt_mean(&result.mse_recover),
-                format!("{:.2e}", paper_vals[di * 2 + 1]),
-            ]);
-        }
-    }
-    cli.print_table("Table I", &table);
-    println!(
-        "note: paper values are full-scale; at --scale s the measured noise floor \
-         is ≈ 1/s × the paper's."
-    );
-    Ok(())
+    ldp_bench::run_figure("table1")
 }

@@ -1,48 +1,63 @@
 //! Experiment harness shared by the `fig*` / `table1` / `repro` binaries.
 //!
-//! Each binary regenerates one table or figure of the LDPRecover paper
-//! (see DESIGN.md §5 for the full index) and prints the same rows/series
-//! the paper reports, alongside the paper's own (approximate, read off the
-//! figures) values where available. Absolute numbers depend on the
-//! synthetic dataset stand-ins and the `--scale` factor; the *shape* —
-//! which method wins, by roughly what factor, where crossovers fall — is
-//! the reproduction target (system prompt of EXPERIMENTS.md).
+//! Every binary regenerates one table or figure of the LDPRecover paper
+//! by fetching its declarative definition from the shared scenario
+//! catalog (`ldp_sim::scenario::catalog`) and handing it to the scenario
+//! engine — the binaries own no grid loops or table code of their own.
+//! Absolute numbers depend on the synthetic dataset stand-ins and the
+//! scale; the *shape* — which method wins, by roughly what factor, where
+//! crossovers fall — is the reproduction target.
 //!
 //! # Common flags
 //!
 //! ```text
-//! --trials N    trials per cell            (default: 10, paper's setting)
-//! --scale F     population scale in (0,1]  (default: 0.25)
-//! --seed N      master seed                (default: 0x1DB05EED)
-//! --quick       shorthand for --trials 3 --scale 0.05
-//! --full        shorthand for --scale 1.0
-//! --csv         emit CSV instead of aligned tables
+//! --trials N        trials per cell (default: the scale's preset — 5 for
+//!                   small, 10 for paper and explicit fractions)
+//! --scale S         small | paper | fraction in (0,1]   (default: 0.25)
+//! --seed N          master seed                         (default: 0x1DB05EED)
+//! --quick           shorthand for --trials 3 --scale 0.05
+//! --full            shorthand for --scale paper
+//! --csv             emit CSV instead of aligned tables
+//! --json PATH       also write the structured report as JSON
 //! ```
+//!
+//! The same reports are reachable through `ldp repro --figure <id>` and
+//! are regression-gated at `--scale small` by `tests/golden_repro.rs`.
 
 use ldp_common::{LdpError, Result};
+use ldp_datasets::ScalePreset;
+use ldp_sim::scenario::{catalog, run_scenario, RunScale, ScaleSpec};
+use ldp_sim::DEFAULT_SEED;
 
-pub mod sweeps;
+pub use ldp_sim::scenario::catalog::{
+    BETA_GRID_FINE, BETA_GRID_WIDE, EPSILON_GRID, ETA_GRID, FIGURE_IDS, XI_GRID,
+};
 
 /// Parsed common command-line options.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cli {
-    /// Trials per experiment cell.
-    pub trials: usize,
-    /// Population scale factor.
-    pub scale: f64,
+    /// Explicit `--trials`, when given; otherwise the scale's preset
+    /// default applies (see [`Cli::run_scale`]).
+    pub trials: Option<usize>,
+    /// Population scale (named preset or uniform fraction).
+    pub scale: ScaleSpec,
     /// Master seed.
     pub seed: u64,
     /// Emit CSV instead of aligned tables.
     pub csv: bool,
+    /// Also write the structured JSON report(s) here (a file for one
+    /// figure, a directory when several figures run).
+    pub json: Option<std::path::PathBuf>,
 }
 
 impl Default for Cli {
     fn default() -> Self {
         Self {
-            trials: 10,
-            scale: 0.25,
-            seed: 0x1DB0_5EED,
+            trials: None,
+            scale: ScaleSpec::Fraction(0.25),
+            seed: DEFAULT_SEED,
             csv: false,
+            json: None,
         }
     }
 }
@@ -66,14 +81,14 @@ impl Cli {
         while let Some(arg) = iter.next() {
             match arg.as_str() {
                 "--trials" => {
-                    cli.trials = next_value(&mut iter, "--trials")?
-                        .parse()
-                        .map_err(|e| LdpError::invalid(format!("--trials: {e}")))?;
+                    cli.trials = Some(
+                        next_value(&mut iter, "--trials")?
+                            .parse()
+                            .map_err(|e| LdpError::invalid(format!("--trials: {e}")))?,
+                    );
                 }
                 "--scale" => {
-                    cli.scale = next_value(&mut iter, "--scale")?
-                        .parse()
-                        .map_err(|e| LdpError::invalid(format!("--scale: {e}")))?;
+                    cli.scale = ScaleSpec::parse(&next_value(&mut iter, "--scale")?)?;
                 }
                 "--seed" => {
                     cli.seed = next_value(&mut iter, "--seed")?
@@ -81,15 +96,21 @@ impl Cli {
                         .map_err(|e| LdpError::invalid(format!("--seed: {e}")))?;
                 }
                 "--quick" => {
-                    cli.trials = 3;
-                    cli.scale = 0.05;
+                    cli.trials = Some(3);
+                    cli.scale = ScaleSpec::Fraction(0.05);
                 }
                 "--full" => {
-                    cli.scale = 1.0;
+                    cli.scale = ScaleSpec::Preset(ScalePreset::Paper);
                 }
                 "--csv" => cli.csv = true,
+                "--json" => {
+                    cli.json = Some(next_value(&mut iter, "--json")?.into());
+                }
                 "--help" | "-h" => {
-                    println!("flags: --trials N  --scale F  --seed N  --quick  --full  --csv");
+                    println!(
+                        "flags: --trials N  --scale small|paper|F  --seed N  --quick  --full  \
+                         --csv  --json PATH"
+                    );
                     std::process::exit(0);
                 }
                 other => {
@@ -97,46 +118,79 @@ impl Cli {
                 }
             }
         }
-        if cli.trials == 0 {
+        if cli.trials == Some(0) {
             return Err(LdpError::invalid("--trials must be ≥ 1"));
-        }
-        if !(cli.scale > 0.0 && cli.scale <= 1.0) {
-            return Err(LdpError::invalid("--scale must be in (0,1]"));
         }
         Ok(cli)
     }
 
-    /// Applies the common options onto an experiment config.
-    pub fn apply(&self, config: &mut ldp_sim::ExperimentConfig) {
-        config.trials = self.trials;
-        config.scale = self.scale;
-        config.seed = self.seed;
+    /// The scenario-engine scale these flags describe: explicit
+    /// `--trials` wins; otherwise named presets bring their own trial
+    /// count (5 for `small`, 10 for `paper`) and explicit fractions run
+    /// the paper's 10 — matching `ldp repro`.
+    pub fn run_scale(&self) -> RunScale {
+        let trials = self.trials.unwrap_or(match self.scale {
+            ScaleSpec::Preset(preset) => preset.trials(),
+            ScaleSpec::Fraction(_) => 10,
+        });
+        RunScale {
+            trials,
+            seed: self.seed,
+            scale: self.scale,
+        }
     }
 
-    /// Prints a table in the selected format.
-    pub fn print_table(&self, title: &str, table: &ldp_sim::Table) {
-        println!("== {title} ==");
-        if self.csv {
-            print!("{}", table.render_csv());
-        } else {
-            print!("{}", table.render());
+    /// Runs one catalog figure: execute, print, optionally emit JSON.
+    ///
+    /// # Errors
+    /// Propagates catalog lookup, execution, and I/O failures.
+    pub fn run_figure(&self, id: &str) -> Result<()> {
+        let scenario = catalog::scenario(id)?;
+        let report = run_scenario(&scenario, &self.run_scale())?;
+        report.print(self.csv);
+        if let Some(path) = &self.json {
+            let written = report.write_json(path, false)?;
+            eprintln!("wrote {}", written.display());
         }
-        println!();
+        Ok(())
     }
+}
 
-    /// Prints the run header (scale caveat included once per binary).
-    pub fn print_header(&self, what: &str, paper_anchor: &str) {
-        println!("LDPRecover reproduction — {what}");
-        println!(
-            "trials={} scale={} seed={:#x}   (MSE scales ≈ 1/n: at scale σ the \
-             noise floor is 1/σ × the paper's; method ordering is scale-invariant)",
-            self.trials, self.scale, self.seed
-        );
-        if !paper_anchor.is_empty() {
-            println!("paper anchor: {paper_anchor}");
+/// Entry point of the single-figure binaries: parse the common flags and
+/// run one catalog scenario.
+///
+/// # Errors
+/// Propagates flag parsing and [`Cli::run_figure`] failures.
+pub fn run_figure(id: &str) -> Result<()> {
+    Cli::parse()?.run_figure(id)
+}
+
+/// Entry point of the `repro` binary: every catalog figure in the paper's
+/// presentation order. With `--json PATH`, `PATH` is a directory that
+/// receives one `<figure>.json` per scenario.
+///
+/// # Errors
+/// Propagates flag parsing and per-figure failures (the run stops at the
+/// first failing figure).
+pub fn run_all_figures() -> Result<()> {
+    let cli = Cli::parse()?;
+    for id in FIGURE_IDS {
+        println!("################################################################");
+        println!("## {id}");
+        println!("################################################################");
+        let scenario = catalog::scenario(id)?;
+        let report = run_scenario(&scenario, &cli.run_scale())?;
+        report.print(cli.csv);
+        if let Some(path) = &cli.json {
+            let written = report.write_json(path, true)?;
+            eprintln!("wrote {}", written.display());
         }
-        println!();
     }
+    println!(
+        "repro complete: all {} experiments finished.",
+        FIGURE_IDS.len()
+    );
+    Ok(())
 }
 
 fn next_value<I: Iterator<Item = String>>(iter: &mut I, flag: &str) -> Result<String> {
@@ -144,20 +198,10 @@ fn next_value<I: Iterator<Item = String>>(iter: &mut I, flag: &str) -> Result<St
         .ok_or_else(|| LdpError::invalid(format!("{flag} requires a value")))
 }
 
-/// The β grid of Figs. 7, 8, 10.
-pub const BETA_GRID_WIDE: [f64; 5] = [0.05, 0.10, 0.15, 0.20, 0.25];
-/// The β grid of Figs. 5–6.
-pub const BETA_GRID_FINE: [f64; 5] = [0.001, 0.005, 0.01, 0.05, 0.1];
-/// The ε grid of Figs. 5–6.
-pub const EPSILON_GRID: [f64; 5] = [0.1, 0.2, 0.4, 0.8, 1.6];
-/// The η grid of Figs. 5–6.
-pub const ETA_GRID: [f64; 5] = [0.01, 0.05, 0.1, 0.2, 0.4];
-/// The ξ (sample-rate) grid of Fig. 9.
-pub const XI_GRID: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 0.9];
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ldp_datasets::DatasetKind;
 
     fn parse(args: &[&str]) -> Result<Cli> {
         Cli::parse_from(args.iter().map(|s| s.to_string()))
@@ -166,23 +210,48 @@ mod tests {
     #[test]
     fn defaults_and_flags() {
         let cli = parse(&[]).unwrap();
-        assert_eq!(cli.trials, 10);
+        assert_eq!(cli.trials, None);
+        assert_eq!(cli.run_scale().trials, 10, "fraction default trials");
+        assert_eq!(cli.scale, ScaleSpec::Fraction(0.25));
         assert!(!cli.csv);
+        assert!(cli.json.is_none());
 
-        let cli = parse(&["--trials", "4", "--scale", "0.5", "--seed", "9", "--csv"]).unwrap();
-        assert_eq!(cli.trials, 4);
-        assert_eq!(cli.scale, 0.5);
+        let cli = parse(&[
+            "--trials", "4", "--scale", "0.5", "--seed", "9", "--csv", "--json", "out.json",
+        ])
+        .unwrap();
+        assert_eq!(cli.run_scale().trials, 4);
+        assert_eq!(cli.scale, ScaleSpec::Fraction(0.5));
         assert_eq!(cli.seed, 9);
         assert!(cli.csv);
+        assert_eq!(cli.json.as_deref(), Some(std::path::Path::new("out.json")));
+    }
+
+    #[test]
+    fn named_scale_presets_bring_their_trial_counts() {
+        // `--scale small|paper` must behave exactly like `ldp repro`:
+        // preset trials apply unless --trials is explicit.
+        let cli = parse(&["--scale", "small"]).unwrap();
+        assert_eq!(cli.scale, ScaleSpec::Preset(ScalePreset::Small));
+        assert_eq!(cli.run_scale().trials, ScalePreset::Small.trials());
+        assert!(cli.run_scale().scale.fraction(DatasetKind::Ipums) < 0.01);
+        let cli = parse(&["--scale", "paper"]).unwrap();
+        assert_eq!(cli.scale, ScaleSpec::Preset(ScalePreset::Paper));
+        assert_eq!(cli.run_scale().trials, 10);
+        assert_eq!(cli.run_scale().scale.fraction(DatasetKind::Fire), 1.0);
+        let cli = parse(&["--scale", "small", "--trials", "2"]).unwrap();
+        assert_eq!(cli.run_scale().trials, 2, "explicit trials win");
     }
 
     #[test]
     fn quick_and_full_shorthands() {
         let cli = parse(&["--quick"]).unwrap();
-        assert_eq!(cli.trials, 3);
-        assert_eq!(cli.scale, 0.05);
+        assert_eq!(cli.trials, Some(3));
+        assert_eq!(cli.scale, ScaleSpec::Fraction(0.05));
+        // --full is the paper preset (full populations, label "paper").
         let cli = parse(&["--full"]).unwrap();
-        assert_eq!(cli.scale, 1.0);
+        assert_eq!(cli.scale, ScaleSpec::Preset(ScalePreset::Paper));
+        assert_eq!(cli.run_scale().scale.fraction(DatasetKind::Ipums), 1.0);
     }
 
     #[test]
@@ -191,21 +260,16 @@ mod tests {
         assert!(parse(&["--trials", "zero"]).is_err());
         assert!(parse(&["--trials", "0"]).is_err());
         assert!(parse(&["--scale", "2.0"]).is_err());
+        assert!(parse(&["--scale", "medium"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
     }
 
     #[test]
-    fn apply_overrides_config() {
+    fn run_scale_mirrors_flags() {
         let cli = parse(&["--trials", "2", "--scale", "0.1", "--seed", "5"]).unwrap();
-        let mut config = ldp_sim::ExperimentConfig::paper_default(
-            ldp_datasets::DatasetKind::Ipums,
-            ldp_protocols::ProtocolKind::Grr,
-            None,
-        );
-        config.beta = 0.0;
-        cli.apply(&mut config);
-        assert_eq!(config.trials, 2);
-        assert_eq!(config.scale, 0.1);
-        assert_eq!(config.seed, 5);
+        let scale = cli.run_scale();
+        assert_eq!(scale.trials, 2);
+        assert_eq!(scale.seed, 5);
+        assert_eq!(scale.scale.fraction(DatasetKind::Ipums), 0.1);
     }
 }

@@ -1,67 +1,89 @@
-//! `#[ignore]`-gated smoke tests for the figure/table reproduction
-//! binaries: each must parse its arguments and complete one tiny trial.
+//! Smoke tests for the figure/table reproductions: every catalog scenario
+//! runs end to end, in-process, at a miniature scale.
 //!
-//! These spawn the real binaries (via `CARGO_BIN_EXE_*`, so `cargo test`
-//! builds them first) at `--trials 1 --scale 0.005` — big enough to
-//! exercise the full pipeline, small enough that the whole set runs in a
-//! few seconds. They are ignored by default so `cargo test -q` stays lean;
-//! CI runs them explicitly with `cargo test -p ldp-bench -- --ignored`.
+//! These used to spawn the real binaries behind `#[ignore]`; since the
+//! binaries are now thin shells over the shared scenario engine, the same
+//! pipelines run directly through `run_scenario` — one tiny trial per
+//! cell — inside plain `cargo test -q`. Binary-level flag handling keeps
+//! two `#[ignore]`-gated spawn tests below.
 
+use ldp_sim::scenario::{catalog, run_scenario, RunScale, ScaleSpec};
 use std::process::Command;
 
-/// Runs one binary with tiny-trial flags and asserts a clean exit plus
-/// non-empty tabular output.
-fn smoke(bin_path: &str) {
-    let output = Command::new(bin_path)
-        .args(["--trials", "1", "--scale", "0.005", "--seed", "7"])
-        .output()
-        .unwrap_or_else(|e| panic!("failed to spawn {bin_path}: {e}"));
-    assert!(
-        output.status.success(),
-        "{bin_path} exited with {:?}\nstderr:\n{}",
-        output.status.code(),
-        String::from_utf8_lossy(&output.stderr)
-    );
-    let stdout = String::from_utf8_lossy(&output.stdout);
-    assert!(
-        stdout.lines().count() > 3,
-        "{bin_path} produced no table output:\n{stdout}"
-    );
+/// Runs one catalog figure with a single tiny trial per cell and asserts
+/// a structurally complete report.
+fn smoke(id: &str) {
+    let scenario = catalog::scenario(id).unwrap_or_else(|e| panic!("{id}: {e}"));
+    let scale = RunScale {
+        trials: 1,
+        seed: 7,
+        scale: ScaleSpec::Fraction(0.002),
+    };
+    let report = run_scenario(&scenario, &scale).unwrap_or_else(|e| panic!("{id}: {e}"));
+    assert!(!report.cells.is_empty(), "{id}: no cells");
+    for cell in &report.cells {
+        assert!(!cell.metrics.is_empty(), "{id}/{}: no metrics", cell.id);
+        for (metric, stats) in &cell.metrics {
+            assert_eq!(stats.count, 1, "{id}/{}/{metric}", cell.id);
+            assert!(
+                stats.mean.is_finite(),
+                "{id}/{}/{metric}: non-finite mean",
+                cell.id
+            );
+        }
+    }
+    assert!(!report.grids.is_empty(), "{id}: no grids");
+    for grid in &report.grids {
+        assert!(!grid.table.is_empty(), "{id}/{}: empty table", grid.title);
+    }
 }
 
 macro_rules! smoke_tests {
-    ($($name:ident => $bin:literal),* $(,)?) => {$(
+    ($($name:ident => $figure:literal),* $(,)?) => {$(
         #[test]
-        #[ignore = "spawns the release-grade repro binary; run with --ignored"]
         fn $name() {
-            smoke(env!(concat!("CARGO_BIN_EXE_", $bin)));
+            smoke($figure);
         }
     )*};
 }
 
 smoke_tests! {
-    repro_runs_one_tiny_trial => "repro",
-    fig3_runs_one_tiny_trial => "fig3",
-    fig4_runs_one_tiny_trial => "fig4",
-    fig5_runs_one_tiny_trial => "fig5",
-    fig6_runs_one_tiny_trial => "fig6",
-    fig7_runs_one_tiny_trial => "fig7",
-    fig8_runs_one_tiny_trial => "fig8",
-    fig9_runs_one_tiny_trial => "fig9",
-    fig10_runs_one_tiny_trial => "fig10",
-    table1_runs_one_tiny_trial => "table1",
-    ablations_runs_one_tiny_trial => "ablations",
-    kv_extension_runs_one_tiny_trial => "kv_extension",
+    fig3_pipeline_runs_one_tiny_trial => "fig3",
+    fig4_pipeline_runs_one_tiny_trial => "fig4",
+    fig5_pipeline_runs_one_tiny_trial => "fig5",
+    fig6_pipeline_runs_one_tiny_trial => "fig6",
+    fig7_pipeline_runs_one_tiny_trial => "fig7",
+    fig8_pipeline_runs_one_tiny_trial => "fig8",
+    fig9_pipeline_runs_one_tiny_trial => "fig9",
+    fig10_pipeline_runs_one_tiny_trial => "fig10",
+    table1_pipeline_runs_one_tiny_trial => "table1",
+    ablations_pipeline_runs_one_tiny_trial => "ablations",
+    kv_extension_pipeline_runs_one_tiny_trial => "kv_extension",
 }
 
 #[test]
-#[ignore = "spawns the release-grade repro binary; run with --ignored"]
+fn repro_covers_every_figure_exactly_once() {
+    // The `repro` binary iterates FIGURE_IDS verbatim; guard the index.
+    let mut seen = std::collections::HashSet::new();
+    for id in catalog::FIGURE_IDS {
+        assert!(seen.insert(id), "duplicate figure id {id}");
+        catalog::scenario(id).unwrap();
+    }
+    assert_eq!(seen.len(), 11);
+}
+
+#[test]
+#[ignore = "spawns the repro binaries; run with --ignored"]
 fn binaries_reject_malformed_flags() {
     // Arg parsing must fail loudly, not fall through to defaults.
     for (bin, args) in [
         (env!("CARGO_BIN_EXE_fig3"), ["--frobnicate"].as_slice()),
         (env!("CARGO_BIN_EXE_table1"), ["--trials", "0"].as_slice()),
         (env!("CARGO_BIN_EXE_repro"), ["--scale", "2.0"].as_slice()),
+        (
+            env!("CARGO_BIN_EXE_repro"),
+            ["--scale", "medium"].as_slice(),
+        ),
     ] {
         let output = Command::new(bin).args(args).output().expect("spawn");
         assert!(
@@ -72,16 +94,27 @@ fn binaries_reject_malformed_flags() {
 }
 
 #[test]
-#[ignore = "spawns the release-grade repro binary; run with --ignored"]
-fn csv_mode_emits_csv() {
+#[ignore = "spawns the fig3 binary; run with --ignored"]
+fn csv_and_json_modes_emit_structured_output() {
+    let dir = std::env::temp_dir().join("ldprecover-smoke-json");
+    let json_path = dir.join("fig3.json");
+    let _ = std::fs::remove_file(&json_path);
     let output = Command::new(env!("CARGO_BIN_EXE_fig3"))
-        .args(["--trials", "1", "--scale", "0.005", "--csv"])
+        .args(["--trials", "1", "--scale", "0.002", "--csv"])
+        .arg("--json")
+        .arg(&json_path)
         .output()
         .expect("spawn fig3");
-    assert!(output.status.success());
+    assert!(
+        output.status.success(),
+        "stderr:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
     let stdout = String::from_utf8_lossy(&output.stdout);
     assert!(
         stdout.lines().any(|l| l.matches(',').count() >= 2),
         "--csv produced no comma-separated rows:\n{stdout}"
     );
+    let json = std::fs::read_to_string(&json_path).expect("json report written");
+    assert!(json.contains("\"figure\": \"fig3\""), "{json}");
 }

@@ -17,8 +17,10 @@
 
 pub mod corpus;
 pub mod dataset;
+pub mod presets;
 pub mod synthetic;
 
 pub use corpus::{fire_like, ipums_like, DatasetKind};
 pub use dataset::{Dataset, PopulationCounts};
+pub use presets::ScalePreset;
 pub use synthetic::{geometric_dataset, uniform_dataset, zipf_counts, zipf_dataset};

@@ -1,0 +1,112 @@
+//! Scale-down presets for the reproduction harness.
+//!
+//! The scenario engine (`ldp_sim::scenario`) runs every figure at a named
+//! preset instead of a raw fraction: `paper` is the full-scale population
+//! of §VI-A.1, while `small` shrinks each dataset to roughly one thousand
+//! users so the complete figure catalog — and the golden regression suite
+//! built on it — fits inside a plain `cargo test -q` run. MSE scales as
+//! `1/n` uniformly across methods (see `tests/scale_invariance.rs`), so
+//! method ordering is preserved at any preset; absolute levels are not.
+
+use ldp_common::{LdpError, Result};
+
+use crate::corpus::DatasetKind;
+
+/// A named population scale for the reproduction harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalePreset {
+    /// ≈ 1.2k users per dataset, 5 trials — the golden-suite / CI setting.
+    Small,
+    /// The paper's full populations (389,894 / 667,574 users), 10 trials.
+    Paper,
+}
+
+impl ScalePreset {
+    /// The subsample fraction this preset applies to a dataset.
+    ///
+    /// `Small` picks per-dataset fractions so both workloads land at a
+    /// comparable user count (~1.2k) despite their 1.7× size gap.
+    pub fn fraction(self, dataset: DatasetKind) -> f64 {
+        match (self, dataset) {
+            (ScalePreset::Small, DatasetKind::Ipums) => 0.003, // ≈ 1,170 users
+            (ScalePreset::Small, DatasetKind::Fire) => 0.0018, // ≈ 1,202 users
+            (ScalePreset::Paper, _) => 1.0,
+        }
+    }
+
+    /// Trials per experiment cell at this preset (the paper runs 10;
+    /// `small` runs 5 so the golden suite's SEM-derived tolerance bands
+    /// stay meaningfully narrower than the means they gate).
+    pub fn trials(self) -> usize {
+        match self {
+            ScalePreset::Small => 5,
+            ScalePreset::Paper => 10,
+        }
+    }
+
+    /// The preset's name (`"small"` / `"paper"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScalePreset::Small => "small",
+            ScalePreset::Paper => "paper",
+        }
+    }
+
+    /// Parses `"small" | "paper"` (case-insensitive).
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] for unknown names.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "small" => Ok(ScalePreset::Small),
+            "paper" => Ok(ScalePreset::Paper),
+            other => Err(LdpError::invalid(format!(
+                "unknown scale preset '{other}' (small|paper)"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for ScalePreset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_preset_is_full_scale() {
+        for kind in DatasetKind::ALL {
+            assert_eq!(ScalePreset::Paper.fraction(kind), 1.0);
+        }
+        assert_eq!(ScalePreset::Paper.trials(), 10);
+    }
+
+    #[test]
+    fn small_preset_lands_both_datasets_near_the_same_user_count() {
+        let ipums = (crate::corpus::IPUMS_USERS as f64
+            * ScalePreset::Small.fraction(DatasetKind::Ipums))
+        .ceil();
+        let fire = (crate::corpus::FIRE_USERS as f64
+            * ScalePreset::Small.fraction(DatasetKind::Fire))
+        .ceil();
+        assert!((500.0..2500.0).contains(&ipums), "ipums n={ipums}");
+        assert!((500.0..2500.0).contains(&fire), "fire n={fire}");
+        assert!((ipums - fire).abs() / ipums < 0.25, "{ipums} vs {fire}");
+    }
+
+    #[test]
+    fn parse_roundtrips_and_rejects() {
+        for preset in [ScalePreset::Small, ScalePreset::Paper] {
+            assert_eq!(ScalePreset::parse(preset.name()).unwrap(), preset);
+            assert_eq!(
+                ScalePreset::parse(&preset.to_string().to_uppercase()).unwrap(),
+                preset
+            );
+        }
+        assert!(ScalePreset::parse("medium").is_err());
+    }
+}

@@ -1,24 +1,34 @@
-//! `ldp` — run a single LDPRecover experiment cell from the command line.
+//! `ldp` — run a single LDPRecover experiment cell from the command
+//! line, or reproduce whole paper figures via the `repro` subcommand.
 //!
 //! ```text
 //! cargo run --release -p ldp-sim --bin ldp -- \
 //!     --dataset ipums --protocol oue --attack mga --targets 10 \
 //!     --beta 0.05 --eta 0.2 --epsilon 0.5 --trials 5 --scale 0.1
+//!
+//! cargo run --release -p ldp-sim --bin ldp -- \
+//!     repro --figure fig3 --scale small --json fig3.json
 //! ```
 //!
-//! Prints MSE (and FG for targeted attacks) for every recovery arm, plus
-//! the top-10 heavy-hitter recall — the full method comparison of the
-//! paper's Fig. 3/4 for any parameter combination.
+//! The default mode prints MSE (and FG for targeted attacks) for every
+//! recovery arm — the full method comparison of the paper's Fig. 3/4 for
+//! any parameter combination. `repro` drives the scenario catalog
+//! (`ldp_sim::scenario::catalog`): one figure id or `all`, at a named
+//! scale preset or an explicit fraction.
 
 use ldp_attacks::AttackKind;
 use ldp_common::{LdpError, Result};
-use ldp_datasets::DatasetKind;
+use ldp_datasets::{DatasetKind, ScalePreset};
 use ldp_protocols::ProtocolKind;
+use ldp_sim::scenario::{catalog, run_scenario, RunScale, ScaleSpec};
 use ldp_sim::table::{fmt_mean, fmt_stat};
-use ldp_sim::{run_experiment, AggregationMode, ExperimentConfig, PipelineOptions, Table};
+use ldp_sim::{
+    run_experiment, AggregationMode, ExperimentConfig, PipelineOptions, Table, DEFAULT_SEED,
+};
 
 const USAGE: &str = "\
 ldp — run one LDPRecover experiment cell
+ldp repro — reproduce whole paper figures (see `ldp repro --help`)
 
 options:
   --dataset ipums|fire          workload                [ipums]
@@ -144,8 +154,109 @@ fn parse_f64(s: &str, flag: &str) -> Result<f64> {
         .map_err(|e| LdpError::invalid(format!("{flag}: {e}")))
 }
 
+const REPRO_USAGE: &str = "\
+ldp repro — reproduce the paper's figures from the scenario catalog
+
+options:
+  --figure ID|all               which figure (fig3..fig10, table1,
+                                ablations, kv_extension)       [all]
+  --scale small|paper|F         scale preset or fraction       [small]
+  --trials N                    trials per cell    [preset default: 5/10]
+  --seed N                      master seed              [0x1db05eed]
+  --json PATH                   write JSON report(s); a directory when
+                                several figures run
+  --csv                         CSV tables
+  --help                        this text";
+
+/// Parsed `ldp repro` options.
+struct ReproArgs {
+    figure: String,
+    scale: ScaleSpec,
+    trials: Option<usize>,
+    seed: u64,
+    json: Option<std::path::PathBuf>,
+    csv: bool,
+}
+
+fn parse_repro_args<I: Iterator<Item = String>>(mut iter: I) -> Result<ReproArgs> {
+    let mut args = ReproArgs {
+        figure: "all".to_string(),
+        scale: ScaleSpec::Preset(ScalePreset::Small),
+        trials: None,
+        seed: DEFAULT_SEED,
+        json: None,
+        csv: false,
+    };
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| -> Result<String> {
+            iter.next()
+                .ok_or_else(|| LdpError::invalid(format!("{name} requires a value")))
+        };
+        match flag.as_str() {
+            "--figure" => args.figure = value("--figure")?.to_ascii_lowercase(),
+            "--scale" => args.scale = ScaleSpec::parse(&value("--scale")?)?,
+            "--trials" => args.trials = Some(parse_num(&value("--trials")?, "--trials")?),
+            "--seed" => args.seed = parse_num(&value("--seed")?, "--seed")? as u64,
+            "--json" => args.json = Some(value("--json")?.into()),
+            "--csv" => args.csv = true,
+            "--help" | "-h" => {
+                println!("{REPRO_USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(LdpError::invalid(format!("unknown flag '{other}'"))),
+        }
+    }
+    Ok(args)
+}
+
+impl ReproArgs {
+    /// The engine scale: explicit `--trials` wins, otherwise the preset's
+    /// default (5 for `small`, the paper's 10 otherwise).
+    fn run_scale(&self) -> RunScale {
+        let trials = self.trials.unwrap_or(match self.scale {
+            ScaleSpec::Preset(preset) => preset.trials(),
+            ScaleSpec::Fraction(_) => 10,
+        });
+        RunScale {
+            trials,
+            seed: self.seed,
+            scale: self.scale,
+        }
+    }
+}
+
+fn repro_main<I: Iterator<Item = String>>(iter: I) -> Result<()> {
+    let args = parse_repro_args(iter)?;
+    let ids: Vec<&str> = if args.figure == "all" {
+        catalog::FIGURE_IDS.to_vec()
+    } else {
+        // Resolve eagerly so an unknown figure fails before any work.
+        catalog::scenario(&args.figure)?;
+        vec![catalog::FIGURE_IDS
+            .iter()
+            .find(|id| **id == args.figure)
+            .expect("scenario() accepted the id")]
+    };
+    let scale = args.run_scale();
+    for id in &ids {
+        let scenario = catalog::scenario(id)?;
+        let report = run_scenario(&scenario, &scale)?;
+        report.print(args.csv);
+        if let Some(path) = &args.json {
+            let written = report.write_json(path, ids.len() > 1)?;
+            eprintln!("wrote {}", written.display());
+        }
+    }
+    Ok(())
+}
+
 fn main() -> Result<()> {
-    let args = parse_args(std::env::args().skip(1))?;
+    let mut raw = std::env::args().skip(1).peekable();
+    if raw.peek().map(String::as_str) == Some("repro") {
+        raw.next();
+        return repro_main(raw);
+    }
+    let args = parse_args(raw)?;
     let mut config = ExperimentConfig::paper_default(args.dataset, args.protocol, args.attack);
     config.beta = if args.attack.is_some() {
         args.beta
@@ -284,6 +395,47 @@ mod tests {
         assert!(parse(&["--beta"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
         assert!(parse(&["--aggregation", "vectorized"]).is_err());
+    }
+
+    fn parse_repro(args: &[&str]) -> Result<ReproArgs> {
+        parse_repro_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn repro_defaults_to_all_figures_at_small_scale() {
+        let a = parse_repro(&[]).unwrap();
+        assert_eq!(a.figure, "all");
+        assert_eq!(a.scale, ScaleSpec::Preset(ScalePreset::Small));
+        assert_eq!(a.run_scale().trials, ScalePreset::Small.trials());
+        assert_eq!(a.run_scale().seed, DEFAULT_SEED);
+    }
+
+    #[test]
+    fn repro_flags_parse() {
+        let a = parse_repro(&[
+            "--figure", "FIG3", "--scale", "paper", "--seed", "9", "--json", "out", "--csv",
+        ])
+        .unwrap();
+        assert_eq!(a.figure, "fig3");
+        assert_eq!(a.scale, ScaleSpec::Preset(ScalePreset::Paper));
+        assert_eq!(a.run_scale().trials, 10, "paper preset default");
+        assert_eq!(a.seed, 9);
+        assert!(a.csv);
+        assert_eq!(a.json.as_deref(), Some(std::path::Path::new("out")));
+        // Explicit trials beat the preset default; fractions default to 10.
+        let a = parse_repro(&["--trials", "2", "--scale", "0.1"]).unwrap();
+        assert_eq!(a.run_scale().trials, 2);
+        assert_eq!(
+            parse_repro(&["--scale", "0.1"]).unwrap().run_scale().trials,
+            10
+        );
+    }
+
+    #[test]
+    fn repro_rejects_bad_flags() {
+        assert!(parse_repro(&["--scale", "huge"]).is_err());
+        assert!(parse_repro(&["--figure"]).is_err());
+        assert!(parse_repro(&["--frobnicate"]).is_err());
     }
 
     #[test]

@@ -7,6 +7,9 @@ use ldp_protocols::ProtocolKind;
 use ldprecover::{KMeansDefense, MaliciousSumModel, PostProcess};
 use serde::{Deserialize, Serialize};
 
+/// The workspace-wide default master seed (`0x1DB05EED`, "LDP seed").
+pub const DEFAULT_SEED: u64 = 0x1DB0_5EED;
+
 /// One cell of the paper's evaluation grid.
 ///
 /// Defaults mirror §VI-A: ε = 0.5, β = 0.05, η = 0.2, 10 trials,
@@ -50,7 +53,7 @@ impl ExperimentConfig {
             eta: 0.2,
             trials: 10,
             scale: 1.0,
-            seed: 0x1DB0_5EED,
+            seed: DEFAULT_SEED,
         }
     }
 
@@ -173,7 +176,7 @@ impl std::fmt::Display for AggregationMode {
 }
 
 /// Which optional arms a pipeline run executes beyond plain LDPRecover.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PipelineOptions {
     /// Run LDPRecover\* (partial knowledge: oracle targets for targeted
     /// attacks, the paper's top-r/2-increase rule otherwise).

@@ -21,15 +21,20 @@
 //! * [`runner`] — multi-trial execution with derived per-trial seeds and
 //!   [`metrics::Stats`] summaries.
 //! * [`table`] — fixed-width / CSV rendering for the experiment binaries.
+//! * [`scenario`] — the declarative scenario-matrix subsystem: the
+//!   paper's figures as data (cells × grids), one engine executing them,
+//!   JSON reports, and golden statistical regression gates.
 
 pub mod config;
 pub mod metrics;
 pub mod pipeline;
 pub mod runner;
+pub mod scenario;
 pub mod table;
 
-pub use config::{AggregationMode, ExperimentConfig, PipelineOptions};
+pub use config::{AggregationMode, ExperimentConfig, PipelineOptions, DEFAULT_SEED};
 pub use metrics::{frequency_gain, top_k_recall, Stats};
 pub use pipeline::{TrialAggregates, TrialResult};
 pub use runner::{run_eta_sweep, run_experiment, ExperimentResult};
+pub use scenario::{run_scenario, RunScale, ScaleSpec, Scenario, ScenarioReport};
 pub use table::Table;

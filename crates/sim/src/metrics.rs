@@ -105,6 +105,15 @@ impl Stats {
         }
     }
 
+    /// Standard error of the mean (`std / √count`; 0 for a single trial).
+    pub fn sem(&self) -> f64 {
+        if self.count > 1 {
+            self.std / (self.count as f64).sqrt()
+        } else {
+            0.0
+        }
+    }
+
     /// Summarizes an optional metric: `None` when no trial produced it.
     pub fn from_optional(values: &[f64]) -> Option<Self> {
         if values.is_empty() {

@@ -156,7 +156,7 @@ pub fn run_experiment(
 }
 
 /// Worker count for a trial batch: `min(available cores, trials)`.
-fn thread_count(trials: usize) -> usize {
+pub(crate) fn thread_count(trials: usize) -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
@@ -166,10 +166,15 @@ fn thread_count(trials: usize) -> usize {
 
 /// Runs `run(trial)` for every trial index, fanned across `threads`
 /// workers, with results returned in trial order — the shared machinery of
-/// [`run_experiment`] and [`run_eta_sweep`]. Every trial owns a caller-
-/// derived RNG stream, so the output is bit-identical for any `threads`
-/// (verified by `parallelism_does_not_change_results`).
-fn map_trials<T, F>(trials: usize, threads: usize, run: F) -> Result<Vec<T>>
+/// [`run_experiment`], [`run_eta_sweep`], and the scenario engine
+/// (`crate::scenario`), which fans both whole cells and custom-cell trials
+/// through it. Every job owns a caller-derived RNG stream, so the output
+/// is bit-identical for any `threads` (verified by
+/// `parallelism_does_not_change_results`).
+///
+/// # Errors
+/// Propagates the first job failure, in job order.
+pub fn map_trials<T, F>(trials: usize, threads: usize, run: F) -> Result<Vec<T>>
 where
     T: Send,
     F: Fn(usize) -> Result<T> + Sync,

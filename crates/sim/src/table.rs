@@ -33,6 +33,16 @@ impl Table {
         self.rows.len()
     }
 
+    /// The column headers.
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// The data rows (each padded to the header width).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// `true` when no data rows have been added.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
@@ -74,10 +84,11 @@ impl Table {
         out
     }
 
-    /// Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+    /// Renders RFC-4180-ish CSV (quotes cells containing commas, quotes,
+    /// or CR/LF line breaks).
     pub fn render_csv(&self) -> String {
         let escape = |cell: &str| -> String {
-            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+            if cell.contains([',', '"', '\n', '\r']) {
                 format!("\"{}\"", cell.replace('"', "\"\""))
             } else {
                 cell.to_string()

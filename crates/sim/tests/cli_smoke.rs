@@ -36,6 +36,42 @@ fn ldp_cli_runs_one_tiny_cell() {
 
 #[test]
 #[ignore = "spawns the CLI binary; run with --ignored"]
+fn ldp_repro_subcommand_runs_one_figure() {
+    let dir = std::env::temp_dir().join("ldprecover-cli-smoke");
+    let json_path = dir.join("table1.json");
+    let _ = std::fs::remove_file(&json_path);
+    let output = Command::new(env!("CARGO_BIN_EXE_ldp"))
+        .args([
+            "repro", "--figure", "table1", "--scale", "0.002", "--trials", "1",
+        ])
+        .arg("--json")
+        .arg(&json_path)
+        .output()
+        .expect("spawn ldp repro");
+    assert!(
+        output.status.success(),
+        "ldp repro exited with {:?}\nstderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("Table I"), "expected the table:\n{stdout}");
+    let json = std::fs::read_to_string(&json_path).expect("json written");
+    assert!(json.contains("\"figure\": \"table1\""));
+}
+
+#[test]
+#[ignore = "spawns the CLI binary; run with --ignored"]
+fn ldp_repro_rejects_unknown_figure() {
+    let output = Command::new(env!("CARGO_BIN_EXE_ldp"))
+        .args(["repro", "--figure", "fig99"])
+        .output()
+        .expect("spawn ldp repro");
+    assert!(!output.status.success());
+}
+
+#[test]
+#[ignore = "spawns the CLI binary; run with --ignored"]
 fn ldp_cli_rejects_unknown_protocol() {
     let output = Command::new(env!("CARGO_BIN_EXE_ldp"))
         .args(["--protocol", "telepathy"])

@@ -4,8 +4,10 @@
 //! (c) honest about their incompatibility with report-consuming arms.
 
 use ldp_attacks::AttackKind;
+use ldp_common::rng::rng_from_seed;
+use ldp_common::Domain;
 use ldp_datasets::DatasetKind;
-use ldp_protocols::ProtocolKind;
+use ldp_protocols::{CountAccumulator, LdpFrequencyProtocol, ProtocolKind};
 use ldp_sim::{run_experiment, AggregationMode, ExperimentConfig, PipelineOptions};
 
 fn config(protocol: ProtocolKind) -> ExperimentConfig {
@@ -103,6 +105,98 @@ fn auto_mode_preserves_full_comparison_arms() {
     assert!(result.mse_star.is_some());
     assert!(result.mse_detection.is_some());
     assert!(result.fg_before.is_some());
+}
+
+#[test]
+fn olh_grouped_fallback_matches_per_user_statistically() {
+    // OLH has no closed-form count sampler: its `batch_aggregate` is the
+    // grouped per-user fallback. This is the same per-support-count
+    // mean/variance contract GRR/OUE/SUE/HR get from the closed-form
+    // samplers (`ldp_protocols::batch` unit tests), applied to the
+    // grouped path: over repeated aggregations of a fixed population, the
+    // batched and plain per-user support counts must agree in mean and
+    // variance per item, and both must sit on the analytic mean
+    // `E[C(v)] = c_v·p + (n−c_v)·q`.
+    let d = 12usize;
+    let n = 2_000u64;
+    let mut item_counts = vec![0u64; d];
+    let mut remaining = n;
+    for slot in &mut item_counts {
+        let c = (remaining / 2).max(1).min(remaining);
+        *slot = c;
+        remaining -= c;
+        if remaining == 0 {
+            break;
+        }
+    }
+    let domain = Domain::new(d).unwrap();
+    let protocol = ProtocolKind::Olh.build(0.8, domain).unwrap();
+    let params = protocol.params();
+    let (p, q) = (params.p(), params.q());
+    let reps = 80usize;
+
+    let mut rng = rng_from_seed(0x01_1155);
+    let mut sums = [vec![0.0f64; d], vec![0.0f64; d]];
+    let mut sqs = [vec![0.0f64; d], vec![0.0f64; d]];
+    for _ in 0..reps {
+        let batched = protocol
+            .batch_aggregate(&item_counts, &mut rng)
+            .expect("OLH exposes the grouped fallback");
+        let mut acc = CountAccumulator::new(domain);
+        for (item, &c) in item_counts.iter().enumerate() {
+            for _ in 0..c {
+                let report = protocol.perturb(item, &mut rng);
+                acc.add(&protocol, &report);
+            }
+        }
+        for (path, counts) in [&batched[..], acc.counts()].into_iter().enumerate() {
+            for (v, &count) in counts.iter().enumerate() {
+                sums[path][v] += count as f64;
+                sqs[path][v] += (count as f64).powi(2);
+            }
+        }
+    }
+
+    for v in 0..d {
+        let c = item_counts[v] as f64;
+        let analytic_mean = c * p + (n as f64 - c) * q;
+        let analytic_var = c * p * (1.0 - p) + (n as f64 - c) * q * (1.0 - q);
+        let mean = |path: usize| sums[path][v] / reps as f64;
+        let var = |path: usize| sqs[path][v] / reps as f64 - mean(path).powi(2);
+
+        // Both paths on the analytic mean (6σ of the rep average)…
+        let mean_tol = 6.0 * (analytic_var / reps as f64).sqrt();
+        for (path, label) in [(0, "batched"), (1, "per-user")] {
+            assert!(
+                (mean(path) - analytic_mean).abs() < mean_tol,
+                "item {v} {label}: mean {} vs analytic {analytic_mean} (tol {mean_tol})",
+                mean(path)
+            );
+        }
+        // …therefore on each other, and with matching spread: sample
+        // variances within the (generous) sampling error of a variance
+        // estimate over `reps` draws.
+        assert!(
+            (mean(0) - mean(1)).abs() < 2.0 * mean_tol,
+            "item {v}: batched mean {} vs per-user mean {}",
+            mean(0),
+            mean(1)
+        );
+        let var_tol = 10.0 * analytic_var * (2.0 / reps as f64).sqrt();
+        assert!(
+            (var(0) - var(1)).abs() < var_tol,
+            "item {v}: batched var {} vs per-user var {} (tol {var_tol})",
+            var(0),
+            var(1)
+        );
+        for (path, label) in [(0, "batched"), (1, "per-user")] {
+            assert!(
+                (var(path) - analytic_var).abs() < var_tol,
+                "item {v} {label}: var {} vs analytic {analytic_var} (tol {var_tol})",
+                var(path)
+            );
+        }
+    }
 }
 
 #[test]

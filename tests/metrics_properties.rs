@@ -1,0 +1,146 @@
+//! Property tests for the `ldp-sim` evaluation metrics (`frequency_gain`,
+//! Eq. 37, and `top_k_recall`): relabeling invariance, output bounds, and
+//! loud rejection of malformed inputs.
+
+use ldp_sim::{frequency_gain, top_k_recall};
+use proptest::prelude::*;
+
+/// A pseudo-random permutation of `0..n` derived from a seed (stable,
+/// dependency-free: sort indices by a SplitMix64 key).
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut indexed: Vec<(u64, usize)> = (0..n)
+        .map(|i| (ldp_common::rng::derive_seed(seed, i as u64), i))
+        .collect();
+    indexed.sort_unstable();
+    indexed.into_iter().map(|(_, i)| i).collect()
+}
+
+/// Applies a permutation: `out[perm[i]] = v[i]`.
+fn permute(v: &[f64], perm: &[usize]) -> Vec<f64> {
+    let mut out = vec![0.0; v.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        out[p] = v[i];
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Relabeling the domain (and renaming targets accordingly) never
+    /// changes the frequency gain: FG is a function of (value at target)
+    /// pairs only.
+    #[test]
+    fn frequency_gain_is_permutation_invariant(
+        observed in prop::collection::vec(0.0f64..1.0, 4..40),
+        genuine_raw in prop::collection::vec(0.0f64..1.0, 4..40),
+        seed in 0u64..1_000_000,
+        target_picks in prop::collection::vec(0usize..1000, 1..6),
+    ) {
+        let d = observed.len().min(genuine_raw.len());
+        let observed = &observed[..d];
+        let genuine = &genuine_raw[..d];
+        let targets: Vec<usize> = target_picks.iter().map(|&t| t % d).collect();
+
+        let direct = frequency_gain(observed, genuine, &targets).unwrap();
+        let perm = permutation(d, seed);
+        let relabeled_targets: Vec<usize> = targets.iter().map(|&t| perm[t]).collect();
+        let relabeled = frequency_gain(
+            &permute(observed, &perm),
+            &permute(genuine, &perm),
+            &relabeled_targets,
+        )
+        .unwrap();
+        // Identical summand sequence ⇒ bitwise-equal sums.
+        prop_assert_eq!(direct.to_bits(), relabeled.to_bits());
+    }
+
+    /// |FG| is bounded by the total variation available on the targets:
+    /// every summand lies in [-1, 1] for frequency-vector inputs.
+    #[test]
+    fn frequency_gain_is_bounded_by_target_count(
+        observed in prop::collection::vec(0.0f64..1.0, 2..40),
+        genuine_raw in prop::collection::vec(0.0f64..1.0, 2..40),
+        target_picks in prop::collection::vec(0usize..1000, 1..8),
+    ) {
+        let d = observed.len().min(genuine_raw.len());
+        let targets: Vec<usize> = target_picks.iter().map(|&t| t % d).collect();
+        let fg = frequency_gain(&observed[..d], &genuine_raw[..d], &targets).unwrap();
+        prop_assert!(fg.abs() <= targets.len() as f64 + 1e-12);
+        prop_assert!(fg.is_finite());
+    }
+
+    /// Relabeling the domain never changes top-k recall (ties excluded:
+    /// equal values make the top-k set itself ambiguous).
+    #[test]
+    fn top_k_recall_is_permutation_invariant(
+        estimate in prop::collection::vec(0.0f64..1.0, 3..40),
+        truth_raw in prop::collection::vec(0.0f64..1.0, 3..40),
+        seed in 0u64..1_000_000,
+        k_pick in 1usize..1000,
+    ) {
+        let d = estimate.len().min(truth_raw.len());
+        let estimate = &estimate[..d];
+        let truth = &truth_raw[..d];
+        let distinct = |v: &[f64]| {
+            let mut s = v.to_vec();
+            s.sort_by(f64::total_cmp);
+            s.windows(2).all(|w| w[0] != w[1])
+        };
+        prop_assume!(distinct(estimate) && distinct(truth));
+        let k = 1 + k_pick % d;
+
+        let direct = top_k_recall(estimate, truth, k).unwrap();
+        let perm = permutation(d, seed);
+        let relabeled =
+            top_k_recall(&permute(estimate, &perm), &permute(truth, &perm), k).unwrap();
+        prop_assert_eq!(direct.to_bits(), relabeled.to_bits());
+    }
+
+    /// Recall is always in [0, 1], quantized to multiples of 1/k, and 1
+    /// when the estimate *is* the truth.
+    #[test]
+    fn top_k_recall_is_bounded_and_exact_on_self(
+        truth in prop::collection::vec(0.0f64..1.0, 2..40),
+        k_pick in 1usize..1000,
+    ) {
+        let k = 1 + k_pick % truth.len();
+        let self_recall = top_k_recall(&truth, &truth, k).unwrap();
+        prop_assert_eq!(self_recall, 1.0);
+
+        let reversed: Vec<f64> = truth.iter().rev().copied().collect();
+        let r = top_k_recall(&reversed, &truth, k).unwrap();
+        prop_assert!((0.0..=1.0).contains(&r));
+        let hits = r * k as f64;
+        prop_assert!((hits - hits.round()).abs() < 1e-9, "recall {r} not a /k multiple");
+    }
+}
+
+#[test]
+fn frequency_gain_rejects_malformed_inputs() {
+    let v = [0.2, 0.3, 0.5];
+    // Mismatched lengths, both directions.
+    assert!(frequency_gain(&v[..2], &v, &[0]).is_err());
+    assert!(frequency_gain(&v, &v[..2], &[0]).is_err());
+    // Empty target set.
+    assert!(frequency_gain(&v, &v, &[]).is_err());
+    // Out-of-range target.
+    assert!(frequency_gain(&v, &v, &[3]).is_err());
+    assert!(frequency_gain(&v, &v, &[0, 99]).is_err());
+    // Valid call still works after all the rejections.
+    assert_eq!(frequency_gain(&v, &v, &[0, 1, 2]).unwrap(), 0.0);
+}
+
+#[test]
+fn top_k_recall_rejects_malformed_inputs() {
+    let v = [0.2, 0.3, 0.5];
+    // Mismatched lengths, both directions.
+    assert!(top_k_recall(&v[..2], &v, 1).is_err());
+    assert!(top_k_recall(&v, &v[..2], 1).is_err());
+    // k out of range.
+    assert!(top_k_recall(&v, &v, 0).is_err());
+    assert!(top_k_recall(&v, &v, 4).is_err());
+    // Boundary k values are legal.
+    assert_eq!(top_k_recall(&v, &v, 1).unwrap(), 1.0);
+    assert_eq!(top_k_recall(&v, &v, 3).unwrap(), 1.0);
+}
