@@ -59,6 +59,7 @@ smoke_tests! {
     table1_pipeline_runs_one_tiny_trial => "table1",
     ablations_pipeline_runs_one_tiny_trial => "ablations",
     kv_extension_pipeline_runs_one_tiny_trial => "kv_extension",
+    stream_online_pipeline_runs_one_tiny_trial => "stream_online",
 }
 
 #[test]
@@ -69,7 +70,7 @@ fn repro_covers_every_figure_exactly_once() {
         assert!(seen.insert(id), "duplicate figure id {id}");
         catalog::scenario(id).unwrap();
     }
-    assert_eq!(seen.len(), 11);
+    assert_eq!(seen.len(), 12);
 }
 
 #[test]

@@ -8,6 +8,9 @@
 //! * [`error`] — the workspace-wide error type.
 //! * [`rng`] — deterministic seed derivation and fast Bernoulli sampling.
 //! * [`hash`] — a from-scratch xxhash64 plus the seeded hash family OLH uses.
+//! * [`json`] — a minimal hand-rolled JSON value layer (reports, goldens,
+//!   and streaming-engine checkpoints; no `serde_json` under the vendored
+//!   dependency policy).
 //! * [`bitvec`] — packed bit vectors backing OUE reports.
 //! * [`sampling`] — alias tables, Zipf weights, random distributions,
 //!   and subset sampling.
@@ -23,6 +26,7 @@ pub mod bitvec;
 pub mod domain;
 pub mod error;
 pub mod hash;
+pub mod json;
 pub mod rng;
 pub mod sampling;
 pub mod stats;
@@ -31,3 +35,4 @@ pub mod vecmath;
 pub use bitvec::BitVec;
 pub use domain::Domain;
 pub use error::{LdpError, Result};
+pub use json::Json;

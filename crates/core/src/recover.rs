@@ -158,6 +158,26 @@ impl LdpRecover {
         })
     }
 
+    /// Runs recovery directly on raw aggregated support counts — the
+    /// online entry point of the streaming ingestion engine, which holds
+    /// its state as merged count accumulators and re-recovers at every
+    /// epoch boundary without ever materializing a frequency snapshot
+    /// itself. Exactly equivalent to debiasing (`C(v)` → `f̃(v)`, paper
+    /// Eq. (11) divided by `N`) followed by [`LdpRecover::recover`].
+    ///
+    /// # Errors
+    /// Propagates debias validation (shape mismatch, zero reports) and
+    /// everything [`LdpRecover::recover`] rejects.
+    pub fn recover_from_counts(
+        &self,
+        counts: &[u64],
+        reports: usize,
+        params: PureParams,
+    ) -> Result<RecoveryOutcome> {
+        let poisoned = params.debias_frequencies(counts, reports)?;
+        self.recover(&poisoned, params)
+    }
+
     /// The assumed ratio `η`.
     pub fn eta(&self) -> f64 {
         self.eta
@@ -255,6 +275,27 @@ mod tests {
         assert!((out.estimated_genuine[0] - 0.25).abs() < 1e-12);
         assert!((out.estimated_genuine[1] - 0.75).abs() < 1e-12);
         assert!(is_probability_vector(&out.frequencies, 1e-9));
+    }
+
+    #[test]
+    fn recover_from_counts_is_debias_then_recover() {
+        let params = grr_params(5, 0.5);
+        let counts = [40u64, 25, 20, 10, 5];
+        let reports = 100usize;
+        let rec = LdpRecover::new(0.2).unwrap();
+        let via_counts = rec.recover_from_counts(&counts, reports, params).unwrap();
+        let debias = params.debias_frequencies(&counts, reports).unwrap();
+        let via_freqs = rec.recover(&debias, params).unwrap();
+        assert_eq!(
+            via_counts, via_freqs,
+            "the two entry points must agree bitwise"
+        );
+        assert!(is_probability_vector(&via_counts.frequencies, 1e-9));
+        // Shape and emptiness validation propagate from the debias step.
+        assert!(rec
+            .recover_from_counts(&counts[..3], reports, params)
+            .is_err());
+        assert!(rec.recover_from_counts(&counts, 0, params).is_err());
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! real extracts.
 
 use ldp_common::sampling::sample_multinomial;
-use ldp_common::{LdpError, Result};
+use ldp_common::{Domain, LdpError, Result};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -110,15 +110,41 @@ impl DatasetKind {
                 "scale must be in (0,1], got {scale}"
             )));
         }
+        let (_, _, n, _) = self.spec();
+        let users = ((n as f64) * scale).ceil().max(1.0) as usize;
+        self.generate_user_counts(users, rng)
+    }
+
+    /// [`DatasetKind::generate_counts`] with an explicit user count
+    /// instead of a fraction — the population path of the streaming
+    /// ingestion engine, whose epochs are sized in users, not in fractions
+    /// of the full corpus. `generate_counts(scale)` is exactly
+    /// `generate_user_counts(⌈n·scale⌉)` (same RNG draws, same counts), so
+    /// the two entry points are bitwise interchangeable wherever the user
+    /// counts agree. Counts are drawn with replacement from the realized
+    /// corpus frequencies (mirroring [`Dataset::subsample`]), so `users`
+    /// may also *exceed* the corpus — a stream can ingest more traffic
+    /// than the static dataset ever held.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] when `users` is 0; otherwise
+    /// propagates generator validation.
+    pub fn generate_user_counts<R: Rng + ?Sized>(
+        self,
+        users: usize,
+        rng: &mut R,
+    ) -> Result<PopulationCounts> {
         let (name, d, n, s) = self.spec();
+        if users == 0 {
+            return Err(LdpError::invalid("user count must be ≥ 1"));
+        }
         let full = zipf_counts(name, d, n, s, rng)?;
-        if scale == 1.0 {
+        if users == n {
             return Ok(full);
         }
-        let target = ((n as f64) * scale).ceil().max(1.0) as u64;
         let weights: Vec<f64> = full.counts().iter().map(|&c| c as f64).collect();
-        let counts = sample_multinomial(target, &weights, rng)?;
-        PopulationCounts::from_counts(format!("{name}@{scale}"), full.domain(), counts)
+        let counts = sample_multinomial(users as u64, &weights, rng)?;
+        PopulationCounts::from_counts(format!("{name}#{users}"), full.domain(), counts)
     }
 
     /// Display name matching the paper's figures.
@@ -126,6 +152,32 @@ impl DatasetKind {
         match self {
             DatasetKind::Ipums => "IPUMS",
             DatasetKind::Fire => "Fire",
+        }
+    }
+
+    /// The workload's item domain.
+    pub fn domain(self) -> Domain {
+        let (_, d, _, _) = self.spec();
+        Domain::new(d).expect("corpus domains are non-empty")
+    }
+
+    /// Full-corpus user count `n` (the paper's §VI-A.1 populations).
+    pub fn total_users(self) -> usize {
+        let (_, _, n, _) = self.spec();
+        n
+    }
+
+    /// Parses `"ipums" | "fire"` (case-insensitive).
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] for unknown names.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "ipums" => Ok(DatasetKind::Ipums),
+            "fire" => Ok(DatasetKind::Fire),
+            other => Err(LdpError::invalid(format!(
+                "unknown dataset '{other}' (ipums|fire)"
+            ))),
         }
     }
 }
@@ -197,6 +249,43 @@ mod tests {
             assert!(kind.generate_counts(0.0, &mut rng).is_err());
             assert!(kind.generate_counts(1.5, &mut rng).is_err());
         }
+    }
+
+    #[test]
+    fn generate_user_counts_matches_the_fraction_path_bitwise() {
+        // The streaming engine's contract: generate_counts(scale) and
+        // generate_user_counts(⌈n·scale⌉) consume the same RNG draws and
+        // produce the same histogram — including at full scale.
+        for kind in DatasetKind::ALL {
+            let (_, _, n, _) = kind.spec();
+            for scale in [0.004, 0.01, 1.0] {
+                let users = ((n as f64) * scale).ceil().max(1.0) as usize;
+                let by_scale = kind.generate_counts(scale, &mut rng_from_seed(77)).unwrap();
+                let by_users = kind
+                    .generate_user_counts(users, &mut rng_from_seed(77))
+                    .unwrap();
+                assert_eq!(by_scale.counts(), by_users.counts(), "{kind} @ {scale}");
+                assert_eq!(by_scale.len(), by_users.len());
+            }
+            assert!(kind.generate_user_counts(0, &mut rng_from_seed(1)).is_err());
+            // Streams may ingest more users than the static corpus held:
+            // counts draw with replacement from the realized frequencies.
+            let oversized = kind
+                .generate_user_counts(n + 10_000, &mut rng_from_seed(1))
+                .unwrap();
+            assert_eq!(oversized.len(), n + 10_000);
+        }
+    }
+
+    #[test]
+    fn domain_users_and_parse_accessors() {
+        assert_eq!(DatasetKind::Ipums.domain().size(), IPUMS_DOMAIN);
+        assert_eq!(DatasetKind::Fire.domain().size(), FIRE_DOMAIN);
+        assert_eq!(DatasetKind::Ipums.total_users(), IPUMS_USERS);
+        assert_eq!(DatasetKind::Fire.total_users(), FIRE_USERS);
+        assert_eq!(DatasetKind::parse("IPUMS").unwrap(), DatasetKind::Ipums);
+        assert_eq!(DatasetKind::parse("fire").unwrap(), DatasetKind::Fire);
+        assert!(DatasetKind::parse("census").is_err());
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Property tests for the shard-merge algebra of [`CountAccumulator`].
+//!
+//! The streaming ingestion engine (`ldp_sim::stream`) is built on merging
+//! per-shard accumulators "at epoch boundaries, in any grouping, on any
+//! machine" — which is only sound if merge is a commutative monoid over
+//! accumulators of one domain, and if `from_parts` + `merge` conserves
+//! both support counts and report counts exactly. These properties gate
+//! that algebra over random count vectors and domains.
+
+use ldp_protocols::CountAccumulator;
+use proptest::prelude::*;
+
+/// Builds an accumulator from raw parts; reports is derived from the
+/// counts so the pair stays internally plausible (not that merge cares).
+fn acc(counts: &[u64], reports: usize) -> CountAccumulator {
+    CountAccumulator::from_parts(counts.to_vec(), reports)
+}
+
+/// `a ∪ b` without mutating the inputs.
+fn merged(a: &CountAccumulator, b: &CountAccumulator) -> CountAccumulator {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Merging is commutative: genuine ∪ malicious == malicious ∪ genuine,
+    /// shard 0 ∪ shard 1 == shard 1 ∪ shard 0.
+    #[test]
+    fn merge_is_commutative(
+        counts_a in prop::collection::vec(0u64..10_000, 1..64),
+        counts_b in prop::collection::vec(0u64..10_000, 1..64),
+        reports_a in 0usize..100_000,
+        reports_b in 0usize..100_000,
+    ) {
+        let d = counts_a.len().min(counts_b.len());
+        let a = acc(&counts_a[..d], reports_a);
+        let b = acc(&counts_b[..d], reports_b);
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    /// Merging is associative: shards can fold in any grouping — pairwise
+    /// trees, sequential scans, per-machine partials — with identical
+    /// results.
+    #[test]
+    fn merge_is_associative(
+        counts_a in prop::collection::vec(0u64..10_000, 1..64),
+        counts_b in prop::collection::vec(0u64..10_000, 1..64),
+        counts_c in prop::collection::vec(0u64..10_000, 1..64),
+        reports in prop::collection::vec(0usize..100_000, 3),
+    ) {
+        let d = counts_a.len().min(counts_b.len()).min(counts_c.len());
+        let a = acc(&counts_a[..d], reports[0]);
+        let b = acc(&counts_b[..d], reports[1]);
+        let c = acc(&counts_c[..d], reports[2]);
+        let left = merged(&merged(&a, &b), &c);
+        let right = merged(&a, &merged(&b, &c));
+        prop_assert_eq!(left, right);
+    }
+
+    /// The empty accumulator is the identity on both sides.
+    #[test]
+    fn empty_accumulator_is_the_merge_identity(
+        counts in prop::collection::vec(0u64..10_000, 1..64),
+        reports in 0usize..100_000,
+    ) {
+        let a = acc(&counts, reports);
+        let empty = acc(&vec![0; counts.len()], 0);
+        prop_assert_eq!(merged(&a, &empty), a.clone());
+        prop_assert_eq!(merged(&empty, &a), a);
+    }
+
+    /// `from_parts` + merge conserves totals exactly: every support count
+    /// and every report of every shard survives the fold, in `u64` /
+    /// `usize` arithmetic with no rounding anywhere.
+    #[test]
+    fn from_parts_and_merge_preserve_totals(
+        shards in prop::collection::vec(
+            prop::collection::vec(0u64..10_000, 16), 1..8),
+        reports in prop::collection::vec(0usize..100_000, 1..8),
+    ) {
+        let n = shards.len().min(reports.len());
+        let mut folded = acc(&[0; 16], 0);
+        for (counts, &r) in shards[..n].iter().zip(&reports[..n]) {
+            folded.merge(&acc(counts, r));
+        }
+        let expect_reports: usize = reports[..n].iter().sum();
+        prop_assert_eq!(folded.report_count(), expect_reports);
+        for v in 0..16 {
+            let expect: u64 = shards[..n].iter().map(|c| c[v]).sum();
+            prop_assert_eq!(folded.counts()[v], expect, "item {}", v);
+        }
+    }
+}
+
+#[test]
+fn merge_rejects_mismatched_domains() {
+    let mut a = acc(&[1, 2, 3], 6);
+    let b = acc(&[1, 2], 3);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| a.merge(&b)));
+    assert!(result.is_err(), "cross-domain merge must panic");
+}

@@ -17,10 +17,11 @@
 //! scale preset or an explicit fraction.
 
 use ldp_attacks::AttackKind;
-use ldp_common::{LdpError, Result};
+use ldp_common::{Json, LdpError, Result};
 use ldp_datasets::{DatasetKind, ScalePreset};
 use ldp_protocols::ProtocolKind;
 use ldp_sim::scenario::{catalog, run_scenario, RunScale, ScaleSpec};
+use ldp_sim::stream::{StreamEngine, StreamSpec};
 use ldp_sim::table::{fmt_mean, fmt_stat};
 use ldp_sim::{
     run_experiment, AggregationMode, ExperimentConfig, PipelineOptions, Table, DEFAULT_SEED,
@@ -29,6 +30,8 @@ use ldp_sim::{
 const USAGE: &str = "\
 ldp — run one LDPRecover experiment cell
 ldp repro — reproduce whole paper figures (see `ldp repro --help`)
+ldp stream — sharded streaming ingestion with per-epoch recovery
+             (see `ldp stream --help`)
 
 options:
   --dataset ipums|fire          workload                [ipums]
@@ -125,23 +128,27 @@ fn parse_args<I: Iterator<Item = String>>(mut iter: I) -> Result<Args> {
             other => return Err(LdpError::invalid(format!("unknown flag '{other}'"))),
         }
     }
-    args.attack = match attack_name.as_str() {
-        "manip" => Some(AttackKind::Manip { h: args.targets }),
-        "mga" => Some(AttackKind::Mga { r: args.targets }),
-        "mga-sampled" => Some(AttackKind::MgaSampled { r: args.targets }),
-        "aa" => Some(AttackKind::Adaptive),
-        "aa-camo" => Some(AttackKind::AdaptiveCamouflaged),
-        "mga-ipa" => Some(AttackKind::MgaIpa { r: args.targets }),
-        "multi" => Some(AttackKind::MultiAdaptive {
-            attackers: args.attackers,
-        }),
-        "none" => None,
-        other => return Err(LdpError::invalid(format!("unknown attack '{other}'"))),
-    };
+    args.attack = resolve_attack(&attack_name, args.targets, args.attackers)?;
     if explicit_none {
         args.beta = 0.0;
     }
     Ok(args)
+}
+
+/// Maps a CLI attack name (plus the `--targets` / `--attackers`
+/// parameters) to an [`AttackKind`]; `"none"` disables the attack.
+fn resolve_attack(name: &str, targets: usize, attackers: usize) -> Result<Option<AttackKind>> {
+    match name {
+        "manip" => Ok(Some(AttackKind::Manip { h: targets })),
+        "mga" => Ok(Some(AttackKind::Mga { r: targets })),
+        "mga-sampled" => Ok(Some(AttackKind::MgaSampled { r: targets })),
+        "aa" => Ok(Some(AttackKind::Adaptive)),
+        "aa-camo" => Ok(Some(AttackKind::AdaptiveCamouflaged)),
+        "mga-ipa" => Ok(Some(AttackKind::MgaIpa { r: targets })),
+        "multi" => Ok(Some(AttackKind::MultiAdaptive { attackers })),
+        "none" => Ok(None),
+        other => Err(LdpError::invalid(format!("unknown attack '{other}'"))),
+    }
 }
 
 fn parse_num(s: &str, flag: &str) -> Result<usize> {
@@ -250,11 +257,228 @@ fn repro_main<I: Iterator<Item = String>>(iter: I) -> Result<()> {
     Ok(())
 }
 
+const STREAM_USAGE: &str = "\
+ldp stream — sharded streaming ingestion with epoch-based online recovery
+
+Synthetic genuine+malicious traffic is fanned across shards (each with its
+own derived RNG stream), merged at every epoch boundary, and re-recovered,
+producing a recovery-accuracy-vs-reports-seen trajectory. With
+--checkpoint the full engine state is written after every epoch; --resume
+continues a suspended run bit-identically (same bytes as uninterrupted).
+
+options:
+  --dataset ipums|fire          workload                [ipums]
+  --protocol grr|oue|olh|sue|hr LDP protocol            [grr]
+  --attack manip|mga|mga-sampled|aa|aa-camo|mga-ipa|multi|none
+                                poisoning campaign      [aa]
+  --targets N                   r for targeted attacks / |H| for manip [10]
+  --attackers N                 attackers for `multi`   [5]
+  --beta F                      malicious fraction      [0.05]
+  --eta F                       recovery's assumed m/n  [0.2]
+  --epsilon F                   privacy budget          [0.5]
+  --shards N                    ingestion shards        [4]
+  --epochs N                    stream length           [8]
+  --users-per-epoch N           genuine users per epoch [5000]
+  --seed N                      master seed             [0x1db05eed]
+  --checkpoint PATH             write the engine state after every epoch
+  --resume PATH                 restore from a checkpoint (spec flags
+                                then come from the checkpoint, not the CLI)
+  --suspend-after N             stop once N epochs are done (for --resume)
+  --json PATH                   write the JSON report (spec + trajectory)
+  --csv                         CSV trajectory table
+  --help                        this text";
+
+/// Parsed `ldp stream` options.
+struct StreamArgs {
+    spec: StreamSpec,
+    /// Whether any spec-shaping flag was given (rejected with --resume).
+    spec_flags_used: bool,
+    checkpoint: Option<std::path::PathBuf>,
+    resume: Option<std::path::PathBuf>,
+    suspend_after: Option<usize>,
+    json: Option<std::path::PathBuf>,
+    csv: bool,
+}
+
+fn parse_stream_args<I: Iterator<Item = String>>(mut iter: I) -> Result<StreamArgs> {
+    let mut spec = StreamSpec {
+        dataset: DatasetKind::Ipums,
+        protocol: ProtocolKind::Grr,
+        attack: Some(AttackKind::Adaptive),
+        epsilon: 0.5,
+        beta: 0.05,
+        eta: 0.2,
+        shards: 4,
+        epochs: 8,
+        users_per_epoch: 5000,
+        seed: DEFAULT_SEED,
+    };
+    let mut attack_name = "aa".to_string();
+    let mut targets = 10usize;
+    let mut attackers = 5usize;
+    let mut args = StreamArgs {
+        spec,
+        spec_flags_used: false,
+        checkpoint: None,
+        resume: None,
+        suspend_after: None,
+        json: None,
+        csv: false,
+    };
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| -> Result<String> {
+            iter.next()
+                .ok_or_else(|| LdpError::invalid(format!("{name} requires a value")))
+        };
+        let mut spec_flag = true;
+        match flag.as_str() {
+            "--dataset" => spec.dataset = DatasetKind::parse(&value("--dataset")?)?,
+            "--protocol" => spec.protocol = ProtocolKind::parse(&value("--protocol")?)?,
+            "--attack" => attack_name = value("--attack")?.to_ascii_lowercase(),
+            "--targets" => targets = parse_num(&value("--targets")?, "--targets")?,
+            "--attackers" => attackers = parse_num(&value("--attackers")?, "--attackers")?,
+            "--beta" => spec.beta = parse_f64(&value("--beta")?, "--beta")?,
+            "--eta" => spec.eta = parse_f64(&value("--eta")?, "--eta")?,
+            "--epsilon" => spec.epsilon = parse_f64(&value("--epsilon")?, "--epsilon")?,
+            "--shards" => spec.shards = parse_num(&value("--shards")?, "--shards")?,
+            "--epochs" => spec.epochs = parse_num(&value("--epochs")?, "--epochs")?,
+            "--users-per-epoch" => {
+                spec.users_per_epoch =
+                    parse_num(&value("--users-per-epoch")?, "--users-per-epoch")?;
+            }
+            "--seed" => spec.seed = parse_num(&value("--seed")?, "--seed")? as u64,
+            "--checkpoint" => {
+                args.checkpoint = Some(value("--checkpoint")?.into());
+                spec_flag = false;
+            }
+            "--resume" => {
+                args.resume = Some(value("--resume")?.into());
+                spec_flag = false;
+            }
+            "--suspend-after" => {
+                args.suspend_after =
+                    Some(parse_num(&value("--suspend-after")?, "--suspend-after")?);
+                spec_flag = false;
+            }
+            "--json" => {
+                args.json = Some(value("--json")?.into());
+                spec_flag = false;
+            }
+            "--csv" => {
+                args.csv = true;
+                spec_flag = false;
+            }
+            "--help" | "-h" => {
+                println!("{STREAM_USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(LdpError::invalid(format!("unknown flag '{other}'"))),
+        }
+        args.spec_flags_used |= spec_flag;
+    }
+    spec.attack = resolve_attack(&attack_name, targets, attackers)?;
+    if spec.attack.is_none() {
+        spec.beta = 0.0;
+    }
+    args.spec = spec;
+    if args.resume.is_some() && args.spec_flags_used {
+        return Err(LdpError::invalid(
+            "--resume restores the spec from the checkpoint; spec flags are not allowed",
+        ));
+    }
+    Ok(args)
+}
+
+fn stream_main<I: Iterator<Item = String>>(iter: I) -> Result<()> {
+    let args = parse_stream_args(iter)?;
+    let mut engine = match &args.resume {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)?;
+            StreamEngine::from_checkpoint(&Json::parse(&text)?)?
+        }
+        None => StreamEngine::new(args.spec)?,
+    };
+    let horizon = args
+        .suspend_after
+        .map_or(engine.spec().epochs, |e| e.min(engine.spec().epochs));
+    // Dump the starting state too, so the checkpoint file exists (and the
+    // resume hint below holds) even if no epoch runs before suspension.
+    if let Some(path) = &args.checkpoint {
+        std::fs::write(path, engine.to_checkpoint().render())?;
+    }
+    while engine.epochs_done() < horizon {
+        engine.step()?;
+        if let Some(path) = &args.checkpoint {
+            std::fs::write(path, engine.to_checkpoint().render())?;
+        }
+    }
+
+    let spec = *engine.spec();
+    println!(
+        "stream {}  (dataset={}, eps={}, beta={}, eta={}, shards={}, epochs={}/{}, \
+         users/epoch={}, seed={:#x})\n",
+        match spec.attack {
+            Some(attack) => format!("{}-{}", attack.label(), spec.protocol),
+            None => format!("unpoisoned-{}", spec.protocol),
+        },
+        spec.dataset,
+        spec.epsilon,
+        spec.beta,
+        spec.eta,
+        spec.shards,
+        engine.epochs_done(),
+        spec.epochs,
+        spec.users_per_epoch,
+        spec.seed
+    );
+    let mut table = Table::new([
+        "epoch",
+        "reports",
+        "MSE before",
+        "MSE LDPRecover",
+        "noise floor",
+    ]);
+    for point in engine.trajectory() {
+        table.push_row([
+            format!("{}", point.epoch + 1),
+            format!("{}", point.reports_seen),
+            format!("{:.3e}", point.mse_before),
+            format!("{:.3e}", point.mse_recovered),
+            format!("{:.3e}", point.mse_genuine),
+        ]);
+    }
+    if args.csv {
+        print!("{}", table.render_csv());
+    } else {
+        print!("{}", table.render());
+    }
+    if engine.epochs_done() < spec.epochs {
+        println!(
+            "\nsuspended after {} of {} epochs{}",
+            engine.epochs_done(),
+            spec.epochs,
+            args.checkpoint
+                .as_deref()
+                .map(|p| format!(" (resume with --resume {})", p.display()))
+                .unwrap_or_default()
+        );
+    }
+    if let Some(path) = &args.json {
+        std::fs::write(path, engine.report()?.render())?;
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
 fn main() -> Result<()> {
     let mut raw = std::env::args().skip(1).peekable();
     if raw.peek().map(String::as_str) == Some("repro") {
         raw.next();
         return repro_main(raw);
+    }
+    if raw.peek().map(String::as_str) == Some("stream") {
+        raw.next();
+        return stream_main(raw);
     }
     let args = parse_args(raw)?;
     let mut config = ExperimentConfig::paper_default(args.dataset, args.protocol, args.attack);
@@ -436,6 +660,73 @@ mod tests {
         assert!(parse_repro(&["--scale", "huge"]).is_err());
         assert!(parse_repro(&["--figure"]).is_err());
         assert!(parse_repro(&["--frobnicate"]).is_err());
+    }
+
+    fn parse_stream(args: &[&str]) -> Result<StreamArgs> {
+        parse_stream_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn stream_defaults() {
+        let a = parse_stream(&[]).unwrap();
+        assert_eq!(a.spec.shards, 4);
+        assert_eq!(a.spec.epochs, 8);
+        assert_eq!(a.spec.users_per_epoch, 5000);
+        assert_eq!(a.spec.attack, Some(AttackKind::Adaptive));
+        assert_eq!(a.spec.seed, DEFAULT_SEED);
+        assert!(a.checkpoint.is_none() && a.resume.is_none());
+        assert!(a.spec.validate().is_ok());
+    }
+
+    #[test]
+    fn stream_flags_parse() {
+        let a = parse_stream(&[
+            "--protocol",
+            "oue",
+            "--attack",
+            "mga",
+            "--targets",
+            "7",
+            "--shards",
+            "16",
+            "--epochs",
+            "3",
+            "--users-per-epoch",
+            "1200",
+            "--checkpoint",
+            "c.json",
+            "--suspend-after",
+            "2",
+            "--json",
+            "out.json",
+            "--csv",
+        ])
+        .unwrap();
+        assert_eq!(a.spec.protocol, ProtocolKind::Oue);
+        assert_eq!(a.spec.attack, Some(AttackKind::Mga { r: 7 }));
+        assert_eq!(a.spec.shards, 16);
+        assert_eq!(a.spec.epochs, 3);
+        assert_eq!(a.spec.users_per_epoch, 1200);
+        assert_eq!(
+            a.checkpoint.as_deref(),
+            Some(std::path::Path::new("c.json"))
+        );
+        assert_eq!(a.suspend_after, Some(2));
+        assert!(a.csv);
+        // `none` zeroes beta, like the cell runner.
+        let clean = parse_stream(&["--attack", "none"]).unwrap();
+        assert!(clean.spec.attack.is_none());
+        assert_eq!(clean.spec.beta, 0.0);
+    }
+
+    #[test]
+    fn stream_resume_rejects_spec_flags() {
+        let ok = parse_stream(&["--resume", "c.json", "--json", "out.json"]).unwrap();
+        assert!(ok.resume.is_some());
+        assert!(parse_stream(&["--resume", "c.json", "--shards", "2"]).is_err());
+        assert!(parse_stream(&["--resume", "c.json", "--protocol", "oue"]).is_err());
+        assert!(parse_stream(&["--frobnicate"]).is_err());
+        assert!(parse_stream(&["--shards"]).is_err());
     }
 
     #[test]

@@ -24,12 +24,17 @@
 //! * [`scenario`] — the declarative scenario-matrix subsystem: the
 //!   paper's figures as data (cells × grids), one engine executing them,
 //!   JSON reports, and golden statistical regression gates.
+//! * [`stream`] — sharded streaming ingestion with epoch-based online
+//!   recovery: per-`(shard, epoch)` derived RNG streams, batched epoch
+//!   deltas, exact shard merges, recovery trajectories, and bit-identical
+//!   JSON checkpoint/resume.
 
 pub mod config;
 pub mod metrics;
 pub mod pipeline;
 pub mod runner;
 pub mod scenario;
+pub mod stream;
 pub mod table;
 
 pub use config::{AggregationMode, ExperimentConfig, PipelineOptions, DEFAULT_SEED};
@@ -37,4 +42,5 @@ pub use metrics::{frequency_gain, top_k_recall, Stats};
 pub use pipeline::{TrialAggregates, TrialResult};
 pub use runner::{run_eta_sweep, run_experiment, ExperimentResult};
 pub use scenario::{run_scenario, RunScale, ScaleSpec, Scenario, ScenarioReport};
+pub use stream::{shard_epoch_delta, EpochPoint, ShardDelta, StreamEngine, StreamSpec};
 pub use table::Table;

@@ -34,8 +34,9 @@ pub const ETA_GRID: [f64; 5] = [0.01, 0.05, 0.1, 0.2, 0.4];
 /// The ξ (sample-rate) grid of Fig. 9.
 pub const XI_GRID: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 0.9];
 
-/// Every scenario id, in the paper's presentation order.
-pub const FIGURE_IDS: [&str; 11] = [
+/// Every scenario id, in the paper's presentation order (extensions
+/// after the paper's own figures).
+pub const FIGURE_IDS: [&str; 12] = [
     "fig3",
     "fig4",
     "fig5",
@@ -47,6 +48,7 @@ pub const FIGURE_IDS: [&str; 11] = [
     "fig10",
     "ablations",
     "kv_extension",
+    "stream_online",
 ];
 
 /// Builds the scenario for a figure id.
@@ -77,6 +79,7 @@ pub fn scenario(id: &str) -> Result<Scenario> {
         "fig10" => Ok(fig10()),
         "ablations" => ablations(),
         "kv_extension" => Ok(kv_extension()),
+        "stream_online" => Ok(stream_online()),
         other => Err(ldp_common::LdpError::invalid(format!(
             "unknown figure '{other}' (known: {})",
             FIGURE_IDS.join(", ")
@@ -854,6 +857,121 @@ fn kv_extension() -> Scenario {
     }
 }
 
+/// Streaming scenario shape: a fixed epoch horizon so the per-epoch
+/// metric names (and therefore the golden file) are static.
+const STREAM_EPOCHS: usize = 4;
+/// Shards of the streaming scenario cells (merge-exactness means the
+/// numbers are shard-layout-independent; 2 exercises the merge path).
+const STREAM_SHARDS: usize = 2;
+/// Per-epoch metric keys of the poisoned ("before") trajectory.
+const STREAM_BEFORE_KEYS: [&str; STREAM_EPOCHS] = [
+    "mse_before_e1",
+    "mse_before_e2",
+    "mse_before_e3",
+    "mse_before_e4",
+];
+/// Per-epoch metric keys of the recovered trajectory.
+const STREAM_RECOVER_KEYS: [&str; STREAM_EPOCHS] = [
+    "mse_recovered_e1",
+    "mse_recovered_e2",
+    "mse_recovered_e3",
+    "mse_recovered_e4",
+];
+
+fn stream_online() -> Scenario {
+    use crate::stream::{StreamEngine, StreamSpec};
+
+    let mut cells = Vec::new();
+    let mut before_rows = Vec::new();
+    let mut recover_rows = Vec::new();
+    for protocol in ProtocolKind::ALL {
+        for (label, attack) in [
+            ("MGA", AttackKind::Mga { r: 10 }),
+            ("AA", AttackKind::Adaptive),
+        ] {
+            let id = format!("stream/{label}-{protocol}");
+            before_rows.push(RowSpec {
+                label: format!("{label}-{protocol}"),
+                entries: STREAM_BEFORE_KEYS
+                    .iter()
+                    .map(|key| Entry::stat(&id, Metric::Custom(key)))
+                    .collect(),
+            });
+            recover_rows.push(RowSpec {
+                label: format!("{label}-{protocol}"),
+                entries: STREAM_RECOVER_KEYS
+                    .iter()
+                    .map(|key| Entry::stat(&id, Metric::Custom(key)))
+                    .collect(),
+            });
+            cells.push(Cell::custom(id, move |trial, ctx| {
+                let corpus = DatasetKind::Ipums.total_users() as f64;
+                let users_per_epoch = ((corpus * ctx.fraction(DatasetKind::Ipums))
+                    / STREAM_EPOCHS as f64)
+                    .round()
+                    .max(STREAM_SHARDS as f64) as usize;
+                let spec = StreamSpec {
+                    dataset: DatasetKind::Ipums,
+                    protocol,
+                    epsilon: 0.5,
+                    attack: Some(attack),
+                    beta: 0.05,
+                    eta: 0.2,
+                    shards: STREAM_SHARDS,
+                    epochs: STREAM_EPOCHS,
+                    users_per_epoch,
+                    seed: ldp_common::rng::derive_seed(ctx.seed, trial as u64),
+                };
+                let mut engine = StreamEngine::new(spec)?;
+                engine.run_to_completion()?;
+                let mut out = Vec::with_capacity(2 * STREAM_EPOCHS + 1);
+                for (point, (&before, &recovered)) in engine
+                    .trajectory()
+                    .iter()
+                    .zip(STREAM_BEFORE_KEYS.iter().zip(STREAM_RECOVER_KEYS.iter()))
+                {
+                    out.push((before, point.mse_before));
+                    out.push((recovered, point.mse_recovered));
+                }
+                let last = engine.trajectory().last().expect("epochs ran");
+                out.push(("mse_genuine_final", last.mse_genuine));
+                Ok(out)
+            }));
+        }
+    }
+    let epoch_columns = || (1..=STREAM_EPOCHS).map(|e| format!("epoch {e}")).collect();
+    Scenario {
+        id: "stream_online",
+        title: "Extension: online recovery trajectories under streaming ingestion (IPUMS)",
+        paper_anchor: "the paper's one-shot server, run per epoch: recovered MSE tracks \
+                       the shrinking noise floor while the poisoned MSE stays attack-bound",
+        cells,
+        grids: vec![
+            GridSpec {
+                title: format!(
+                    "Online MSE before recovery ({STREAM_SHARDS} shards × {STREAM_EPOCHS} epochs)"
+                ),
+                row_header: "cell".into(),
+                columns: epoch_columns(),
+                rows: before_rows,
+            },
+            GridSpec {
+                title: format!(
+                    "Online MSE after LDPRecover ({STREAM_SHARDS} shards × {STREAM_EPOCHS} epochs)"
+                ),
+                row_header: "cell".into(),
+                columns: epoch_columns(),
+                rows: recover_rows,
+            },
+        ],
+        notes: vec![
+            "each epoch ingests 1/4 of the preset's population; estimates use all \
+             reports seen so far, so both curves fall ≈ 1/reports while the attack \
+             keeps the before-curve offset above the recovered one.",
+        ],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -910,5 +1028,38 @@ mod tests {
         assert_eq!(scenario("ablations").unwrap().cells.len(), 7);
         // KV extension: one custom cell per wide-β point.
         assert_eq!(scenario("kv_extension").unwrap().cells.len(), 5);
+        // Streaming: 3 protocols × {MGA, AA} online-recovery cells.
+        assert_eq!(scenario("stream_online").unwrap().cells.len(), 6);
+    }
+
+    #[test]
+    fn stream_scenario_produces_full_trajectories() {
+        // One cheap run: every cell yields the full per-epoch metric set
+        // and the recovered curve ends at or below the poisoned one for
+        // the targeted MGA cells (which poison hardest).
+        let scale = crate::scenario::spec::RunScale {
+            trials: 2,
+            seed: 11,
+            scale: crate::scenario::spec::ScaleSpec::Fraction(0.004),
+        };
+        let report = crate::scenario::run_scenario(&stream_online(), &scale).unwrap();
+        for cell in &report.cells {
+            for key in STREAM_BEFORE_KEYS.iter().chain(&STREAM_RECOVER_KEYS) {
+                assert!(
+                    report.metric(&cell.id, key).is_some(),
+                    "{}: missing {key}",
+                    cell.id
+                );
+            }
+            assert!(report.metric(&cell.id, "mse_genuine_final").is_some());
+        }
+        let mga_before = report.metric("stream/MGA-GRR", "mse_before_e4").unwrap();
+        let mga_after = report.metric("stream/MGA-GRR", "mse_recovered_e4").unwrap();
+        assert!(
+            mga_after.mean < mga_before.mean,
+            "online recovery must beat the poisoned estimate: {} vs {}",
+            mga_after.mean,
+            mga_before.mean
+        );
     }
 }

@@ -1,0 +1,667 @@
+//! Sharded streaming ingestion with epoch-based online recovery.
+//!
+//! The paper's server is a one-shot batch estimator: aggregate every
+//! report, then recover once. A production aggregator under an ongoing
+//! poisoning campaign wants recovered frequencies *as the stream
+//! progresses*. This module turns the existing building blocks into that
+//! system:
+//!
+//! * **Shards** — synthetic genuine + malicious report traffic is fanned
+//!   across `N` shards. Each shard owns a [`CountAccumulator`] and its own
+//!   RNG stream, derived per `(shard, epoch)` from the master seed
+//!   ([`ldp_common::rng::derive_seed2`]), so shards are independent,
+//!   individually re-runnable, and mergeable in any order.
+//! * **Epoch deltas** — a shard never materializes reports for genuine
+//!   traffic: it samples its epoch's population histogram
+//!   ([`DatasetKind::generate_user_counts`]) and feeds it to the protocol's
+//!   count sampler (`batch_aggregate`, the PR 2 batched engine), `O(d)`
+//!   per epoch for GRR/OUE/SUE/HR regardless of traffic volume. Malicious
+//!   reports are crafted individually — the attack decides their joint
+//!   shape — and folded into a separate accumulator, exactly as the
+//!   offline pipeline does.
+//! * **Epoch boundaries** — after every epoch the shard deltas merge into
+//!   the engine's cumulative state and recovery
+//!   ([`LdpRecover::recover_from_counts`]) runs on the merged poisoned
+//!   counts, producing a recovery-accuracy-vs-reports-seen trajectory.
+//! * **Checkpoints** — the whole engine state round-trips through the
+//!   shared JSON value layer ([`ldp_common::json`], see
+//!   [`checkpoint`](self)); because all randomness is derived per
+//!   `(shard, epoch)`, no RNG state needs serializing and a suspended
+//!   stream resumes **bit-identically**.
+//!
+//! Equivalence contracts (enforced by `tests/stream_equivalence.rs`):
+//!
+//! 1. A 1-shard single-epoch run consumes exactly the RNG call sequence of
+//!    the offline batched pipeline (`run_aggregation` + recover), so its
+//!    counts, estimates, and recovered frequencies are bit-identical to
+//!    the one-shot path at the same derived seed.
+//! 2. The merged final state of an `N`-shard run is bit-identical to
+//!    re-running each of its shard/epoch cells standalone
+//!    ([`shard_epoch_delta`]) and merging the deltas in any grouping —
+//!    sharding is pure parallelization of a fixed randomness layout, which
+//!    is what lets shards live on separate machines.
+//! 3. Relative to a 1-shard run over the same traffic volume, an
+//!    `N`-shard run re-rolls the sampling noise (different derived
+//!    streams) but draws from the same distribution: estimates agree
+//!    statistically, never bitwise.
+
+pub mod checkpoint;
+
+use ldp_attacks::AttackKind;
+use ldp_common::rng::{derive_seed2, rng_from_seed};
+use ldp_common::{Domain, Json, LdpError, Result};
+use ldp_datasets::DatasetKind;
+use ldp_protocols::{AnyProtocol, CountAccumulator, LdpFrequencyProtocol, ProtocolKind};
+use ldprecover::LdpRecover;
+
+use crate::config::ExperimentConfig;
+use crate::metrics::mse;
+use crate::runner::{map_trials, thread_count};
+
+/// Declarative description of one streaming-ingestion run.
+///
+/// The population model matches the offline pipeline cell for cell: every
+/// epoch, `users_per_epoch` genuine users (split as evenly as possible
+/// across the shards) draw items from the dataset's distribution and run
+/// the protocol, while each shard's attacker contributes
+/// `round(β/(1−β) · genuine)` crafted reports — a sustained campaign at a
+/// constant malicious fraction. The attack's randomized state (targets,
+/// designed distributions) is re-instantiated per `(shard, epoch)` from
+/// that cell's derived stream, mirroring how the offline harness
+/// re-randomizes attacks across trials.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamSpec {
+    /// Which evaluation workload generates the genuine traffic.
+    pub dataset: DatasetKind,
+    /// Which LDP protocol the users run.
+    pub protocol: ProtocolKind,
+    /// Privacy budget ε.
+    pub epsilon: f64,
+    /// The ongoing poisoning campaign, or `None` for clean traffic.
+    pub attack: Option<AttackKind>,
+    /// Malicious fraction β = m/(n+m), applied per shard per epoch.
+    pub beta: f64,
+    /// The recovery method's assumed ratio η = m/n.
+    pub eta: f64,
+    /// Number of ingestion shards.
+    pub shards: usize,
+    /// Planned stream length in epochs.
+    pub epochs: usize,
+    /// Genuine users arriving per epoch (across all shards).
+    pub users_per_epoch: usize,
+    /// Master seed; every `(shard, epoch)` cell derives its own stream.
+    pub seed: u64,
+}
+
+impl StreamSpec {
+    /// Builds a spec from an offline [`ExperimentConfig`], keeping the
+    /// protocol/attack/parameter cell identical — the bridge the
+    /// differential tests use to compare online against offline runs.
+    pub fn from_experiment(
+        config: &ExperimentConfig,
+        shards: usize,
+        epochs: usize,
+        users_per_epoch: usize,
+    ) -> Self {
+        Self {
+            dataset: config.dataset,
+            protocol: config.protocol,
+            epsilon: config.epsilon,
+            attack: config.attack,
+            beta: config.beta,
+            eta: config.eta,
+            shards,
+            epochs,
+            users_per_epoch,
+            seed: config.seed,
+        }
+    }
+
+    /// Validates the spec.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] for out-of-range ε/β/η, zero shards
+    /// or epochs, an epoch too small to give every shard a user, or
+    /// β > 0 without an attack.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.epsilon.is_finite() && self.epsilon > 0.0) {
+            return Err(LdpError::invalid(format!("epsilon = {}", self.epsilon)));
+        }
+        if !(0.0..1.0).contains(&self.beta) {
+            return Err(LdpError::invalid(format!(
+                "beta must be in [0,1), got {}",
+                self.beta
+            )));
+        }
+        if !(self.eta.is_finite() && self.eta >= 0.0) {
+            return Err(LdpError::invalid(format!("eta = {}", self.eta)));
+        }
+        if self.attack.is_none() && self.beta > 0.0 {
+            return Err(LdpError::invalid(
+                "beta > 0 requires an attack; set beta = 0 for a clean stream",
+            ));
+        }
+        if self.shards == 0 {
+            return Err(LdpError::invalid("shards must be ≥ 1"));
+        }
+        if self.epochs == 0 {
+            return Err(LdpError::invalid("epochs must be ≥ 1"));
+        }
+        if self.users_per_epoch < self.shards {
+            return Err(LdpError::invalid(format!(
+                "users_per_epoch ({}) must cover every shard ({})",
+                self.users_per_epoch, self.shards
+            )));
+        }
+        Ok(())
+    }
+
+    /// Genuine users shard `shard` ingests per epoch: an even split of
+    /// [`StreamSpec::users_per_epoch`], remainder to the lowest shards.
+    pub fn shard_users(&self, shard: usize) -> usize {
+        debug_assert!(shard < self.shards);
+        self.users_per_epoch / self.shards + usize::from(shard < self.users_per_epoch % self.shards)
+    }
+
+    /// Malicious reports accompanying `genuine` genuine users:
+    /// `m = round(β/(1−β) · genuine)` (so that β = m/(n+m)).
+    pub fn malicious_count(&self, genuine: usize) -> usize {
+        if self.attack.is_none() || self.beta == 0.0 {
+            return 0;
+        }
+        ((self.beta / (1.0 - self.beta)) * genuine as f64).round() as usize
+    }
+
+    /// The item domain of the spec's workload.
+    pub fn domain(&self) -> Domain {
+        self.dataset.domain()
+    }
+}
+
+/// One shard's contribution to one epoch: population histogram, aggregated
+/// genuine support counts, and malicious support counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardDelta {
+    /// The epoch's genuine population histogram (ground truth delta).
+    pub population: Vec<u64>,
+    /// Aggregated genuine support counts `C(v)`.
+    pub genuine_counts: Vec<u64>,
+    /// Genuine users in this delta.
+    pub genuine_users: usize,
+    /// Aggregated malicious support counts.
+    pub malicious_counts: Vec<u64>,
+    /// Malicious reports in this delta.
+    pub malicious_users: usize,
+}
+
+/// Computes the delta of one `(shard, epoch)` cell from its derived RNG
+/// stream — the unit of randomness of the whole engine.
+///
+/// The RNG call sequence deliberately mirrors the offline batched
+/// aggregation path (`ldp_sim::pipeline::run_aggregation` in `Batched`
+/// mode) step for step: population histogram, genuine count sampler, then
+/// attack instantiation + crafting. That is what makes a 1-shard
+/// single-epoch stream bit-identical to the one-shot pipeline.
+///
+/// # Errors
+/// Propagates spec validation, dataset generation, and protocol
+/// construction failures.
+pub fn shard_epoch_delta(spec: &StreamSpec, shard: usize, epoch: usize) -> Result<ShardDelta> {
+    if shard >= spec.shards {
+        return Err(LdpError::invalid(format!(
+            "shard {shard} out of range (spec has {})",
+            spec.shards
+        )));
+    }
+    let mut rng = rng_from_seed(derive_seed2(spec.seed, shard as u64, epoch as u64));
+    let users = spec.shard_users(shard);
+
+    // Genuine traffic: population histogram + batched count sampler —
+    // nothing O(n) is ever materialized for GRR/OUE/SUE/HR.
+    let population = spec.dataset.generate_user_counts(users, &mut rng)?;
+    let domain = population.domain();
+    let protocol = spec.protocol.build(spec.epsilon, domain)?;
+    let genuine_counts = protocol
+        .batch_aggregate(population.counts(), &mut rng)
+        .unwrap_or_else(|| {
+            ldp_protocols::batch::grouped_support_counts(&protocol, population.counts(), &mut rng)
+        });
+
+    // Malicious traffic: crafted reports, the attack decides their shape.
+    let m = spec.malicious_count(users);
+    let mut malicious = CountAccumulator::new(domain);
+    if m > 0 {
+        let attack_kind = spec.attack.expect("validated: beta > 0 implies an attack");
+        let attack = attack_kind.instantiate(domain, &mut rng);
+        let crafted = attack.craft(&protocol, m, &mut rng);
+        malicious.add_all(&protocol, &crafted);
+    }
+
+    Ok(ShardDelta {
+        population: population.counts().to_vec(),
+        genuine_counts,
+        genuine_users: users,
+        malicious_counts: malicious.counts().to_vec(),
+        malicious_users: m,
+    })
+}
+
+/// One point of the recovery-accuracy-vs-reports-seen trajectory,
+/// captured at an epoch boundary over the *cumulative* merged state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochPoint {
+    /// 0-based epoch index.
+    pub epoch: usize,
+    /// Cumulative genuine users ingested.
+    pub genuine_users: usize,
+    /// Cumulative malicious reports ingested.
+    pub malicious_users: usize,
+    /// Cumulative reports seen (genuine + malicious).
+    pub reports_seen: usize,
+    /// MSE of the poisoned estimate vs the realized truth so far.
+    pub mse_before: f64,
+    /// MSE of the recovered estimate vs the realized truth so far.
+    pub mse_recovered: f64,
+    /// MSE of the genuine-only estimate (the LDP noise floor online).
+    pub mse_genuine: f64,
+}
+
+/// Full frequency vectors of the engine's current merged state, computed
+/// on demand (they are a pure function of the accumulated counts, so they
+/// are never stored or checkpointed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoverySnapshot {
+    /// Realized ground-truth frequencies of the ingested population.
+    pub truth: Vec<f64>,
+    /// Genuine-only debiased estimate.
+    pub genuine_estimate: Vec<f64>,
+    /// Poisoned (genuine + malicious) debiased estimate.
+    pub poisoned_estimate: Vec<f64>,
+    /// LDPRecover output on the poisoned estimate.
+    pub recovered: Vec<f64>,
+}
+
+/// The sharded streaming ingestion engine.
+///
+/// Holds the cumulative merged state (population truth, genuine and
+/// malicious accumulators) plus the epoch trajectory. [`StreamEngine::step`]
+/// ingests one epoch: shard deltas are computed in parallel (each from its
+/// own derived stream), folded in shard order, and recovery runs on the
+/// merged counts. Results are bit-identical for any worker count, and —
+/// via [`checkpoint`](self) — across suspend/resume boundaries.
+#[derive(Debug, Clone)]
+pub struct StreamEngine {
+    spec: StreamSpec,
+    protocol: AnyProtocol,
+    next_epoch: usize,
+    true_counts: Vec<u64>,
+    genuine: CountAccumulator,
+    malicious: CountAccumulator,
+    trajectory: Vec<EpochPoint>,
+}
+
+impl PartialEq for StreamEngine {
+    /// State equality. The protocol instance is excluded: it is rebuilt
+    /// deterministically from `(spec.protocol, spec.epsilon, domain)`, so
+    /// it carries no information beyond the spec.
+    fn eq(&self, other: &Self) -> bool {
+        self.spec == other.spec
+            && self.next_epoch == other.next_epoch
+            && self.true_counts == other.true_counts
+            && self.genuine == other.genuine
+            && self.malicious == other.malicious
+            && self.trajectory == other.trajectory
+    }
+}
+
+impl StreamEngine {
+    /// Creates an engine at epoch 0 (nothing ingested yet).
+    ///
+    /// # Errors
+    /// Propagates spec validation and protocol construction.
+    pub fn new(spec: StreamSpec) -> Result<Self> {
+        spec.validate()?;
+        let domain = spec.domain();
+        let protocol = spec.protocol.build(spec.epsilon, domain)?;
+        Ok(Self {
+            spec,
+            protocol,
+            next_epoch: 0,
+            true_counts: vec![0; domain.size()],
+            genuine: CountAccumulator::new(domain),
+            malicious: CountAccumulator::new(domain),
+            trajectory: Vec::new(),
+        })
+    }
+
+    /// The spec this engine runs.
+    pub fn spec(&self) -> &StreamSpec {
+        &self.spec
+    }
+
+    /// Epochs ingested so far.
+    pub fn epochs_done(&self) -> usize {
+        self.next_epoch
+    }
+
+    /// Whether the planned stream length has been reached.
+    pub fn is_complete(&self) -> bool {
+        self.next_epoch >= self.spec.epochs
+    }
+
+    /// The cumulative genuine accumulator.
+    pub fn genuine(&self) -> &CountAccumulator {
+        &self.genuine
+    }
+
+    /// The cumulative malicious accumulator.
+    pub fn malicious(&self) -> &CountAccumulator {
+        &self.malicious
+    }
+
+    /// The merged poisoned accumulator (genuine + malicious).
+    pub fn poisoned(&self) -> CountAccumulator {
+        let mut poisoned = self.genuine.clone();
+        poisoned.merge(&self.malicious);
+        poisoned
+    }
+
+    /// The cumulative realized population histogram (ground truth).
+    pub fn true_counts(&self) -> &[u64] {
+        &self.true_counts
+    }
+
+    /// The trajectory captured so far, one point per ingested epoch.
+    pub fn trajectory(&self) -> &[EpochPoint] {
+        &self.trajectory
+    }
+
+    /// Ingests one epoch: shard deltas in parallel, deterministic fold,
+    /// recovery at the boundary. Returns the new trajectory point.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] when the stream is already complete;
+    /// otherwise propagates delta computation and recovery failures.
+    pub fn step(&mut self) -> Result<EpochPoint> {
+        if self.is_complete() {
+            return Err(LdpError::invalid(format!(
+                "stream is complete ({} epochs)",
+                self.spec.epochs
+            )));
+        }
+        let epoch = self.next_epoch;
+        let spec = self.spec;
+        let deltas = map_trials(spec.shards, thread_count(spec.shards), |shard| {
+            shard_epoch_delta(&spec, shard, epoch)
+        })?;
+        for delta in &deltas {
+            for (slot, &c) in self.true_counts.iter_mut().zip(&delta.population) {
+                *slot += c;
+            }
+            self.genuine.merge(&CountAccumulator::from_parts(
+                delta.genuine_counts.clone(),
+                delta.genuine_users,
+            ));
+            self.malicious.merge(&CountAccumulator::from_parts(
+                delta.malicious_counts.clone(),
+                delta.malicious_users,
+            ));
+        }
+        self.next_epoch += 1;
+
+        let snapshot = self.recovery_snapshot()?;
+        let point = EpochPoint {
+            epoch,
+            genuine_users: self.genuine.report_count(),
+            malicious_users: self.malicious.report_count(),
+            reports_seen: self.genuine.report_count() + self.malicious.report_count(),
+            mse_before: mse(&snapshot.poisoned_estimate, &snapshot.truth),
+            mse_recovered: mse(&snapshot.recovered, &snapshot.truth),
+            mse_genuine: mse(&snapshot.genuine_estimate, &snapshot.truth),
+        };
+        self.trajectory.push(point);
+        Ok(point)
+    }
+
+    /// Runs every remaining epoch.
+    ///
+    /// # Errors
+    /// Propagates the first failing [`StreamEngine::step`].
+    pub fn run_to_completion(&mut self) -> Result<()> {
+        while !self.is_complete() {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Debiases and recovers the current merged state (on demand; pure in
+    /// the accumulated counts).
+    ///
+    /// # Errors
+    /// [`LdpError::EmptyInput`] before the first epoch; otherwise
+    /// propagates estimation / recovery failures.
+    pub fn recovery_snapshot(&self) -> Result<RecoverySnapshot> {
+        let params = self.protocol.params();
+        let total: u64 = self.true_counts.iter().sum();
+        if total == 0 {
+            return Err(LdpError::EmptyInput("stream state (no epochs ingested)"));
+        }
+        let truth: Vec<f64> = self
+            .true_counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect();
+        let genuine_estimate = self.genuine.frequencies(params)?;
+        let poisoned = self.poisoned();
+        let poisoned_estimate = poisoned.frequencies(params)?;
+        let recovered = LdpRecover::new(self.spec.eta)?
+            .recover_from_counts(poisoned.counts(), poisoned.report_count(), params)?
+            .frequencies;
+        Ok(RecoverySnapshot {
+            truth,
+            genuine_estimate,
+            poisoned_estimate,
+            recovered,
+        })
+    }
+
+    /// The run's JSON report: spec, trajectory, and the final recovery
+    /// snapshot (`null` before the first epoch). A pure function of the
+    /// engine state, so an uninterrupted run and a suspend/resume run emit
+    /// byte-identical reports.
+    ///
+    /// # Errors
+    /// Propagates [`StreamEngine::recovery_snapshot`] once epochs exist.
+    pub fn report(&self) -> Result<Json> {
+        // Before the first epoch there is no estimate to snapshot; the
+        // report stays total (the CLI may emit it for a 0-epoch run) with
+        // an explicit `null` final block.
+        let final_block = if self.next_epoch == 0 {
+            Json::Null
+        } else {
+            let snapshot = self.recovery_snapshot()?;
+            let floats = |v: &[f64]| Json::Arr(v.iter().map(|&x| Json::Num(x)).collect());
+            Json::Obj(vec![
+                (
+                    "reports_seen".into(),
+                    Json::Num((self.genuine.report_count() + self.malicious.report_count()) as f64),
+                ),
+                ("recovered".into(), floats(&snapshot.recovered)),
+                (
+                    "poisoned_estimate".into(),
+                    floats(&snapshot.poisoned_estimate),
+                ),
+            ])
+        };
+        let trajectory = self
+            .trajectory
+            .iter()
+            .map(checkpoint::point_to_json)
+            .collect();
+        Ok(Json::Obj(vec![
+            ("stream".into(), checkpoint::spec_to_json(&self.spec)),
+            ("epochs_done".into(), Json::Num(self.next_epoch as f64)),
+            ("trajectory".into(), Json::Arr(trajectory)),
+            ("final".into(), final_block),
+        ]))
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use super::*;
+
+    /// A fast-but-alive spec shared by the stream unit tests.
+    pub(crate) fn tiny_spec() -> StreamSpec {
+        StreamSpec {
+            dataset: DatasetKind::Ipums,
+            protocol: ProtocolKind::Grr,
+            epsilon: 0.5,
+            attack: Some(AttackKind::Adaptive),
+            beta: 0.05,
+            eta: 0.2,
+            shards: 3,
+            epochs: 2,
+            users_per_epoch: 400,
+            seed: 0xFEED,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tests_support::tiny_spec;
+    use super::*;
+
+    #[test]
+    fn validation_rejects_malformed_specs() {
+        assert!(tiny_spec().validate().is_ok());
+        for mutate in [
+            |s: &mut StreamSpec| s.epsilon = 0.0,
+            |s: &mut StreamSpec| s.beta = 1.0,
+            |s: &mut StreamSpec| s.eta = -0.1,
+            |s: &mut StreamSpec| s.shards = 0,
+            |s: &mut StreamSpec| s.epochs = 0,
+            |s: &mut StreamSpec| s.users_per_epoch = 2, // < shards
+            |s: &mut StreamSpec| s.attack = None,       // beta stays 0.05
+        ] {
+            let mut s = tiny_spec();
+            mutate(&mut s);
+            assert!(s.validate().is_err(), "{s:?}");
+        }
+        let mut clean = tiny_spec();
+        clean.attack = None;
+        clean.beta = 0.0;
+        assert!(clean.validate().is_ok());
+    }
+
+    #[test]
+    fn shard_split_covers_every_user_exactly_once() {
+        for (users, shards) in [(400, 3), (7, 7), (100, 1), (11, 4)] {
+            let mut spec = tiny_spec();
+            spec.users_per_epoch = users;
+            spec.shards = shards;
+            let total: usize = (0..shards).map(|s| spec.shard_users(s)).sum();
+            assert_eq!(total, users, "{users} users over {shards} shards");
+            let min = (0..shards).map(|s| spec.shard_users(s)).min().unwrap();
+            let max = (0..shards).map(|s| spec.shard_users(s)).max().unwrap();
+            assert!(max - min <= 1, "split must be even");
+            assert!(min >= 1, "every shard ingests at least one user");
+        }
+    }
+
+    #[test]
+    fn deltas_are_deterministic_and_distinct_across_the_grid() {
+        let spec = tiny_spec();
+        let a = shard_epoch_delta(&spec, 1, 0).unwrap();
+        let b = shard_epoch_delta(&spec, 1, 0).unwrap();
+        assert_eq!(a, b, "same cell, same delta");
+        let other_shard = shard_epoch_delta(&spec, 2, 0).unwrap();
+        let other_epoch = shard_epoch_delta(&spec, 1, 1).unwrap();
+        assert_ne!(a.genuine_counts, other_shard.genuine_counts);
+        assert_ne!(a.genuine_counts, other_epoch.genuine_counts);
+        assert!(shard_epoch_delta(&spec, 99, 0).is_err(), "shard bounds");
+    }
+
+    #[test]
+    fn engine_runs_and_tracks_the_trajectory() {
+        let spec = tiny_spec();
+        let mut engine = StreamEngine::new(spec).unwrap();
+        assert!(engine.recovery_snapshot().is_err(), "nothing ingested yet");
+        let empty_report = engine.report().unwrap();
+        assert_eq!(
+            empty_report.get("final"),
+            Some(&ldp_common::Json::Null),
+            "0-epoch report carries an explicit null final block"
+        );
+        let p0 = engine.step().unwrap();
+        assert_eq!(p0.epoch, 0);
+        assert_eq!(p0.genuine_users, 400);
+        assert!(p0.malicious_users > 0);
+        assert_eq!(p0.reports_seen, p0.genuine_users + p0.malicious_users);
+        let p1 = engine.step().unwrap();
+        assert_eq!(p1.genuine_users, 800);
+        assert!(engine.is_complete());
+        assert!(engine.step().is_err(), "stream horizon reached");
+        assert_eq!(engine.trajectory().len(), 2);
+        // Cumulative state is consistent.
+        assert_eq!(
+            engine.true_counts().iter().sum::<u64>(),
+            engine.genuine().report_count() as u64
+        );
+        let snapshot = engine.recovery_snapshot().unwrap();
+        assert_eq!(snapshot.recovered.len(), spec.domain().size());
+        assert!(ldp_common::vecmath::is_probability_vector(
+            &snapshot.recovered,
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn online_recovery_beats_the_poisoned_estimate() {
+        // The headline claim, online: by the final epoch the recovered
+        // trajectory sits below the poisoned one.
+        let mut spec = tiny_spec();
+        spec.users_per_epoch = 1500;
+        spec.epochs = 3;
+        let mut engine = StreamEngine::new(spec).unwrap();
+        engine.run_to_completion().unwrap();
+        let last = engine.trajectory().last().unwrap();
+        assert!(
+            last.mse_recovered < last.mse_before,
+            "recovered {} vs poisoned {}",
+            last.mse_recovered,
+            last.mse_before
+        );
+    }
+
+    #[test]
+    fn clean_streams_carry_no_malicious_state() {
+        let mut spec = tiny_spec();
+        spec.attack = None;
+        spec.beta = 0.0;
+        spec.epochs = 1;
+        let mut engine = StreamEngine::new(spec).unwrap();
+        engine.step().unwrap();
+        assert_eq!(engine.malicious().report_count(), 0);
+        assert!(engine.malicious().counts().iter().all(|&c| c == 0));
+        let snapshot = engine.recovery_snapshot().unwrap();
+        assert_eq!(snapshot.genuine_estimate, snapshot.poisoned_estimate);
+    }
+
+    #[test]
+    fn reports_are_a_pure_function_of_state() {
+        let spec = tiny_spec();
+        let mut a = StreamEngine::new(spec).unwrap();
+        let mut b = StreamEngine::new(spec).unwrap();
+        a.run_to_completion().unwrap();
+        b.step().unwrap();
+        b.step().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            a.report().unwrap().render(),
+            b.report().unwrap().render(),
+            "identical state must emit identical bytes"
+        );
+    }
+}

@@ -79,3 +79,88 @@ fn ldp_cli_rejects_unknown_protocol() {
         .expect("spawn ldp");
     assert!(!output.status.success());
 }
+
+#[test]
+#[ignore = "spawns the CLI binary; run with --ignored"]
+fn ldp_stream_resume_reproduces_the_uninterrupted_run_byte_for_byte() {
+    // The acceptance contract: a 16-shard 8-epoch checkpointed run,
+    // suspended halfway and resumed from the checkpoint, emits exactly the
+    // bytes of the uninterrupted run — stdout table and JSON report alike.
+    let dir = std::env::temp_dir().join("ldprecover-stream-smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("c.json");
+    let json_full = dir.join("full.json");
+    let json_resumed = dir.join("resumed.json");
+    for p in [&ckpt, &json_full, &json_resumed] {
+        let _ = std::fs::remove_file(p);
+    }
+    let base = [
+        "stream",
+        "--shards",
+        "16",
+        "--epochs",
+        "8",
+        "--users-per-epoch",
+        "160",
+    ];
+
+    // Reference: uninterrupted run.
+    let full = Command::new(env!("CARGO_BIN_EXE_ldp"))
+        .args(base)
+        .arg("--json")
+        .arg(&json_full)
+        .output()
+        .expect("spawn ldp stream");
+    assert!(
+        full.status.success(),
+        "stderr:\n{}",
+        String::from_utf8_lossy(&full.stderr)
+    );
+
+    // Suspended run: 4 of 8 epochs, checkpoint after every epoch.
+    let half = Command::new(env!("CARGO_BIN_EXE_ldp"))
+        .args(base)
+        .args(["--suspend-after", "4", "--checkpoint"])
+        .arg(&ckpt)
+        .output()
+        .expect("spawn ldp stream (suspend)");
+    assert!(half.status.success());
+    assert!(
+        String::from_utf8_lossy(&half.stdout).contains("suspended after 4 of 8"),
+        "suspension notice"
+    );
+
+    // Resume to completion from the checkpoint.
+    let resumed = Command::new(env!("CARGO_BIN_EXE_ldp"))
+        .args(["stream", "--resume"])
+        .arg(&ckpt)
+        .arg("--json")
+        .arg(&json_resumed)
+        .output()
+        .expect("spawn ldp stream (resume)");
+    assert!(
+        resumed.status.success(),
+        "stderr:\n{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+
+    assert_eq!(
+        full.stdout, resumed.stdout,
+        "resumed stdout must be byte-identical to the uninterrupted run"
+    );
+    assert_eq!(
+        std::fs::read(&json_full).unwrap(),
+        std::fs::read(&json_resumed).unwrap(),
+        "resumed JSON report must be byte-identical to the uninterrupted run"
+    );
+}
+
+#[test]
+#[ignore = "spawns the CLI binary; run with --ignored"]
+fn ldp_stream_rejects_spec_flags_with_resume() {
+    let output = Command::new(env!("CARGO_BIN_EXE_ldp"))
+        .args(["stream", "--resume", "c.json", "--shards", "2"])
+        .output()
+        .expect("spawn ldp stream");
+    assert!(!output.status.success());
+}
