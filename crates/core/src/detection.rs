@@ -110,8 +110,23 @@ impl Detection {
     /// small-sample case).
     pub fn recover(&self, protocol: &AnyProtocol, reports: &[Report]) -> Result<Vec<f64>> {
         let mask = self.keep_mask(protocol, reports);
+        Self::estimate_from_mask(protocol, reports, &mask)
+    }
+
+    /// Re-estimates frequencies from the reports a keep-mask retains —
+    /// the shared back half of [`Detection::recover`], exposed so callers
+    /// that inspect the mask first (e.g. to classify the all-flagged
+    /// degeneracy) do not re-implement the accumulation.
+    ///
+    /// # Errors
+    /// [`LdpError::EmptyInput`] when the mask keeps nothing.
+    pub fn estimate_from_mask(
+        protocol: &AnyProtocol,
+        reports: &[Report],
+        mask: &[bool],
+    ) -> Result<Vec<f64>> {
         let mut acc = ldp_protocols::CountAccumulator::new(protocol.domain());
-        for (report, &keep) in reports.iter().zip(&mask) {
+        for (report, &keep) in reports.iter().zip(mask) {
             if keep {
                 acc.add(protocol, report);
             }

@@ -24,6 +24,14 @@
 //! (target identification for the partial-knowledge arm), and [`theory`]
 //! (the Berry–Esseen approximation-error bounds of Theorems 4–5).
 //!
+//! All of these defenses are exposed through one open surface: the
+//! [`arm`] module's object-safe [`DefenseArm`] trait and its string-keyed
+//! [`ArmKind`]/[`ArmSet`] registry. Downstream evaluation layers (the
+//! `ldp-sim` pipeline, the `ldp` CLI) select defenses by name
+//! (`recover,detection,norm-sub`) and never hard-code one; adding a
+//! defense is one trait impl plus a registry line (see the worked
+//! example in the [`arm`] module docs).
+//!
 //! # Example
 //!
 //! ```
@@ -43,6 +51,7 @@
 //! assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
 //! ```
 
+pub mod arm;
 pub mod detection;
 pub mod estimator;
 pub mod kmeans;
@@ -52,6 +61,7 @@ pub mod recover;
 pub mod solve;
 pub mod theory;
 
+pub use arm::{ArmContext, ArmKind, ArmOutcome, ArmOutput, ArmRequirements, ArmSet, DefenseArm};
 pub use detection::Detection;
 pub use kmeans::{KMeansDefense, KMeansOutcome};
 pub use malicious::MaliciousSumModel;

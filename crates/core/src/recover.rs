@@ -131,6 +131,37 @@ impl LdpRecover {
     /// * [`LdpError::EmptyInput`] for an empty input.
     /// * Propagates target validation in the partial-knowledge scenario.
     pub fn recover(&self, poisoned: &[f64], params: PureParams) -> Result<RecoveryOutcome> {
+        let targets = match &self.knowledge {
+            Knowledge::None => None,
+            Knowledge::Targets(targets) => Some(targets.as_slice()),
+        };
+        self.recover_inner(poisoned, params, targets)
+    }
+
+    /// Runs the partial-knowledge scenario (LDPRecover\*) over a borrowed
+    /// target set, overriding [`LdpRecover::knowledge`] for this call —
+    /// the per-trial entry point of the star defense arm, which would
+    /// otherwise have to clone the whole configuration and the targets
+    /// just to thread them through [`Knowledge::Targets`].
+    ///
+    /// # Errors
+    /// Everything [`LdpRecover::recover`] rejects, plus target validation.
+    pub fn recover_with_targets(
+        &self,
+        poisoned: &[f64],
+        params: PureParams,
+        targets: &[usize],
+    ) -> Result<RecoveryOutcome> {
+        self.recover_inner(poisoned, params, Some(targets))
+    }
+
+    /// Shared body of the two public entry points.
+    fn recover_inner(
+        &self,
+        poisoned: &[f64],
+        params: PureParams,
+        targets: Option<&[usize]>,
+    ) -> Result<RecoveryOutcome> {
         params
             .domain()
             .check_len(poisoned, "poisoned frequencies")?;
@@ -138,15 +169,13 @@ impl LdpRecover {
             return Err(LdpError::EmptyInput("poisoned frequencies"));
         }
         let malicious_sum = self.sum_model.sum(params);
-        let malicious_estimate = match &self.knowledge {
-            Knowledge::None => crate::malicious::non_knowledge_estimate_with_fallback(
+        let malicious_estimate = match targets {
+            None => crate::malicious::non_knowledge_estimate_with_fallback(
                 poisoned,
                 malicious_sum,
                 self.d1_fallback_fraction,
             )?,
-            Knowledge::Targets(targets) => {
-                partial_knowledge_estimate(params, targets, malicious_sum)?
-            }
+            Some(targets) => partial_knowledge_estimate(params, targets, malicious_sum)?,
         };
         let estimated_genuine = genuine_estimate(poisoned, &malicious_estimate, self.eta)?;
         let frequencies = self.post_process.apply(&estimated_genuine)?;
@@ -261,6 +290,27 @@ mod tests {
         assert!(out.frequencies[4] < out.frequencies[0]);
         assert!(matches!(out.malicious_estimate[1], x if x > 0.0));
         assert!(matches!(out.malicious_estimate[0], x if x < 0.0));
+    }
+
+    #[test]
+    fn borrowed_targets_entry_point_matches_owned_knowledge() {
+        let params = grr_params(10, 0.5);
+        let poisoned = vec![0.08; 10];
+        let targets = vec![1usize, 4];
+        let base = LdpRecover::new(0.2).unwrap();
+        let borrowed = base
+            .recover_with_targets(&poisoned, params, &targets)
+            .unwrap();
+        let owned = base
+            .clone()
+            .with_targets(targets)
+            .recover(&poisoned, params)
+            .unwrap();
+        assert_eq!(borrowed, owned, "the two entry points must agree bitwise");
+        // The base configuration is untouched (no knowledge accrued).
+        assert_eq!(base.knowledge(), &Knowledge::None);
+        // Target validation still applies.
+        assert!(base.recover_with_targets(&poisoned, params, &[99]).is_err());
     }
 
     #[test]

@@ -26,6 +26,7 @@ use ldp_sim::table::{fmt_mean, fmt_stat};
 use ldp_sim::{
     run_experiment, AggregationMode, ExperimentConfig, PipelineOptions, Table, DEFAULT_SEED,
 };
+use ldprecover::{ArmKind, ArmSet};
 
 const USAGE: &str = "\
 ldp — run one LDPRecover experiment cell
@@ -48,6 +49,10 @@ options:
   --seed N                      master seed             [0x1db05eed]
   --aggregation per-user|batched|auto
                                 genuine-user aggregation [auto]
+  --arms a,b,c                  defense arms to run, from the registry:
+                                recover, recover-star, detection, kmeans,
+                                recover-km, norm-sub, base-cut
+                                [default: full comparison when attacked]
   --csv                         CSV output
   --help                        this text";
 
@@ -64,6 +69,7 @@ struct Args {
     scale: f64,
     seed: u64,
     aggregation: AggregationMode,
+    arms: Option<ArmSet>,
     csv: bool,
 }
 
@@ -82,6 +88,7 @@ impl Default for Args {
             scale: 0.1,
             seed: 0x1DB0_5EED,
             aggregation: AggregationMode::Auto,
+            arms: None,
             csv: false,
         }
     }
@@ -120,6 +127,7 @@ fn parse_args<I: Iterator<Item = String>>(mut iter: I) -> Result<Args> {
             "--aggregation" => {
                 args.aggregation = AggregationMode::parse(&value("--aggregation")?)?;
             }
+            "--arms" => args.arms = Some(ArmSet::parse(&value("--arms")?)?),
             "--csv" => args.csv = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -166,7 +174,8 @@ ldp repro — reproduce the paper's figures from the scenario catalog
 
 options:
   --figure ID|all               which figure (fig3..fig10, table1,
-                                ablations, kv_extension)       [all]
+                                ablations, kv_extension, stream_online,
+                                defense_arms)                  [all]
   --scale small|paper|F         scale preset or fraction       [small]
   --trials N                    trials per cell    [preset default: 5/10]
   --seed N                      master seed              [0x1db05eed]
@@ -284,6 +293,9 @@ options:
   --resume PATH                 restore from a checkpoint (spec flags
                                 then come from the checkpoint, not the CLI)
   --suspend-after N             stop once N epochs are done (for --resume)
+  --arms a,b,c                  also evaluate these count-only defense arms
+                                on the final merged state (recover,
+                                recover-star, norm-sub, base-cut)
   --json PATH                   write the JSON report (spec + trajectory)
   --csv                         CSV trajectory table
   --help                        this text";
@@ -296,6 +308,7 @@ struct StreamArgs {
     checkpoint: Option<std::path::PathBuf>,
     resume: Option<std::path::PathBuf>,
     suspend_after: Option<usize>,
+    arms: Option<ArmSet>,
     json: Option<std::path::PathBuf>,
     csv: bool,
 }
@@ -322,6 +335,7 @@ fn parse_stream_args<I: Iterator<Item = String>>(mut iter: I) -> Result<StreamAr
         checkpoint: None,
         resume: None,
         suspend_after: None,
+        arms: None,
         json: None,
         csv: false,
     };
@@ -358,6 +372,10 @@ fn parse_stream_args<I: Iterator<Item = String>>(mut iter: I) -> Result<StreamAr
             "--suspend-after" => {
                 args.suspend_after =
                     Some(parse_num(&value("--suspend-after")?, "--suspend-after")?);
+                spec_flag = false;
+            }
+            "--arms" => {
+                args.arms = Some(ArmSet::parse(&value("--arms")?)?);
                 spec_flag = false;
             }
             "--json" => {
@@ -463,8 +481,72 @@ fn stream_main<I: Iterator<Item = String>>(iter: I) -> Result<()> {
                 .unwrap_or_default()
         );
     }
+
+    // Optional open-registry evaluation of the final merged state: any
+    // count-only arm set, eligibility decided by declared requirements.
+    let arm_outputs = match &args.arms {
+        Some(arms) if engine.epochs_done() > 0 => Some(engine.arm_snapshot(arms)?),
+        Some(_) => {
+            eprintln!("note: --arms skipped (no epochs ingested, nothing to evaluate)");
+            None
+        }
+        None => None,
+    };
+    // Realized ground-truth frequencies of the ingested population, for
+    // the arm MSE labels (cheap: no recovery solve involved).
+    let truth: Option<Vec<f64>> = arm_outputs.as_ref().map(|_| {
+        let total: u64 = engine.true_counts().iter().sum();
+        engine
+            .true_counts()
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
+    });
+    if let (Some(outputs), Some(truth)) = (&arm_outputs, &truth) {
+        let mut arm_table = Table::new(["arm", "MSE (final state)"]);
+        for (key, output) in outputs {
+            arm_table.push_row([
+                arm_column_label(key),
+                format!("{:.3e}", ldp_sim::metrics::mse(&output.frequencies, truth)),
+            ]);
+        }
+        println!("\narms on the final merged state:");
+        if args.csv {
+            print!("{}", arm_table.render_csv());
+        } else {
+            print!("{}", arm_table.render());
+        }
+    }
+
     if let Some(path) = &args.json {
-        std::fs::write(path, engine.report()?.render())?;
+        let mut report = engine.report()?;
+        // The arms block is additive and only present when requested, so
+        // default reports stay byte-identical across resume boundaries.
+        if let (Some(outputs), Some(truth), Json::Obj(fields)) = (&arm_outputs, &truth, &mut report)
+        {
+            let arms_json = outputs
+                .iter()
+                .map(|(key, output)| {
+                    (
+                        key.clone(),
+                        Json::Obj(vec![
+                            (
+                                "mse".into(),
+                                Json::Num(ldp_sim::metrics::mse(&output.frequencies, truth)),
+                            ),
+                            (
+                                "frequencies".into(),
+                                Json::Arr(
+                                    output.frequencies.iter().map(|&x| Json::Num(x)).collect(),
+                                ),
+                            ),
+                        ]),
+                    )
+                })
+                .collect();
+            fields.push(("arms".into(), Json::Obj(arms_json)));
+        }
+        std::fs::write(path, report.render())?;
         eprintln!("wrote {}", path.display());
     }
     Ok(())
@@ -494,47 +576,47 @@ fn main() -> Result<()> {
     config.seed = args.seed;
     config.validate()?;
 
-    // Forcing batched aggregation is incompatible with the Detection arm
-    // (it consumes raw reports), so that combination degrades to the
-    // recovery-only arm set instead of erroring.
-    let mut options = match (args.attack.is_some(), args.aggregation) {
-        (true, AggregationMode::Batched) => {
+    // Arm selection: an explicit --arms list wins (and is validated
+    // against the aggregation mode by the pipeline); otherwise the
+    // historical defaults apply. Forcing batched aggregation is
+    // incompatible with report-consuming arms, so the *default* arm set
+    // degrades to recovery-only there instead of erroring.
+    let mut options = match (&args.arms, args.attack.is_some(), args.aggregation) {
+        (Some(arms), _, _) => PipelineOptions::with_arms(arms.clone()),
+        (None, true, AggregationMode::Batched) => {
             eprintln!("note: --aggregation batched retains no reports; skipping Detection");
             PipelineOptions::recovery_only()
         }
-        (true, _) => PipelineOptions::full_comparison(),
-        (false, _) => PipelineOptions::default(),
+        (None, true, _) => PipelineOptions::full_comparison(),
+        (None, false, _) => PipelineOptions::default(),
     };
     options.aggregation = args.aggregation;
     let result = run_experiment(&config, &options)?;
 
     println!(
-        "cell {}  (dataset={}, eps={}, beta={}, eta={}, trials={}, scale={})\n",
+        "cell {}  (dataset={}, eps={}, beta={}, eta={}, trials={}, scale={}, arms={})\n",
         config.label(),
         args.dataset,
         args.epsilon,
         config.beta,
         args.eta,
         args.trials,
-        args.scale
+        args.scale,
+        options.arms
     );
 
-    let mut table = Table::new(["metric", "before", "Detection", "LDPRecover", "LDPRecover*"]);
-    table.push_row([
-        "MSE".to_string(),
-        fmt_mean(&result.mse_before),
-        fmt_stat(&result.mse_detection),
-        fmt_mean(&result.mse_recover),
-        fmt_stat(&result.mse_star),
-    ]);
+    // One column per arm that ran, derived from the open result surface —
+    // the table grows with `--arms`, no per-defense code here.
+    let mut header = vec!["metric".to_string(), "before".to_string()];
+    header.extend(result.arms.iter().map(|(key, _)| arm_column_label(key)));
+    let mut table = Table::new(header);
+    let mut mse_row = vec!["MSE".to_string(), fmt_mean(&result.mse_before)];
+    mse_row.extend(result.arms.iter().map(|(_, arm)| fmt_stat(&arm.mse)));
+    table.push_row(mse_row);
     if result.fg_before.is_some() {
-        table.push_row([
-            "FG".to_string(),
-            fmt_stat(&result.fg_before),
-            fmt_stat(&result.fg_detection),
-            fmt_stat(&result.fg_recover),
-            fmt_stat(&result.fg_star),
-        ]);
+        let mut fg_row = vec!["FG".to_string(), fmt_stat(&result.fg_before)];
+        fg_row.extend(result.arms.iter().map(|(_, arm)| fmt_stat(&arm.fg)));
+        table.push_row(fg_row);
     }
     if args.csv {
         print!("{}", table.render_csv());
@@ -546,6 +628,16 @@ fn main() -> Result<()> {
         fmt_mean(&result.mse_genuine)
     );
     Ok(())
+}
+
+/// Column label for an arm's metric key: the registry's display label
+/// (`LDPRecover*`), falling back to the key for out-of-registry arms.
+fn arm_column_label(metric_key: &str) -> String {
+    ArmKind::ALL
+        .into_iter()
+        .find(|kind| kind.metric_key() == metric_key)
+        .map(|kind| kind.label().to_string())
+        .unwrap_or_else(|| metric_key.to_string())
 }
 
 #[cfg(test)]
@@ -727,6 +819,34 @@ mod tests {
         assert!(parse_stream(&["--resume", "c.json", "--protocol", "oue"]).is_err());
         assert!(parse_stream(&["--frobnicate"]).is_err());
         assert!(parse_stream(&["--shards"]).is_err());
+    }
+
+    #[test]
+    fn arms_flag_parses_registry_names() {
+        assert!(parse(&[]).unwrap().arms.is_none(), "default: auto-select");
+        let a = parse(&["--arms", "recover,norm-sub,base-cut"]).unwrap();
+        let arms = a.arms.expect("explicit arm set");
+        assert_eq!(
+            arms.kinds(),
+            &[ArmKind::Recover, ArmKind::NormSub, ArmKind::BaseCut]
+        );
+        assert!(parse(&["--arms", "recover,frobnicate"]).is_err());
+        assert!(parse(&["--arms", ""]).is_err());
+        // The stream subcommand takes the same flag, orthogonal to specs.
+        let s = parse_stream(&["--arms", "recover,recover-star"]).unwrap();
+        assert_eq!(
+            s.arms.unwrap().kinds(),
+            &[ArmKind::Recover, ArmKind::RecoverStar]
+        );
+        let resumed = parse_stream(&["--resume", "c.json", "--arms", "recover"]).unwrap();
+        assert!(resumed.arms.is_some(), "--arms is not a spec flag");
+    }
+
+    #[test]
+    fn arm_column_labels_fall_back_to_the_key() {
+        assert_eq!(arm_column_label("star"), "LDPRecover*");
+        assert_eq!(arm_column_label("recover_km"), "LDPRecover-KM");
+        assert_eq!(arm_column_label("my_custom_arm"), "my_custom_arm");
     }
 
     #[test]

@@ -4,7 +4,7 @@ use ldp_attacks::AttackKind;
 use ldp_common::{LdpError, Result};
 use ldp_datasets::DatasetKind;
 use ldp_protocols::ProtocolKind;
-use ldprecover::{KMeansDefense, MaliciousSumModel, PostProcess};
+use ldprecover::{ArmKind, ArmSet, KMeansDefense, MaliciousSumModel, PostProcess};
 use serde::{Deserialize, Serialize};
 
 /// The workspace-wide default master seed (`0x1DB05EED`, "LDP seed").
@@ -175,19 +175,20 @@ impl std::fmt::Display for AggregationMode {
     }
 }
 
-/// Which optional arms a pipeline run executes beyond plain LDPRecover.
-#[derive(Debug, Clone, Default, PartialEq)]
+/// Which defense arms a pipeline run executes, plus the knobs they share.
+///
+/// The arm selection is an open, registry-driven [`ArmSet`] — adding a
+/// defense to the comparison is a registry name, never a new boolean
+/// field (see `ldprecover::arm`).
+#[derive(Debug, Clone, PartialEq)]
 pub struct PipelineOptions {
-    /// Run LDPRecover\* (partial knowledge: oracle targets for targeted
-    /// attacks, the paper's top-r/2-increase rule otherwise).
-    pub run_star: bool,
-    /// Run the Detection baseline (requires retaining reports).
-    pub run_detection: bool,
-    /// Run the k-means defense and LDPRecover-KM (requires retaining
-    /// reports; used for the Fig. 9 IPA experiments).
-    pub kmeans: Option<KMeansDefense>,
+    /// The defense arms to run, in canonical registry order.
+    pub arms: ArmSet,
+    /// Clustering configuration for the k-means arms (ignored unless
+    /// [`ArmKind::Kmeans`] / [`ArmKind::RecoverKm`] is selected).
+    pub kmeans: KMeansDefense,
     /// Number of identified targets for untargeted attacks in the
-    /// partial-knowledge arm (the paper uses r/2 = 5).
+    /// partial-knowledge arms (the paper uses r/2 = 5).
     pub star_top_k: usize,
     /// Malicious-sum model ablation (default: the paper's Eq. 21).
     pub sum_model: MaliciousSumModel,
@@ -197,14 +198,26 @@ pub struct PipelineOptions {
     pub aggregation: AggregationMode,
 }
 
+impl Default for PipelineOptions {
+    /// Plain LDPRecover only — the arm every historical run included.
+    fn default() -> Self {
+        Self {
+            arms: ArmSet::default(),
+            kmeans: KMeansDefense::default(),
+            star_top_k: 5,
+            sum_model: MaliciousSumModel::default(),
+            post_process: PostProcess::default(),
+            aggregation: AggregationMode::default(),
+        }
+    }
+}
+
 impl PipelineOptions {
     /// The full method set of the paper's Fig. 3/4: before + Detection +
     /// LDPRecover + LDPRecover\*.
     pub fn full_comparison() -> Self {
         Self {
-            run_star: true,
-            run_detection: true,
-            star_top_k: 5,
+            arms: ArmSet::new([ArmKind::Recover, ArmKind::RecoverStar, ArmKind::Detection]),
             ..Self::default()
         }
     }
@@ -212,15 +225,22 @@ impl PipelineOptions {
     /// Recovery-only (the Fig. 5/6 parameter sweeps).
     pub fn recovery_only() -> Self {
         Self {
-            run_star: true,
-            star_top_k: 5,
+            arms: ArmSet::new([ArmKind::Recover, ArmKind::RecoverStar]),
             ..Self::default()
         }
     }
 
-    /// Whether any configured arm needs per-report retention.
+    /// An explicit arm selection with every other knob at its default.
+    pub fn with_arms(arms: ArmSet) -> Self {
+        Self {
+            arms,
+            ..Self::default()
+        }
+    }
+
+    /// Whether any selected arm needs per-report retention.
     pub fn needs_reports(&self) -> bool {
-        self.run_detection || self.kmeans.is_some()
+        self.arms.needs_reports()
     }
 }
 
@@ -299,11 +319,22 @@ mod tests {
     fn options_report_retention() {
         assert!(!PipelineOptions::recovery_only().needs_reports());
         assert!(PipelineOptions::full_comparison().needs_reports());
-        let km = PipelineOptions {
-            kmeans: Some(KMeansDefense::default()),
-            ..Default::default()
-        };
+        let km = PipelineOptions::with_arms(ArmSet::new([ArmKind::Recover, ArmKind::Kmeans]));
         assert!(km.needs_reports());
+    }
+
+    #[test]
+    fn preset_arm_sets_mirror_the_paper() {
+        assert_eq!(PipelineOptions::default().arms.kinds(), &[ArmKind::Recover]);
+        assert_eq!(
+            PipelineOptions::recovery_only().arms.kinds(),
+            &[ArmKind::Recover, ArmKind::RecoverStar]
+        );
+        assert_eq!(
+            PipelineOptions::full_comparison().arms.kinds(),
+            &[ArmKind::Recover, ArmKind::RecoverStar, ArmKind::Detection]
+        );
+        assert_eq!(PipelineOptions::default().star_top_k, 5);
     }
 
     #[test]

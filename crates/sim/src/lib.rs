@@ -9,9 +9,13 @@
 //!    ([`config::AggregationMode`]) that samples support counts directly,
 //! 3. craft malicious reports with the configured poisoning attack,
 //! 4. aggregate genuine / malicious / poisoned frequency estimates,
-//! 5. run the recovery arms (LDPRecover, LDPRecover\*, Detection, and the
-//!    k-means defenses where configured),
-//! 6. score everything with the paper's metrics (MSE, Eq. 36; FG, Eq. 37).
+//! 5. run the selected defense arms through the open
+//!    [`ldprecover::DefenseArm`] registry (`recover`, `recover-star`,
+//!    `detection`, `kmeans`, `recover-km`, `norm-sub`, `base-cut`, and
+//!    anything added to it — arms are data, never hard-coded fields),
+//! 6. score everything with the paper's metrics (MSE, Eq. 36; FG, Eq. 37),
+//!    with per-arm statistics derived generically (`mse_{arm}`,
+//!    `fg_{arm}`, `malicious_mse_{arm}`).
 //!
 //! * [`config::ExperimentConfig`] — declarative experiment description
 //!   (dataset, protocol, ε, attack, β, η, trials, scale, master seed).
@@ -38,9 +42,10 @@ pub mod stream;
 pub mod table;
 
 pub use config::{AggregationMode, ExperimentConfig, PipelineOptions, DEFAULT_SEED};
+pub use ldprecover::{ArmKind, ArmSet, DefenseArm};
 pub use metrics::{frequency_gain, top_k_recall, Stats};
 pub use pipeline::{TrialAggregates, TrialResult};
-pub use runner::{run_eta_sweep, run_experiment, ExperimentResult};
+pub use runner::{run_eta_sweep, run_experiment, ArmStats, ExperimentResult};
 pub use scenario::{run_scenario, RunScale, ScaleSpec, Scenario, ScenarioReport};
 pub use stream::{shard_epoch_delta, EpochPoint, ShardDelta, StreamEngine, StreamSpec};
 pub use table::Table;

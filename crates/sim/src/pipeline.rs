@@ -6,7 +6,7 @@
 
 use ldp_common::Result;
 use ldp_protocols::{AnyProtocol, CountAccumulator, LdpFrequencyProtocol, PureParams, Report};
-use ldprecover::{top_k_increase, Detection, LdpRecover};
+use ldprecover::{top_k_increase, ArmContext, ArmOutcome, ArmOutput};
 use rand::Rng;
 
 use crate::config::{ExperimentConfig, PipelineOptions};
@@ -43,6 +43,12 @@ impl TrialAggregates {
 }
 
 /// Everything a trial produces, ready for metric extraction.
+///
+/// Defense outputs are open data: one `(metric key, output)` entry per
+/// arm that ran and produced an estimate ([`ArmOutcome::Degenerate`] arms
+/// land in [`TrialResult::degenerate`] instead). The typed accessors
+/// ([`TrialResult::recovered`], [`TrialResult::detection`], …) preserve
+/// the historical field names for the shipped arms.
 #[derive(Debug, Clone)]
 pub struct TrialResult {
     /// Ground-truth frequencies `f_X`.
@@ -51,20 +57,12 @@ pub struct TrialResult {
     pub genuine: Vec<f64>,
     /// Poisoned aggregated estimate `f̃_Z` ("before recovery").
     pub poisoned: Vec<f64>,
-    /// LDPRecover output.
-    pub recovered: Vec<f64>,
-    /// LDPRecover\* output (partial knowledge), when run.
-    pub recovered_star: Option<Vec<f64>>,
-    /// Detection baseline output, when run and non-degenerate.
-    pub detection: Option<Vec<f64>>,
-    /// k-means defense estimate, when configured.
-    pub kmeans: Option<Vec<f64>>,
-    /// LDPRecover-KM output, when configured.
-    pub recover_km: Option<Vec<f64>>,
-    /// LDPRecover's malicious estimate `f̃′_Y` (Fig. 7).
-    pub malicious_estimate: Vec<f64>,
-    /// LDPRecover\*'s malicious estimate `f̃*_Y` (Fig. 7), when run.
-    pub malicious_estimate_star: Option<Vec<f64>>,
+    /// Every defense-arm output, keyed by metric key (`"recover"`,
+    /// `"star"`, `"detection"`, …), in arm execution order.
+    pub arms: Vec<(String, ArmOutput)>,
+    /// Arms that hit a documented statistical degeneracy this trial:
+    /// `(arm name, reason)`.
+    pub degenerate: Vec<(String, String)>,
     /// True malicious aggregated frequencies `f̃_Y`, when attacked.
     pub malicious_true: Option<Vec<f64>>,
     /// The target set the partial-knowledge arms used (oracle targets for
@@ -72,6 +70,56 @@ pub struct TrialResult {
     pub star_targets: Option<Vec<usize>>,
     /// The attack's true targets (FG measurement).
     pub attack_targets: Option<Vec<usize>>,
+}
+
+impl TrialResult {
+    /// The output of the arm with the given metric key.
+    pub fn arm(&self, key: &str) -> Option<&ArmOutput> {
+        self.arms
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, output)| output)
+    }
+
+    /// An arm's recovered frequencies, by metric key.
+    fn arm_frequencies(&self, key: &str) -> Option<&[f64]> {
+        self.arm(key).map(|o| o.frequencies.as_slice())
+    }
+
+    /// LDPRecover output, when the `recover` arm ran.
+    pub fn recovered(&self) -> Option<&[f64]> {
+        self.arm_frequencies("recover")
+    }
+
+    /// LDPRecover\* output (partial knowledge), when run.
+    pub fn recovered_star(&self) -> Option<&[f64]> {
+        self.arm_frequencies("star")
+    }
+
+    /// Detection baseline output, when run and non-degenerate.
+    pub fn detection(&self) -> Option<&[f64]> {
+        self.arm_frequencies("detection")
+    }
+
+    /// k-means defense estimate, when configured.
+    pub fn kmeans(&self) -> Option<&[f64]> {
+        self.arm_frequencies("kmeans")
+    }
+
+    /// LDPRecover-KM output, when configured.
+    pub fn recover_km(&self) -> Option<&[f64]> {
+        self.arm_frequencies("recover_km")
+    }
+
+    /// LDPRecover's malicious estimate `f̃′_Y` (Fig. 7), when run.
+    pub fn malicious_estimate(&self) -> Option<&[f64]> {
+        self.arm("recover")?.malicious_estimate.as_deref()
+    }
+
+    /// LDPRecover\*'s malicious estimate `f̃*_Y` (Fig. 7), when run.
+    pub fn malicious_estimate_star(&self) -> Option<&[f64]> {
+        self.arm("star")?.malicious_estimate.as_deref()
+    }
 }
 
 /// Runs the aggregation half of one trial.
@@ -233,11 +281,16 @@ fn finish_aggregation<R: Rng>(
     })
 }
 
-/// Runs the recovery arms on an aggregation.
+/// Runs the selected defense arms on an aggregation.
+///
+/// Arms execute in canonical registry order through the open
+/// [`ldprecover::DefenseArm`] surface; a documented statistical
+/// degeneracy ([`ArmOutcome::Degenerate`], e.g. the detection baseline
+/// flagging every report) skips that arm for the trial, while every real
+/// error propagates and fails the trial.
 ///
 /// # Errors
-/// Propagates recovery validation. A Detection arm that flags *every*
-/// report degrades to `None` rather than failing the trial.
+/// Propagates recovery validation and arm failures.
 pub fn apply_recoveries<R: Rng>(
     aggregates: &TrialAggregates,
     eta: f64,
@@ -245,18 +298,12 @@ pub fn apply_recoveries<R: Rng>(
     rng: &mut R,
 ) -> Result<TrialResult> {
     let params = aggregates.params();
-    let recover = LdpRecover::new(eta)?
-        .with_sum_model(options.sum_model)
-        .with_post_process(options.post_process);
-
-    // Plain LDPRecover: no attack knowledge.
-    let outcome = recover.recover(&aggregates.poisoned_freqs, params)?;
 
     // Partial knowledge: oracle targets when the attack is targeted, the
     // paper's top-k-increase identification otherwise (the pre-attack
     // reference is the genuine estimate, standing in for the "historical
-    // data" of §V-D).
-    let star_targets: Option<Vec<usize>> = if options.run_star {
+    // data" of §V-D). Computed once, shared by every target-consuming arm.
+    let star_targets: Option<Vec<usize>> = if options.arms.needs_targets() {
         match &aggregates.attack_targets {
             Some(targets) => Some(targets.clone()),
             None if aggregates.malicious_count > 0 => top_k_increase(
@@ -271,51 +318,34 @@ pub fn apply_recoveries<R: Rng>(
         None
     };
 
-    let star_outcome = match &star_targets {
-        Some(targets) => Some(
-            recover
-                .clone()
-                .with_targets(targets.clone())
-                .recover(&aggregates.poisoned_freqs, params)?,
-        ),
-        None => None,
-    };
+    let mut ctx = ArmContext::new(&aggregates.poisoned_freqs, params, eta)
+        .with_protocol(&aggregates.protocol)
+        .with_sum_model(options.sum_model)
+        .with_post_process(options.post_process);
+    if let Some(reports) = &aggregates.reports {
+        ctx = ctx.with_reports(reports);
+    }
+    if let Some(targets) = &star_targets {
+        ctx = ctx.with_targets(targets);
+    }
 
-    // Detection baseline (needs reports + targets).
-    let detection = match (&star_targets, &aggregates.reports) {
-        (Some(targets), Some(reports)) if options.run_detection => Detection::new(targets.clone())
-            .and_then(|det| det.recover(&aggregates.protocol, reports))
-            .ok(),
-        _ => None,
-    };
-
-    // k-means defense + LDPRecover-KM (the Fig. 9 arms); one clustering
-    // pass serves both.
-    let (kmeans, recover_km) = match (&options.kmeans, &aggregates.reports) {
-        (Some(defense), Some(reports)) => {
-            let km = defense.run(&aggregates.protocol, reports, rng)?;
-            let km_rec = ldprecover::KMeansDefense::recover_from_outcome(
-                &recover,
-                &aggregates.protocol,
-                reports,
-                &km,
-            )?;
-            (Some(km.genuine_estimate), Some(km_rec.frequencies))
+    let mut arms: Vec<(String, ArmOutput)> = Vec::new();
+    let mut degenerate: Vec<(String, String)> = Vec::new();
+    for arm in options.arms.build(&options.kmeans) {
+        match arm.run(&ctx, rng)? {
+            ArmOutcome::Outputs(outputs) => arms.extend(outputs),
+            ArmOutcome::Degenerate { reason } => {
+                degenerate.push((arm.name().to_string(), reason));
+            }
         }
-        _ => (None, None),
-    };
+    }
 
     Ok(TrialResult {
         true_freqs: aggregates.true_freqs.clone(),
         genuine: aggregates.genuine_freqs.clone(),
         poisoned: aggregates.poisoned_freqs.clone(),
-        recovered: outcome.frequencies,
-        recovered_star: star_outcome.as_ref().map(|o| o.frequencies.clone()),
-        detection,
-        kmeans,
-        recover_km,
-        malicious_estimate: outcome.malicious_estimate,
-        malicious_estimate_star: star_outcome.map(|o| o.malicious_estimate),
+        arms,
+        degenerate,
         malicious_true: aggregates.malicious_true_freqs.clone(),
         star_targets,
         attack_targets: aggregates.attack_targets.clone(),
@@ -375,13 +405,18 @@ mod tests {
     fn unpoisoned_trial_has_no_malicious_artifacts() {
         let config = small_config(None);
         let mut rng = rng_from_seed(2);
-        let result = run_trial(&config, &PipelineOptions::default(), &mut rng).unwrap();
+        let result = run_trial(&config, &PipelineOptions::recovery_only(), &mut rng).unwrap();
         assert!(result.malicious_true.is_none());
         assert!(result.star_targets.is_none());
-        assert!(result.recovered_star.is_none());
+        assert!(result.recovered_star().is_none());
+        // The star arm degenerates (nothing to know), it does not fail.
+        assert!(result
+            .degenerate
+            .iter()
+            .any(|(arm, _)| arm == "recover-star"));
         // Poisoned == genuine without an attack.
         assert_eq!(result.poisoned, result.genuine);
-        assert!(is_probability_vector(&result.recovered, 1e-9));
+        assert!(is_probability_vector(result.recovered().unwrap(), 1e-9));
     }
 
     #[test]
@@ -391,10 +426,12 @@ mod tests {
         let options = PipelineOptions::full_comparison();
         let mut rng = rng_from_seed(3);
         let result = run_trial(&config, &options, &mut rng).unwrap();
-        assert!(is_probability_vector(&result.recovered, 1e-9));
-        let star = result.recovered_star.as_ref().expect("star arm");
+        assert!(is_probability_vector(result.recovered().unwrap(), 1e-9));
+        let star = result.recovered_star().expect("star arm");
         assert!(is_probability_vector(star, 1e-9));
-        assert!(result.detection.is_some(), "detection arm");
+        assert!(result.detection().is_some(), "detection arm");
+        assert!(result.malicious_estimate().is_some());
+        assert!(result.malicious_estimate_star().is_some());
         assert_eq!(result.star_targets, result.attack_targets);
         assert_eq!(result.attack_targets.as_ref().unwrap().len(), 10);
     }
@@ -423,7 +460,7 @@ mod tests {
             let mut rng = rng_from_seed(100 + trial);
             let r = run_trial(&config, &options, &mut rng).unwrap();
             before += crate::metrics::mse(&r.poisoned, &r.true_freqs);
-            after += crate::metrics::mse(&r.recovered, &r.true_freqs);
+            after += crate::metrics::mse(r.recovered().unwrap(), &r.true_freqs);
         }
         assert!(
             after < before,
@@ -497,6 +534,37 @@ mod tests {
         let r2 = apply_recoveries(&agg, 0.4, &options, &mut rng).unwrap();
         // Same aggregation, different recovery knobs.
         assert_eq!(r1.poisoned, r2.poisoned);
-        assert_ne!(r1.recovered, r2.recovered);
+        assert_ne!(r1.recovered().unwrap(), r2.recovered().unwrap());
+    }
+
+    #[test]
+    fn open_arm_selection_runs_the_normalization_baselines() {
+        let config = small_config(Some(AttackKind::Adaptive));
+        let options = PipelineOptions::with_arms(
+            ldprecover::ArmSet::parse("recover,norm-sub,base-cut").unwrap(),
+        );
+        assert!(
+            !options.needs_reports(),
+            "normalization arms are count-only"
+        );
+        let mut rng = rng_from_seed(21);
+        let result = run_trial(&config, &options, &mut rng).unwrap();
+        let keys: Vec<&str> = result.arms.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["recover", "norm_sub", "base_cut"]);
+        for (key, output) in &result.arms {
+            assert!(
+                is_probability_vector(&output.frequencies, 1e-9),
+                "{key} must land on the simplex"
+            );
+        }
+        // The baselines are pure refinements of the poisoned estimate.
+        assert_eq!(
+            result.arm("norm_sub").unwrap().frequencies,
+            ldprecover::solve::norm_sub(&result.poisoned)
+        );
+        assert_eq!(
+            result.arm("base_cut").unwrap().frequencies,
+            ldprecover::solve::base_cut(&result.poisoned)
+        );
     }
 }

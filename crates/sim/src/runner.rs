@@ -11,7 +11,28 @@ use crate::config::{ExperimentConfig, PipelineOptions};
 use crate::metrics::{frequency_gain, mse, Stats};
 use crate::pipeline::{apply_recoveries, run_aggregation, TrialResult};
 
+/// Summary statistics of one defense arm over an experiment's trials.
+///
+/// Derived generically from [`TrialResult::arms`]: `mse` for every arm,
+/// `fg` when the arm tracks frequency gain and the attack is targeted,
+/// `malicious_mse` when the arm exposes a malicious-estimate side channel
+/// and ground truth exists.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ArmStats {
+    /// MSE of the arm's recovered frequencies vs ground truth.
+    pub mse: Option<Stats>,
+    /// FG of the arm's output (targeted attacks only).
+    pub fg: Option<Stats>,
+    /// MSE of the arm's malicious estimate vs the true `f̃_Y` (Fig. 7).
+    pub malicious_mse: Option<Stats>,
+}
+
 /// Per-method MSE / FG summaries for one experiment cell.
+///
+/// The baseline statistics keep their historical fields; every defense
+/// arm's statistics live in [`ExperimentResult::arms`], keyed by metric
+/// key, with typed accessors ([`ExperimentResult::mse_recover`], …)
+/// preserving the old names for the shipped arms.
 #[derive(Debug, Clone)]
 pub struct ExperimentResult {
     /// The configuration that produced this result.
@@ -20,28 +41,78 @@ pub struct ExperimentResult {
     pub mse_genuine: Stats,
     /// MSE of the poisoned estimate ("before recovery").
     pub mse_before: Stats,
-    /// MSE of LDPRecover.
-    pub mse_recover: Stats,
-    /// MSE of LDPRecover\*, when run.
-    pub mse_star: Option<Stats>,
-    /// MSE of the Detection baseline, when run.
-    pub mse_detection: Option<Stats>,
-    /// MSE of the k-means defense, when configured.
-    pub mse_kmeans: Option<Stats>,
-    /// MSE of LDPRecover-KM, when configured.
-    pub mse_recover_km: Option<Stats>,
     /// FG of the poisoned estimate (targeted attacks only).
     pub fg_before: Option<Stats>,
+    /// Per-arm summaries, keyed by metric key, in arm execution order.
+    pub arms: Vec<(String, ArmStats)>,
+}
+
+impl ExperimentResult {
+    /// The summary of the arm with the given metric key.
+    pub fn arm(&self, key: &str) -> Option<&ArmStats> {
+        self.arms
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, stats)| stats)
+    }
+
+    /// MSE of LDPRecover, when run.
+    pub fn mse_recover(&self) -> Option<Stats> {
+        self.arm("recover").and_then(|a| a.mse)
+    }
+
+    /// MSE of LDPRecover\*, when run.
+    pub fn mse_star(&self) -> Option<Stats> {
+        self.arm("star").and_then(|a| a.mse)
+    }
+
+    /// MSE of the Detection baseline, when run.
+    pub fn mse_detection(&self) -> Option<Stats> {
+        self.arm("detection").and_then(|a| a.mse)
+    }
+
+    /// MSE of the k-means defense, when configured.
+    pub fn mse_kmeans(&self) -> Option<Stats> {
+        self.arm("kmeans").and_then(|a| a.mse)
+    }
+
+    /// MSE of LDPRecover-KM, when configured.
+    pub fn mse_recover_km(&self) -> Option<Stats> {
+        self.arm("recover_km").and_then(|a| a.mse)
+    }
+
     /// FG after LDPRecover.
-    pub fg_recover: Option<Stats>,
+    pub fn fg_recover(&self) -> Option<Stats> {
+        self.arm("recover").and_then(|a| a.fg)
+    }
+
     /// FG after LDPRecover\*.
-    pub fg_star: Option<Stats>,
+    pub fn fg_star(&self) -> Option<Stats> {
+        self.arm("star").and_then(|a| a.fg)
+    }
+
     /// FG after Detection.
-    pub fg_detection: Option<Stats>,
+    pub fn fg_detection(&self) -> Option<Stats> {
+        self.arm("detection").and_then(|a| a.fg)
+    }
+
     /// MSE of LDPRecover's malicious estimate vs the true `f̃_Y` (Fig. 7).
-    pub malicious_mse_recover: Option<Stats>,
+    pub fn malicious_mse_recover(&self) -> Option<Stats> {
+        self.arm("recover").and_then(|a| a.malicious_mse)
+    }
+
     /// MSE of LDPRecover\*'s malicious estimate vs the true `f̃_Y` (Fig. 7).
-    pub malicious_mse_star: Option<Stats>,
+    pub fn malicious_mse_star(&self) -> Option<Stats> {
+        self.arm("star").and_then(|a| a.malicious_mse)
+    }
+}
+
+/// Accumulates one arm's per-trial metric values before summarizing.
+#[derive(Default)]
+struct ArmBuffers {
+    mse: Vec<f64>,
+    fg: Vec<f64>,
+    malicious_mse: Vec<f64>,
 }
 
 /// Accumulates per-trial metric values before summarizing.
@@ -49,60 +120,52 @@ pub struct ExperimentResult {
 struct MetricBuffers {
     mse_genuine: Vec<f64>,
     mse_before: Vec<f64>,
-    mse_recover: Vec<f64>,
-    mse_star: Vec<f64>,
-    mse_detection: Vec<f64>,
-    mse_kmeans: Vec<f64>,
-    mse_recover_km: Vec<f64>,
     fg_before: Vec<f64>,
-    fg_recover: Vec<f64>,
-    fg_star: Vec<f64>,
-    fg_detection: Vec<f64>,
-    malicious_mse_recover: Vec<f64>,
-    malicious_mse_star: Vec<f64>,
+    /// Per-arm buffers in first-seen order (deterministic: arms execute
+    /// in canonical registry order every trial).
+    arms: Vec<(String, ArmBuffers)>,
 }
 
 impl MetricBuffers {
+    fn arm_buffers(&mut self, key: &str) -> &mut ArmBuffers {
+        if let Some(index) = self.arms.iter().position(|(k, _)| k == key) {
+            return &mut self.arms[index].1;
+        }
+        self.arms.push((key.to_string(), ArmBuffers::default()));
+        &mut self.arms.last_mut().expect("just pushed").1
+    }
+
     fn push_trial(&mut self, r: &TrialResult) -> Result<()> {
         let truth = &r.true_freqs;
         self.mse_genuine.push(mse(&r.genuine, truth));
         self.mse_before.push(mse(&r.poisoned, truth));
-        self.mse_recover.push(mse(&r.recovered, truth));
-        if let Some(star) = &r.recovered_star {
-            self.mse_star.push(mse(star, truth));
-        }
-        if let Some(det) = &r.detection {
-            self.mse_detection.push(mse(det, truth));
-        }
-        if let Some(km) = &r.kmeans {
-            self.mse_kmeans.push(mse(km, truth));
-        }
-        if let Some(km) = &r.recover_km {
-            self.mse_recover_km.push(mse(km, truth));
-        }
 
         // FG only for attacks with true targets (Eq. 37 needs T).
         if let Some(targets) = &r.attack_targets {
             self.fg_before
                 .push(frequency_gain(&r.poisoned, &r.genuine, targets)?);
-            self.fg_recover
-                .push(frequency_gain(&r.recovered, &r.genuine, targets)?);
-            if let Some(star) = &r.recovered_star {
-                self.fg_star
-                    .push(frequency_gain(star, &r.genuine, targets)?);
-            }
-            if let Some(det) = &r.detection {
-                self.fg_detection
-                    .push(frequency_gain(det, &r.genuine, targets)?);
-            }
         }
 
-        // Malicious-estimate accuracy (Fig. 7) whenever ground truth exists.
-        if let Some(mal_true) = &r.malicious_true {
-            self.malicious_mse_recover
-                .push(mse(&r.malicious_estimate, mal_true));
-            if let Some(star_est) = &r.malicious_estimate_star {
-                self.malicious_mse_star.push(mse(star_est, mal_true));
+        for (key, output) in &r.arms {
+            // Derive eagerly, push late: a failing FG must not leave the
+            // arm's buffers half-updated.
+            let fg = match (&r.attack_targets, output.track_fg) {
+                (Some(targets), true) => {
+                    Some(frequency_gain(&output.frequencies, &r.genuine, targets)?)
+                }
+                _ => None,
+            };
+            let malicious_mse = match (&r.malicious_true, &output.malicious_estimate) {
+                (Some(mal_true), Some(estimate)) => Some(mse(estimate, mal_true)),
+                _ => None,
+            };
+            let buffers = self.arm_buffers(key);
+            buffers.mse.push(mse(&output.frequencies, truth));
+            if let Some(fg) = fg {
+                buffers.fg.push(fg);
+            }
+            if let Some(mal) = malicious_mse {
+                buffers.malicious_mse.push(mal);
             }
         }
         Ok(())
@@ -113,17 +176,21 @@ impl MetricBuffers {
             config,
             mse_genuine: Stats::from_values(&self.mse_genuine),
             mse_before: Stats::from_values(&self.mse_before),
-            mse_recover: Stats::from_values(&self.mse_recover),
-            mse_star: Stats::from_optional(&self.mse_star),
-            mse_detection: Stats::from_optional(&self.mse_detection),
-            mse_kmeans: Stats::from_optional(&self.mse_kmeans),
-            mse_recover_km: Stats::from_optional(&self.mse_recover_km),
             fg_before: Stats::from_optional(&self.fg_before),
-            fg_recover: Stats::from_optional(&self.fg_recover),
-            fg_star: Stats::from_optional(&self.fg_star),
-            fg_detection: Stats::from_optional(&self.fg_detection),
-            malicious_mse_recover: Stats::from_optional(&self.malicious_mse_recover),
-            malicious_mse_star: Stats::from_optional(&self.malicious_mse_star),
+            arms: self
+                .arms
+                .into_iter()
+                .map(|(key, buffers)| {
+                    (
+                        key,
+                        ArmStats {
+                            mse: Stats::from_optional(&buffers.mse),
+                            fg: Stats::from_optional(&buffers.fg),
+                            malicious_mse: Stats::from_optional(&buffers.malicious_mse),
+                        },
+                    )
+                })
+                .collect(),
         }
     }
 }
@@ -279,11 +346,11 @@ mod tests {
         let options = PipelineOptions::full_comparison();
         let result = run_experiment(&config, &options).unwrap();
         assert_eq!(result.mse_before.count, 3);
-        assert_eq!(result.mse_recover.count, 3);
-        assert!(result.mse_star.is_some());
+        assert_eq!(result.mse_recover().expect("recover ran").count, 3);
+        assert!(result.mse_star().is_some());
         assert!(result.fg_before.is_some());
-        assert!(result.malicious_mse_recover.is_some());
-        assert!(result.malicious_mse_star.is_some());
+        assert!(result.malicious_mse_recover().is_some());
+        assert!(result.malicious_mse_star().is_some());
     }
 
     #[test]
@@ -291,8 +358,8 @@ mod tests {
         let config = quick_config(None);
         let result = run_experiment(&config, &PipelineOptions::default()).unwrap();
         assert!(result.fg_before.is_none());
-        assert!(result.malicious_mse_recover.is_none());
-        assert!(result.mse_star.is_none());
+        assert!(result.malicious_mse_recover().is_none());
+        assert!(result.mse_star().is_none());
     }
 
     #[test]
@@ -302,7 +369,7 @@ mod tests {
         let a = run_experiment(&config, &options).unwrap();
         let b = run_experiment(&config, &options).unwrap();
         assert_eq!(a.mse_before.mean, b.mse_before.mean);
-        assert_eq!(a.mse_recover.mean, b.mse_recover.mean);
+        assert_eq!(a.mse_recover().unwrap().mean, b.mse_recover().unwrap().mean);
     }
 
     #[test]
@@ -319,7 +386,7 @@ mod tests {
         let sequential = map_trials(config.trials, 1, run).unwrap();
         for (a, b) in parallel.iter().zip(&sequential) {
             assert_eq!(a.poisoned, b.poisoned);
-            assert_eq!(a.recovered, b.recovered);
+            assert_eq!(a.recovered(), b.recovered());
         }
     }
 
@@ -336,7 +403,10 @@ mod tests {
             assert_eq!(r.mse_before.mean, results[0].mse_before.mean);
         }
         // Different η ⇒ different recovery error.
-        assert_ne!(results[0].mse_recover.mean, results[2].mse_recover.mean);
+        assert_ne!(
+            results[0].mse_recover().unwrap().mean,
+            results[2].mse_recover().unwrap().mean
+        );
     }
 
     #[test]
@@ -349,10 +419,11 @@ mod tests {
         // depended on its position in the grid.
         let mut config = quick_config(Some(AttackKind::MgaIpa { r: 5 }));
         config.trials = 2;
-        let options = PipelineOptions {
-            kmeans: Some(ldprecover::KMeansDefense::default()),
-            ..PipelineOptions::default()
-        };
+        let options = PipelineOptions::with_arms(ldprecover::ArmSet::new([
+            ldprecover::ArmKind::Recover,
+            ldprecover::ArmKind::Kmeans,
+            ldprecover::ArmKind::RecoverKm,
+        ]));
         let etas = [0.05, 0.2, 0.4];
         let swept = run_eta_sweep(&config, &etas, &options).unwrap();
         for (cell, &eta) in swept.iter().zip(&etas) {
@@ -360,18 +431,15 @@ mod tests {
             standalone_cfg.eta = eta;
             let standalone = run_experiment(&standalone_cfg, &options).unwrap();
             assert_eq!(
-                cell.mse_recover.mean.to_bits(),
-                standalone.mse_recover.mean.to_bits(),
+                cell.mse_recover().unwrap().mean.to_bits(),
+                standalone.mse_recover().unwrap().mean.to_bits(),
                 "eta={eta}: recover"
             );
-            let (a, b) = (
-                cell.mse_kmeans.as_ref().unwrap(),
-                standalone.mse_kmeans.as_ref().unwrap(),
-            );
+            let (a, b) = (cell.mse_kmeans().unwrap(), standalone.mse_kmeans().unwrap());
             assert_eq!(a.mean.to_bits(), b.mean.to_bits(), "eta={eta}: k-means");
             let (a, b) = (
-                cell.mse_recover_km.as_ref().unwrap(),
-                standalone.mse_recover_km.as_ref().unwrap(),
+                cell.mse_recover_km().unwrap(),
+                standalone.mse_recover_km().unwrap(),
             );
             assert_eq!(a.mean.to_bits(), b.mean.to_bits(), "eta={eta}: recover-KM");
         }
@@ -381,8 +449,8 @@ mod tests {
         let swept_rev = run_eta_sweep(&config, &reversed, &options).unwrap();
         for (fwd, rev) in swept.iter().zip(swept_rev.iter().rev()) {
             assert_eq!(
-                fwd.mse_recover_km.as_ref().unwrap().mean.to_bits(),
-                rev.mse_recover_km.as_ref().unwrap().mean.to_bits(),
+                fwd.mse_recover_km().unwrap().mean.to_bits(),
+                rev.mse_recover_km().unwrap().mean.to_bits(),
                 "eta={}: grid order leaked into the cell",
                 fwd.config.eta
             );

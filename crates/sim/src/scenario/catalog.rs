@@ -16,7 +16,9 @@ use ldp_common::{Domain, Result};
 use ldp_datasets::DatasetKind;
 use ldp_kv::{KvProtocol, KvRecover, M2ga};
 use ldp_protocols::{LdpFrequencyProtocol, ProtocolKind};
-use ldprecover::{Detection, KMeansDefense, LdpRecover, MaliciousSumModel, PostProcess};
+use ldprecover::{
+    ArmKind, ArmSet, Detection, KMeansDefense, LdpRecover, MaliciousSumModel, PostProcess,
+};
 
 use crate::config::{ExperimentConfig, PipelineOptions};
 use crate::metrics::mse;
@@ -36,7 +38,7 @@ pub const XI_GRID: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 0.9];
 
 /// Every scenario id, in the paper's presentation order (extensions
 /// after the paper's own figures).
-pub const FIGURE_IDS: [&str; 12] = [
+pub const FIGURE_IDS: [&str; 13] = [
     "fig3",
     "fig4",
     "fig5",
@@ -49,6 +51,7 @@ pub const FIGURE_IDS: [&str; 12] = [
     "ablations",
     "kv_extension",
     "stream_online",
+    "defense_arms",
 ];
 
 /// Builds the scenario for a figure id.
@@ -80,6 +83,7 @@ pub fn scenario(id: &str) -> Result<Scenario> {
         "ablations" => ablations(),
         "kv_extension" => Ok(kv_extension()),
         "stream_online" => Ok(stream_online()),
+        "defense_arms" => Ok(defense_arms()),
         other => Err(ldp_common::LdpError::invalid(format!(
             "unknown figure '{other}' (known: {})",
             FIGURE_IDS.join(", ")
@@ -129,9 +133,9 @@ fn fig3() -> Scenario {
                 label: config.label(),
                 entries: vec![
                     Entry::stat(&id, Metric::MseBefore),
-                    Entry::stat(&id, Metric::MseDetection),
-                    Entry::stat(&id, Metric::MseRecover),
-                    Entry::stat(&id, Metric::MseStar),
+                    Entry::stat(&id, Metric::mse(ArmKind::Detection)),
+                    Entry::stat(&id, Metric::mse(ArmKind::Recover)),
+                    Entry::stat(&id, Metric::mse(ArmKind::RecoverStar)),
                 ],
             });
             cells.push(Cell::experiment(
@@ -174,9 +178,9 @@ fn fig4() -> Scenario {
                 label: config.label(),
                 entries: vec![
                     Entry::stat(&id, Metric::FgBefore),
-                    Entry::stat(&id, Metric::FgDetection),
-                    Entry::stat(&id, Metric::FgRecover),
-                    Entry::stat(&id, Metric::FgStar),
+                    Entry::stat(&id, Metric::fg(ArmKind::Detection)),
+                    Entry::stat(&id, Metric::fg(ArmKind::Recover)),
+                    Entry::stat(&id, Metric::fg(ArmKind::RecoverStar)),
                 ],
             });
             cells.push(Cell::experiment(
@@ -225,8 +229,8 @@ fn parameter_sweeps(
     let mse_entries = |cell: &str| {
         vec![
             Entry::stat(cell, Metric::MseBefore),
-            Entry::stat(cell, Metric::MseRecover),
-            Entry::stat(cell, Metric::MseStar),
+            Entry::stat(cell, Metric::mse(ArmKind::Recover)),
+            Entry::stat(cell, Metric::mse(ArmKind::RecoverStar)),
         ]
     };
     let mut cells = Vec::new();
@@ -286,8 +290,8 @@ fn fig7() -> Scenario {
             rows.push(RowSpec {
                 label: format!("{beta}"),
                 entries: vec![
-                    Entry::stat(&id, Metric::MalMseRecover),
-                    Entry::stat(&id, Metric::MalMseStar),
+                    Entry::stat(&id, Metric::malicious_mse(ArmKind::Recover)),
+                    Entry::stat(&id, Metric::malicious_mse(ArmKind::RecoverStar)),
                 ],
             });
             cells.push(Cell::experiment(
@@ -373,7 +377,8 @@ fn fig9() -> Result<Scenario> {
             );
             // Keep the clustering cost bounded: G = 20 subsets of rate ξ.
             let options = PipelineOptions {
-                kmeans: Some(KMeansDefense::new(20, xi)?),
+                arms: ArmSet::new([ArmKind::Recover, ArmKind::Kmeans, ArmKind::RecoverKm]),
+                kmeans: KMeansDefense::new(20, xi)?,
                 ..Default::default()
             };
             let id = format!("{protocol}/xi={xi}");
@@ -381,8 +386,8 @@ fn fig9() -> Result<Scenario> {
                 label: format!("{xi}"),
                 entries: vec![
                     Entry::stat(&id, Metric::MseBefore),
-                    Entry::stat(&id, Metric::MseKmeans),
-                    Entry::stat(&id, Metric::MseRecoverKm),
+                    Entry::stat(&id, Metric::mse(ArmKind::Kmeans)),
+                    Entry::stat(&id, Metric::mse(ArmKind::RecoverKm)),
                 ],
             });
             cells.push(Cell::experiment(id, config, options));
@@ -426,7 +431,7 @@ fn fig10() -> Scenario {
                 label: format!("{beta}"),
                 entries: vec![
                     Entry::stat(&id, Metric::MseBefore),
-                    Entry::stat(&id, Metric::MseRecover),
+                    Entry::stat(&id, Metric::mse(ArmKind::Recover)),
                     Entry::Improvement { cell: id.clone() },
                 ],
             });
@@ -483,7 +488,7 @@ fn table1() -> Scenario {
                 entries: vec![
                     Entry::stat(&id, Metric::MseBefore),
                     Entry::Text(format!("{:.2e}", paper_vals[di * 2])),
-                    Entry::stat(&id, Metric::MseRecover),
+                    Entry::stat(&id, Metric::mse(ArmKind::Recover)),
                     Entry::Text(format!("{:.2e}", paper_vals[di * 2 + 1])),
                 ],
             });
@@ -972,6 +977,92 @@ fn stream_online() -> Scenario {
     }
 }
 
+/// The open-registry comparison grid: every count-only arm — including
+/// the normalization baselines that exist purely as `DefenseArm` impls +
+/// registry entries — side by side on the paper's default cell, across
+/// protocols and the two attack families. This is the scenario that keeps
+/// the open arm surface exercised by the nightly statistical gates.
+fn defense_arms() -> Scenario {
+    /// The count-only arm grid of this scenario (report-free, so every
+    /// cell rides the batched aggregation path).
+    const ARM_GRID: [ArmKind; 4] = [
+        ArmKind::Recover,
+        ArmKind::RecoverStar,
+        ArmKind::NormSub,
+        ArmKind::BaseCut,
+    ];
+    let mut cells = Vec::new();
+    let mut mse_rows = Vec::new();
+    let mut fg_rows = Vec::new();
+    for protocol in ProtocolKind::ALL {
+        for (label, attack) in [
+            ("MGA", AttackKind::Mga { r: 10 }),
+            ("AA", AttackKind::Adaptive),
+        ] {
+            let config = cfg(DatasetKind::Ipums, protocol, Some(attack));
+            let id = format!("arms/{label}-{protocol}");
+            let mut mse_entries = vec![Entry::stat(&id, Metric::MseBefore)];
+            mse_entries.extend(
+                ARM_GRID
+                    .iter()
+                    .map(|&arm| Entry::stat(&id, Metric::mse(arm))),
+            );
+            mse_rows.push(RowSpec {
+                label: format!("{label}-{protocol}"),
+                entries: mse_entries,
+            });
+            if label == "MGA" {
+                let mut fg_entries = vec![Entry::stat(&id, Metric::FgBefore)];
+                fg_entries.extend(
+                    ARM_GRID
+                        .iter()
+                        .map(|&arm| Entry::stat(&id, Metric::fg(arm))),
+                );
+                fg_rows.push(RowSpec {
+                    label: format!("{label}-{protocol}"),
+                    entries: fg_entries,
+                });
+            }
+            cells.push(Cell::experiment(
+                id,
+                config,
+                PipelineOptions::with_arms(ArmSet::new(ARM_GRID)),
+            ));
+        }
+    }
+    let columns = |lead: &str| {
+        let mut cols = vec![format!("{lead} before")];
+        cols.extend(ARM_GRID.iter().map(|arm| format!("{lead} {}", arm.label())));
+        cols
+    };
+    Scenario {
+        id: "defense_arms",
+        title: "Extension: the open defense-arm registry, count-only arms side by side (IPUMS)",
+        paper_anchor: "LDPRecover/LDPRecover* as in Fig. 3/4; the normalization baselines \
+                       repair the simplex constraint but not the attack bias",
+        cells,
+        grids: vec![
+            GridSpec {
+                title: "Defense arms: MSE".into(),
+                row_header: "cell".into(),
+                columns: columns("MSE"),
+                rows: mse_rows,
+            },
+            GridSpec {
+                title: "Defense arms: frequency gain (targeted cells)".into(),
+                row_header: "cell".into(),
+                columns: columns("FG"),
+                rows: fg_rows,
+            },
+        ],
+        notes: vec![
+            "norm-sub / base-cut are the standalone normalization baselines of the open \
+             registry (`--arms norm-sub,base-cut`): pure refinements of the poisoned \
+             estimate, no malicious-frequency learning.",
+        ],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1030,6 +1121,27 @@ mod tests {
         assert_eq!(scenario("kv_extension").unwrap().cells.len(), 5);
         // Streaming: 3 protocols × {MGA, AA} online-recovery cells.
         assert_eq!(scenario("stream_online").unwrap().cells.len(), 6);
+        // Open arm registry: 3 protocols × {MGA, AA} comparison cells.
+        assert_eq!(scenario("defense_arms").unwrap().cells.len(), 6);
+    }
+
+    #[test]
+    fn defense_arms_cells_select_the_normalization_baselines() {
+        let s = scenario("defense_arms").unwrap();
+        for cell in &s.cells {
+            match &cell.kind {
+                CellKind::Experiment { options, .. } => {
+                    assert!(options.arms.contains(ArmKind::NormSub), "{}", cell.id);
+                    assert!(options.arms.contains(ArmKind::BaseCut), "{}", cell.id);
+                    assert!(
+                        !options.needs_reports(),
+                        "{}: the grid must stay count-only (batched aggregation)",
+                        cell.id
+                    );
+                }
+                CellKind::Custom(_) => panic!("defense_arms has no custom cells"),
+            }
+        }
     }
 
     #[test]

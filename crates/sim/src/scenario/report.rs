@@ -207,7 +207,7 @@ fn render_entry(entry: &Entry, report: &ScenarioReport) -> String {
             cell,
             metric,
             format,
-        } => match report.metric(cell, metric.name()) {
+        } => match report.metric(cell, &metric.name()) {
             Some(stats) => format.render(stats.mean),
             None => "-".to_string(),
         },
@@ -245,6 +245,7 @@ fn improvement(report: &ScenarioReport, cell: &str) -> Option<f64> {
 mod tests {
     use super::*;
     use crate::scenario::spec::{Metric, RowSpec};
+    use ldprecover::ArmKind;
 
     fn stats(mean: f64) -> Stats {
         Stats {
@@ -308,7 +309,7 @@ mod tests {
                 label: "r1".into(),
                 entries: vec![
                     Entry::stat("c1", Metric::MseBefore),
-                    Entry::stat("c1", Metric::MseStar),
+                    Entry::stat("c1", Metric::mse(ArmKind::RecoverStar)),
                     Entry::Improvement { cell: "c1".into() },
                     Entry::Text("1.00e-1".into()),
                 ],

@@ -24,7 +24,7 @@ use crate::config::{ExperimentConfig, PipelineOptions};
 use crate::metrics::Stats;
 use crate::runner::{map_trials, run_eta_sweep, run_experiment, thread_count};
 use crate::scenario::report::{CellReport, GridReport, ScenarioReport};
-use crate::scenario::spec::{CellCtx, CellKind, Metric, RunScale, Scenario};
+use crate::scenario::spec::{CellCtx, CellKind, RunScale, Scenario};
 
 /// Domain-separation salt for per-cell seed derivation (custom cells).
 const CELL_SEED_SALT: u64 = 0x5CE7_AB1E;
@@ -256,17 +256,34 @@ fn execute(unit: &Unit<'_>, scale: &RunScale) -> Result<Vec<Vec<(String, Stats)>
     }
 }
 
-/// Every metric an experiment run produced, in [`Metric::EXPERIMENT_ALL`]
-/// order.
+/// Every metric an experiment run produced, derived generically from the
+/// arms that ran: the two baselines, then `mse_{arm}`, then `fg_before` +
+/// `fg_{arm}`, then `malicious_mse_{arm}` — whatever arms the cell
+/// selected, no per-defense code.
 fn experiment_metrics(result: &crate::runner::ExperimentResult) -> Vec<(String, Stats)> {
-    Metric::EXPERIMENT_ALL
-        .iter()
-        .filter_map(|metric| {
-            metric
-                .extract(result)
-                .map(|stats| (metric.name().to_string(), stats))
-        })
-        .collect()
+    let mut out = vec![
+        ("mse_genuine".to_string(), result.mse_genuine),
+        ("mse_before".to_string(), result.mse_before),
+    ];
+    for (key, arm) in &result.arms {
+        if let Some(stats) = arm.mse {
+            out.push((format!("mse_{key}"), stats));
+        }
+    }
+    if let Some(stats) = result.fg_before {
+        out.push(("fg_before".to_string(), stats));
+    }
+    for (key, arm) in &result.arms {
+        if let Some(stats) = arm.fg {
+            out.push((format!("fg_{key}"), stats));
+        }
+    }
+    for (key, arm) in &result.arms {
+        if let Some(stats) = arm.malicious_mse {
+            out.push((format!("malicious_mse_{key}"), stats));
+        }
+    }
+    out
 }
 
 /// Folds custom-cell trial outputs into per-metric [`Stats`], enforcing a
@@ -302,10 +319,11 @@ fn fold_custom_metrics(per_trial: &[Vec<(&'static str, f64)>]) -> Result<Vec<(St
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::spec::{Cell, Entry, GridSpec, RowSpec, ScaleSpec};
+    use crate::scenario::spec::{Cell, Entry, GridSpec, Metric, RowSpec, ScaleSpec};
     use ldp_attacks::AttackKind;
     use ldp_datasets::DatasetKind;
     use ldp_protocols::ProtocolKind;
+    use ldprecover::ArmKind;
 
     fn tiny_scale() -> RunScale {
         RunScale {
@@ -352,7 +370,7 @@ mod tests {
                 rows: vec![RowSpec {
                     label: "r".into(),
                     entries: vec![
-                        Entry::stat("exp", Metric::MseRecover),
+                        Entry::stat("exp", Metric::mse(ArmKind::Recover)),
                         Entry::stat("twice-trial", Metric::Custom("value")),
                     ],
                 }],

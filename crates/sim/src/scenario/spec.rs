@@ -303,73 +303,58 @@ impl Entry {
 }
 
 /// A named metric of a cell.
+///
+/// Arm metrics are open, keyed by the registry's metric key
+/// ([`ldprecover::ArmKind::metric_key`]): selecting a new defense arm in
+/// a cell automatically makes its `mse_{key}` / `fg_{key}` /
+/// `malicious_mse_{key}` metrics addressable here — no enum edit needed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Metric {
     /// MSE of the genuine (unpoisoned) estimate — the LDP noise floor.
     MseGenuine,
     /// MSE of the poisoned estimate ("before recovery").
     MseBefore,
-    /// MSE of the Detection baseline.
-    MseDetection,
-    /// MSE of LDPRecover.
-    MseRecover,
-    /// MSE of LDPRecover\*.
-    MseStar,
-    /// MSE of the k-means defense.
-    MseKmeans,
-    /// MSE of LDPRecover-KM.
-    MseRecoverKm,
     /// FG of the poisoned estimate.
     FgBefore,
-    /// FG after Detection.
-    FgDetection,
-    /// FG after LDPRecover.
-    FgRecover,
-    /// FG after LDPRecover\*.
-    FgStar,
-    /// MSE of LDPRecover's malicious estimate vs the true `f̃_Y`.
-    MalMseRecover,
-    /// MSE of LDPRecover\*'s malicious estimate vs the true `f̃_Y`.
-    MalMseStar,
+    /// MSE of a defense arm's output (`mse_{key}`).
+    MseArm(&'static str),
+    /// FG of a defense arm's output (`fg_{key}`).
+    FgArm(&'static str),
+    /// MSE of a defense arm's malicious estimate vs the true `f̃_Y`
+    /// (`malicious_mse_{key}`).
+    MalMseArm(&'static str),
     /// A custom cell's named metric.
     Custom(&'static str),
 }
 
 impl Metric {
-    /// Every experiment-cell metric, in report order.
-    pub const EXPERIMENT_ALL: [Metric; 13] = [
-        Metric::MseGenuine,
-        Metric::MseBefore,
-        Metric::MseDetection,
-        Metric::MseRecover,
-        Metric::MseStar,
-        Metric::MseKmeans,
-        Metric::MseRecoverKm,
-        Metric::FgBefore,
-        Metric::FgDetection,
-        Metric::FgRecover,
-        Metric::FgStar,
-        Metric::MalMseRecover,
-        Metric::MalMseStar,
-    ];
+    /// The MSE metric of a registered arm.
+    pub const fn mse(kind: ldprecover::ArmKind) -> Self {
+        Metric::MseArm(kind.metric_key())
+    }
 
-    /// The metric's stable snake_case name (JSON / golden key).
-    pub fn name(&self) -> &'static str {
+    /// The FG metric of a registered arm.
+    pub const fn fg(kind: ldprecover::ArmKind) -> Self {
+        Metric::FgArm(kind.metric_key())
+    }
+
+    /// The malicious-estimate MSE metric of a registered arm.
+    pub const fn malicious_mse(kind: ldprecover::ArmKind) -> Self {
+        Metric::MalMseArm(kind.metric_key())
+    }
+
+    /// The metric's stable snake_case name (JSON / golden key). Derived
+    /// generically for arm metrics, reproducing the historical names
+    /// exactly (`mse_star`, `malicious_mse_recover`, …).
+    pub fn name(&self) -> String {
         match self {
-            Metric::MseGenuine => "mse_genuine",
-            Metric::MseBefore => "mse_before",
-            Metric::MseDetection => "mse_detection",
-            Metric::MseRecover => "mse_recover",
-            Metric::MseStar => "mse_star",
-            Metric::MseKmeans => "mse_kmeans",
-            Metric::MseRecoverKm => "mse_recover_km",
-            Metric::FgBefore => "fg_before",
-            Metric::FgDetection => "fg_detection",
-            Metric::FgRecover => "fg_recover",
-            Metric::FgStar => "fg_star",
-            Metric::MalMseRecover => "malicious_mse_recover",
-            Metric::MalMseStar => "malicious_mse_star",
-            Metric::Custom(name) => name,
+            Metric::MseGenuine => "mse_genuine".to_string(),
+            Metric::MseBefore => "mse_before".to_string(),
+            Metric::FgBefore => "fg_before".to_string(),
+            Metric::MseArm(key) => format!("mse_{key}"),
+            Metric::FgArm(key) => format!("fg_{key}"),
+            Metric::MalMseArm(key) => format!("malicious_mse_{key}"),
+            Metric::Custom(name) => (*name).to_string(),
         }
     }
 
@@ -379,17 +364,10 @@ impl Metric {
         match self {
             Metric::MseGenuine => Some(result.mse_genuine),
             Metric::MseBefore => Some(result.mse_before),
-            Metric::MseDetection => result.mse_detection,
-            Metric::MseRecover => Some(result.mse_recover),
-            Metric::MseStar => result.mse_star,
-            Metric::MseKmeans => result.mse_kmeans,
-            Metric::MseRecoverKm => result.mse_recover_km,
             Metric::FgBefore => result.fg_before,
-            Metric::FgDetection => result.fg_detection,
-            Metric::FgRecover => result.fg_recover,
-            Metric::FgStar => result.fg_star,
-            Metric::MalMseRecover => result.malicious_mse_recover,
-            Metric::MalMseStar => result.malicious_mse_star,
+            Metric::MseArm(key) => result.arm(key).and_then(|a| a.mse),
+            Metric::FgArm(key) => result.arm(key).and_then(|a| a.fg),
+            Metric::MalMseArm(key) => result.arm(key).and_then(|a| a.malicious_mse),
             Metric::Custom(_) => None,
         }
     }

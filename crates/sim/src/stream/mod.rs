@@ -20,9 +20,15 @@
 //!   shape — and folded into a separate accumulator, exactly as the
 //!   offline pipeline does.
 //! * **Epoch boundaries** — after every epoch the shard deltas merge into
-//!   the engine's cumulative state and recovery
-//!   ([`LdpRecover::recover_from_counts`]) runs on the merged poisoned
-//!   counts, producing a recovery-accuracy-vs-reports-seen trajectory.
+//!   the engine's cumulative state and the `recover` defense arm
+//!   (`ldprecover::arm`) runs on the debiased merged counts, producing a
+//!   recovery-accuracy-vs-reports-seen trajectory. Any *count-only* arm
+//!   set can be evaluated on the same state via
+//!   [`StreamEngine::arm_snapshot`]: an arm's
+//!   [`ArmRequirements::needs_reports`](ldprecover::ArmRequirements)
+//!   decides its eligibility — streaming never materializes per-user
+//!   reports, so report-consuming arms (detection, k-means) are rejected
+//!   with a clear error rather than silently skipped.
 //! * **Checkpoints** — the whole engine state round-trips through the
 //!   shared JSON value layer ([`ldp_common::json`], see
 //!   [`checkpoint`](self)); because all randomness is derived per
@@ -52,11 +58,24 @@ use ldp_common::rng::{derive_seed2, rng_from_seed};
 use ldp_common::{Domain, Json, LdpError, Result};
 use ldp_datasets::DatasetKind;
 use ldp_protocols::{AnyProtocol, CountAccumulator, LdpFrequencyProtocol, ProtocolKind};
-use ldprecover::LdpRecover;
+use ldprecover::arm::RecoverArm;
+use ldprecover::{
+    top_k_increase, ArmContext, ArmOutcome, ArmOutput, ArmSet, DefenseArm, KMeansDefense,
+};
 
 use crate::config::ExperimentConfig;
 use crate::metrics::mse;
 use crate::runner::{map_trials, thread_count};
+
+/// Identified targets for partial-knowledge arms in streaming snapshots
+/// (the paper's r/2 = 5 rule).
+const STREAM_STAR_TOP_K: usize = 5;
+
+/// Domain-separation salt for the (inert) RNG stream handed to snapshot
+/// arms — count-only arms never draw, but the trait contract requires
+/// one, and a derived stream keeps any future rng-consuming count-only
+/// arm deterministic per `(seed, epoch)`.
+const ARM_SNAPSHOT_SALT: u64 = 0xA4A5_AA77;
 
 /// Declarative description of one streaming-ingestion run.
 ///
@@ -435,7 +454,9 @@ impl StreamEngine {
     }
 
     /// Debiases and recovers the current merged state (on demand; pure in
-    /// the accumulated counts).
+    /// the accumulated counts). Recovery runs the `recover` defense arm
+    /// on a count-only [`ArmContext`] — exactly debias-then-recover, the
+    /// historical `recover_from_counts` path bit for bit.
     ///
     /// # Errors
     /// [`LdpError::EmptyInput`] before the first epoch; otherwise
@@ -454,15 +475,88 @@ impl StreamEngine {
         let genuine_estimate = self.genuine.frequencies(params)?;
         let poisoned = self.poisoned();
         let poisoned_estimate = poisoned.frequencies(params)?;
-        let recovered = LdpRecover::new(self.spec.eta)?
-            .recover_from_counts(poisoned.counts(), poisoned.report_count(), params)?
-            .frequencies;
+        let ctx = ArmContext::new(&poisoned_estimate, params, self.spec.eta);
+        // The recover arm is deterministic; the RNG stream is inert.
+        let mut rng = rng_from_seed(derive_seed2(self.spec.seed, ARM_SNAPSHOT_SALT, 0));
+        let recovered = match RecoverArm.run(&ctx, &mut rng)? {
+            ArmOutcome::Outputs(mut outputs) => outputs.swap_remove(0).1.frequencies,
+            ArmOutcome::Degenerate { reason } => {
+                return Err(LdpError::invalid(format!(
+                    "the recover arm cannot degenerate, but reported: {reason}"
+                )))
+            }
+        };
         Ok(RecoverySnapshot {
             truth,
             genuine_estimate,
             poisoned_estimate,
             recovered,
         })
+    }
+
+    /// Runs an arbitrary *count-only* arm set on the current merged state
+    /// — the streaming face of the open defense-arm registry. Eligibility
+    /// is decided by each arm's declared requirements: streaming never
+    /// materializes per-user reports, so a set containing a
+    /// report-consuming arm (detection, k-means) is rejected up front.
+    /// Partial-knowledge arms get targets identified online via the
+    /// paper's top-k-increase rule, with the cumulative genuine-only
+    /// estimate standing in for historical data; arms that degenerate
+    /// (e.g. the star arm on a clean stream) are skipped.
+    ///
+    /// Pure in the accumulated counts, so resumed and uninterrupted runs
+    /// produce identical snapshots.
+    ///
+    /// # Errors
+    /// [`LdpError::EmptyInput`] before the first epoch;
+    /// [`LdpError::InvalidParameter`] for report-consuming arms;
+    /// otherwise propagates arm failures.
+    pub fn arm_snapshot(&self, arms: &ArmSet) -> Result<Vec<(String, ArmOutput)>> {
+        for &kind in arms.kinds() {
+            if kind.requirements().needs_reports {
+                return Err(LdpError::invalid(format!(
+                    "arm '{kind}' consumes per-user reports; the streaming engine \
+                     aggregates counts only (count-only arms: {})",
+                    ldprecover::ArmKind::ALL
+                        .into_iter()
+                        .filter(|k| !k.requirements().needs_reports)
+                        .map(|k| k.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+        }
+        let params = self.protocol.params();
+        if self.true_counts.iter().sum::<u64>() == 0 {
+            return Err(LdpError::EmptyInput("stream state (no epochs ingested)"));
+        }
+        let poisoned = self.poisoned();
+        let poisoned_estimate = poisoned.frequencies(params)?;
+        let targets: Option<Vec<usize>> =
+            if arms.needs_targets() && self.malicious.report_count() > 0 {
+                let genuine_estimate = self.genuine.frequencies(params)?;
+                top_k_increase(&poisoned_estimate, &genuine_estimate, STREAM_STAR_TOP_K).ok()
+            } else {
+                None
+            };
+        let mut ctx = ArmContext::new(&poisoned_estimate, params, self.spec.eta)
+            .with_protocol(&self.protocol);
+        if let Some(targets) = &targets {
+            ctx = ctx.with_targets(targets);
+        }
+        let mut rng = rng_from_seed(derive_seed2(
+            self.spec.seed,
+            ARM_SNAPSHOT_SALT,
+            self.next_epoch as u64,
+        ));
+        let mut outputs = Vec::new();
+        for arm in arms.build(&KMeansDefense::default()) {
+            match arm.run(&ctx, &mut rng)? {
+                ArmOutcome::Outputs(named) => outputs.extend(named),
+                ArmOutcome::Degenerate { .. } => {}
+            }
+        }
+        Ok(outputs)
     }
 
     /// The run's JSON report: spec, trajectory, and the final recovery
@@ -647,6 +741,54 @@ mod tests {
         assert!(engine.malicious().counts().iter().all(|&c| c == 0));
         let snapshot = engine.recovery_snapshot().unwrap();
         assert_eq!(snapshot.genuine_estimate, snapshot.poisoned_estimate);
+    }
+
+    #[test]
+    fn arm_snapshot_runs_count_only_arms_and_rejects_report_arms() {
+        use ldprecover::ArmKind;
+        let mut engine = StreamEngine::new(tiny_spec()).unwrap();
+        assert!(
+            engine.arm_snapshot(&ArmSet::default()).is_err(),
+            "nothing ingested yet"
+        );
+        engine.run_to_completion().unwrap();
+
+        // The recover arm through the snapshot API is bit-identical to the
+        // trajectory's recovery path.
+        let outputs = engine
+            .arm_snapshot(&ArmSet::parse("recover,recover-star,norm-sub,base-cut").unwrap())
+            .unwrap();
+        let keys: Vec<&str> = outputs.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["recover", "star", "norm_sub", "base_cut"]);
+        let snapshot = engine.recovery_snapshot().unwrap();
+        assert_eq!(outputs[0].1.frequencies, snapshot.recovered);
+        for (key, output) in &outputs {
+            assert!(
+                ldp_common::vecmath::is_probability_vector(&output.frequencies, 1e-9),
+                "{key}"
+            );
+        }
+
+        // Report-consuming arms are ineligible by declared requirement.
+        for arms in ["detection", "kmeans", "recover-km"] {
+            let err = engine
+                .arm_snapshot(&ArmSet::parse(arms).unwrap())
+                .unwrap_err()
+                .to_string();
+            assert!(err.contains("counts only"), "{arms}: {err}");
+        }
+
+        // A clean stream degenerates (skips) the star arm instead of failing.
+        let mut clean_spec = tiny_spec();
+        clean_spec.attack = None;
+        clean_spec.beta = 0.0;
+        let mut clean = StreamEngine::new(clean_spec).unwrap();
+        clean.run_to_completion().unwrap();
+        let outputs = clean
+            .arm_snapshot(&ArmSet::new([ArmKind::Recover, ArmKind::RecoverStar]))
+            .unwrap();
+        let keys: Vec<&str> = outputs.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["recover"], "star skipped on a clean stream");
     }
 
     #[test]

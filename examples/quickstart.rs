@@ -30,7 +30,8 @@ fn main() -> Result<()> {
     let trial = run_trial(&config, &options, &mut rng)?;
 
     let mse_before = ldp_sim::metrics::mse(&trial.poisoned, &trial.true_freqs);
-    let mse_after = ldp_sim::metrics::mse(&trial.recovered, &trial.true_freqs);
+    let recovered = trial.recovered().expect("recover arm ran");
+    let mse_after = ldp_sim::metrics::mse(recovered, &trial.true_freqs);
     let mse_genuine = ldp_sim::metrics::mse(&trial.genuine, &trial.true_freqs);
 
     println!("LDPRecover quickstart — {}", config.label());
@@ -41,8 +42,8 @@ fn main() -> Result<()> {
     println!("  error reduction        : {:.1}x", mse_before / mse_after);
 
     // The recovered vector is a proper distribution again.
-    assert!(trial.recovered.iter().all(|&f| f >= 0.0));
-    let total: f64 = trial.recovered.iter().sum();
+    assert!(recovered.iter().all(|&f| f >= 0.0));
+    let total: f64 = recovered.iter().sum();
     println!("  recovered sum          : {total:.6} (non-negative, sums to 1)");
     Ok(())
 }

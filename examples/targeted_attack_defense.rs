@@ -36,16 +36,17 @@ fn main() -> Result<()> {
     println!("Targeted attack defense — {} (r = 10)", config.label());
     println!("  attacker-promoted items: {targets:?}");
     println!("  FG before recovery     : {:+.4}", fg(&trial.poisoned));
-    println!("  FG after LDPRecover    : {:+.4}", fg(&trial.recovered));
-    if let Some(star) = &trial.recovered_star {
+    let recovered = trial.recovered().expect("recover arm ran");
+    println!("  FG after LDPRecover    : {:+.4}", fg(recovered));
+    if let Some(star) = trial.recovered_star() {
         println!("  FG after LDPRecover*   : {:+.4}", fg(star));
     }
-    if let Some(det) = &trial.detection {
+    if let Some(det) = trial.detection() {
         println!("  FG after Detection     : {:+.4}", fg(det));
     }
 
     let gain_before = fg(&trial.poisoned);
-    let gain_after = fg(&trial.recovered);
+    let gain_after = fg(recovered);
     println!(
         "\n  LDPRecover removed {:.1}% of the attacker's frequency gain.",
         100.0 * (1.0 - gain_after / gain_before)

@@ -34,8 +34,11 @@ fn main() -> Result<()> {
         table.push_row([
             protocol.name().to_string(),
             format!("{:.3e}", result.mse_before.mean),
-            format!("{:.3e}", result.mse_recover.mean),
-            format!("{:.1}x", result.mse_before.mean / result.mse_recover.mean),
+            format!("{:.3e}", result.mse_recover().unwrap().mean),
+            format!(
+                "{:.1}x",
+                result.mse_before.mean / result.mse_recover().unwrap().mean
+            ),
         ]);
     }
     print!("{}", table.render());

@@ -33,8 +33,8 @@ fn batched_experiments_are_deterministic() {
         let a = run_experiment(&c, &opts).unwrap();
         let b = run_experiment(&c, &opts).unwrap();
         assert_eq!(
-            a.mse_recover.mean.to_bits(),
-            b.mse_recover.mean.to_bits(),
+            a.mse_recover().unwrap().mean.to_bits(),
+            b.mse_recover().unwrap().mean.to_bits(),
             "{protocol:?}"
         );
         assert_eq!(
@@ -58,7 +58,11 @@ fn batched_recovery_matches_per_user_recovery_statistically() {
         for (a, b, what) in [
             (&batched.mse_genuine, &per_user.mse_genuine, "genuine"),
             (&batched.mse_before, &per_user.mse_before, "before"),
-            (&batched.mse_recover, &per_user.mse_recover, "recover"),
+            (
+                &batched.mse_recover().unwrap(),
+                &per_user.mse_recover().unwrap(),
+                "recover",
+            ),
         ] {
             let spread = a.std.max(b.std).max(1e-9);
             assert!(
@@ -77,10 +81,11 @@ fn batched_recovery_still_beats_poisoning() {
     let mut c = config(ProtocolKind::Grr);
     c.trials = 6;
     let result = run_experiment(&c, &options(AggregationMode::Batched)).unwrap();
+    let recover = result.mse_recover().unwrap().mean;
     assert!(
-        result.mse_recover.mean < result.mse_before.mean,
+        recover < result.mse_before.mean,
         "recover {} !< before {}",
-        result.mse_recover.mean,
+        recover,
         result.mse_before.mean
     );
 }
@@ -102,8 +107,8 @@ fn auto_mode_preserves_full_comparison_arms() {
     let mut c = config(ProtocolKind::Oue);
     c.attack = Some(AttackKind::Mga { r: 10 });
     let result = run_experiment(&c, &PipelineOptions::full_comparison()).unwrap();
-    assert!(result.mse_star.is_some());
-    assert!(result.mse_detection.is_some());
+    assert!(result.mse_star().is_some());
+    assert!(result.mse_detection().is_some());
     assert!(result.fg_before.is_some());
 }
 

@@ -22,7 +22,9 @@ fn opt_bits(s: &Option<Stats>) -> Option<(u64, u64, usize)> {
     s.as_ref().map(bits)
 }
 
-/// Compares every metric of two experiment results bit-for-bit.
+/// Compares every metric of two experiment results bit-for-bit — the
+/// baselines plus the full open arm surface (same arm keys in the same
+/// order, every per-arm statistic bit-identical).
 fn assert_byte_identical(a: &ExperimentResult, b: &ExperimentResult, what: &str) {
     assert_eq!(
         bits(&a.mse_genuine),
@@ -35,60 +37,27 @@ fn assert_byte_identical(a: &ExperimentResult, b: &ExperimentResult, what: &str)
         "{what}: mse_before"
     );
     assert_eq!(
-        bits(&a.mse_recover),
-        bits(&b.mse_recover),
-        "{what}: mse_recover"
-    );
-    assert_eq!(
-        opt_bits(&a.mse_star),
-        opt_bits(&b.mse_star),
-        "{what}: mse_star"
-    );
-    assert_eq!(
-        opt_bits(&a.mse_detection),
-        opt_bits(&b.mse_detection),
-        "{what}: mse_detection"
-    );
-    assert_eq!(
-        opt_bits(&a.mse_kmeans),
-        opt_bits(&b.mse_kmeans),
-        "{what}: mse_kmeans"
-    );
-    assert_eq!(
-        opt_bits(&a.mse_recover_km),
-        opt_bits(&b.mse_recover_km),
-        "{what}: mse_recover_km"
-    );
-    assert_eq!(
         opt_bits(&a.fg_before),
         opt_bits(&b.fg_before),
         "{what}: fg_before"
     );
-    assert_eq!(
-        opt_bits(&a.fg_recover),
-        opt_bits(&b.fg_recover),
-        "{what}: fg_recover"
-    );
-    assert_eq!(
-        opt_bits(&a.fg_star),
-        opt_bits(&b.fg_star),
-        "{what}: fg_star"
-    );
-    assert_eq!(
-        opt_bits(&a.fg_detection),
-        opt_bits(&b.fg_detection),
-        "{what}: fg_detection"
-    );
-    assert_eq!(
-        opt_bits(&a.malicious_mse_recover),
-        opt_bits(&b.malicious_mse_recover),
-        "{what}: malicious_mse_recover"
-    );
-    assert_eq!(
-        opt_bits(&a.malicious_mse_star),
-        opt_bits(&b.malicious_mse_star),
-        "{what}: malicious_mse_star"
-    );
+    let keys = |r: &ExperimentResult| -> Vec<String> {
+        r.arms.iter().map(|(key, _)| key.clone()).collect()
+    };
+    assert_eq!(keys(a), keys(b), "{what}: arm set");
+    for ((key, arm_a), (_, arm_b)) in a.arms.iter().zip(&b.arms) {
+        assert_eq!(
+            opt_bits(&arm_a.mse),
+            opt_bits(&arm_b.mse),
+            "{what}: mse_{key}"
+        );
+        assert_eq!(opt_bits(&arm_a.fg), opt_bits(&arm_b.fg), "{what}: fg_{key}");
+        assert_eq!(
+            opt_bits(&arm_a.malicious_mse),
+            opt_bits(&arm_b.malicious_mse),
+            "{what}: malicious_mse_{key}"
+        );
+    }
 }
 
 fn config(protocol: ProtocolKind, attack: AttackKind) -> ExperimentConfig {
@@ -100,13 +69,19 @@ fn config(protocol: ProtocolKind, attack: AttackKind) -> ExperimentConfig {
 
 #[test]
 fn same_master_seed_gives_byte_identical_stats() {
-    // The headline regression guard: full-comparison pipeline (every arm
-    // active, reports retained) on a targeted attack, run twice.
+    // The headline regression guard: every registered defense arm active
+    // (reports retained, clustering drawing from the trial RNG) on a
+    // targeted attack, run twice.
     let c = config(ProtocolKind::Oue, AttackKind::Mga { r: 10 });
-    let options = PipelineOptions::full_comparison();
+    let options = PipelineOptions::with_arms(ldprecover::ArmSet::new(ldprecover::ArmKind::ALL));
     let a = run_experiment(&c, &options).unwrap();
     let b = run_experiment(&c, &options).unwrap();
-    assert_byte_identical(&a, &b, "OUE/MGA full comparison");
+    assert_eq!(
+        a.arms.len(),
+        7,
+        "all seven registered arms must report statistics"
+    );
+    assert_byte_identical(&a, &b, "OUE/MGA all registered arms");
 }
 
 #[test]

@@ -34,7 +34,7 @@ fn every_protocol_attack_combination_completes() {
             let trial = run_trial(&c, &PipelineOptions::recovery_only(), &mut rng)
                 .unwrap_or_else(|e| panic!("{protocol:?} × {attack:?}: {e}"));
             assert!(
-                is_probability_vector(&trial.recovered, 1e-9),
+                is_probability_vector(trial.recovered().unwrap(), 1e-9),
                 "{protocol:?} × {attack:?} recovered vector invalid"
             );
             assert_eq!(trial.true_freqs.len(), 102);
@@ -52,10 +52,16 @@ fn full_comparison_arms_present_for_targeted_attacks() {
         let c = config(protocol, Some(AttackKind::Mga { r: 10 }), 0.02);
         let mut rng = rng_from_seed(2);
         let trial = run_trial(&c, &PipelineOptions::full_comparison(), &mut rng).unwrap();
-        assert!(trial.recovered_star.is_some(), "{protocol:?} star missing");
-        assert!(trial.detection.is_some(), "{protocol:?} detection missing");
+        assert!(
+            trial.recovered_star().is_some(),
+            "{protocol:?} star missing"
+        );
+        assert!(
+            trial.detection().is_some(),
+            "{protocol:?} detection missing"
+        );
         assert!(trial.malicious_true.is_some());
-        assert!(trial.malicious_estimate_star.is_some());
+        assert!(trial.malicious_estimate_star().is_some());
         // Oracle targets flow through to the star arm for targeted attacks.
         assert_eq!(trial.star_targets, trial.attack_targets);
     }
@@ -77,7 +83,7 @@ fn pipeline_is_deterministic_given_seed() {
     )
     .unwrap();
     assert_eq!(t1.poisoned, t2.poisoned);
-    assert_eq!(t1.recovered, t2.recovered);
+    assert_eq!(t1.recovered(), t2.recovered());
     let t3 = run_trial(
         &c,
         &PipelineOptions::recovery_only(),
@@ -101,13 +107,18 @@ fn kmeans_arms_run_under_ipa() {
     let mut c = config(ProtocolKind::Grr, Some(AttackKind::MgaIpa { r: 5 }), 0.01);
     c.trials = 1;
     let options = PipelineOptions {
-        kmeans: Some(ldprecover::KMeansDefense::new(10, 0.3).unwrap()),
+        arms: ldprecover::ArmSet::new([
+            ldprecover::ArmKind::Recover,
+            ldprecover::ArmKind::Kmeans,
+            ldprecover::ArmKind::RecoverKm,
+        ]),
+        kmeans: ldprecover::KMeansDefense::new(10, 0.3).unwrap(),
         ..Default::default()
     };
     let mut rng = rng_from_seed(4);
     let trial = run_trial(&c, &options, &mut rng).unwrap();
-    let km = trial.kmeans.as_ref().expect("kmeans estimate");
-    let km_rec = trial.recover_km.as_ref().expect("recover-km estimate");
+    let km = trial.kmeans().expect("kmeans estimate");
+    let km_rec = trial.recover_km().expect("recover-km estimate");
     assert_eq!(km.len(), 102);
     assert!(is_probability_vector(km_rec, 1e-9));
 }
@@ -123,5 +134,5 @@ fn fire_dataset_runs_at_small_scale() {
     let mut rng = rng_from_seed(5);
     let trial = run_trial(&c, &PipelineOptions::recovery_only(), &mut rng).unwrap();
     assert_eq!(trial.true_freqs.len(), 490);
-    assert!(is_probability_vector(&trial.recovered, 1e-9));
+    assert!(is_probability_vector(trial.recovered().unwrap(), 1e-9));
 }

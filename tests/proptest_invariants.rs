@@ -243,8 +243,8 @@ proptest! {
 
         let tol = 1e-6;
         for (label, freqs) in [
-            ("LDPRecover", Some(&result.recovered)),
-            ("LDPRecover*", result.recovered_star.as_ref()),
+            ("LDPRecover", result.recovered()),
+            ("LDPRecover*", result.recovered_star()),
         ] {
             let Some(freqs) = freqs else { continue };
             for (v, &f) in freqs.iter().enumerate() {

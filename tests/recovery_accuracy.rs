@@ -28,9 +28,9 @@ fn ldprecover_beats_poisoned_mse_for_adaptive_attacks() {
         )
         .unwrap();
         assert!(
-            result.mse_recover.mean < result.mse_before.mean,
+            result.mse_recover().unwrap().mean < result.mse_before.mean,
             "{protocol:?}: recover {:.3e} !< before {:.3e}",
-            result.mse_recover.mean,
+            result.mse_recover().unwrap().mean,
             result.mse_before.mean
         );
     }
@@ -44,7 +44,7 @@ fn ldprecover_beats_poisoned_mse_for_manip_on_grr() {
         &PipelineOptions::recovery_only(),
     )
     .unwrap();
-    assert!(result.mse_recover.mean < result.mse_before.mean);
+    assert!(result.mse_recover().unwrap().mean < result.mse_before.mean);
 }
 
 #[test]
@@ -61,8 +61,8 @@ fn frequency_gain_collapses_after_recovery() {
         )
         .unwrap();
         let before = result.fg_before.expect("targeted").mean;
-        let after = result.fg_recover.expect("targeted").mean;
-        let star = result.fg_star.expect("star ran").mean;
+        let after = result.fg_recover().expect("targeted").mean;
+        let star = result.fg_star().expect("star ran").mean;
         assert!(
             before > 0.05,
             "{protocol:?}: attack produced no gain ({before})"
@@ -100,8 +100,8 @@ fn star_fg_goes_negative_for_grr_mga() {
     config.trials = 12;
     let result = run_experiment(&config, &PipelineOptions::full_comparison()).unwrap();
     let before = result.fg_before.expect("targeted").mean;
-    let after = result.fg_recover.expect("targeted").mean;
-    let star = result.fg_star.expect("star ran");
+    let after = result.fg_recover().expect("targeted").mean;
+    let star = result.fg_star().expect("star ran");
     let sem = star.std / (star.count as f64).sqrt();
     assert!(
         star.mean < 0.05 * before,
@@ -130,8 +130,8 @@ fn star_estimates_malicious_frequencies_better() {
             &PipelineOptions::recovery_only(),
         )
         .unwrap();
-        let plain = result.malicious_mse_recover.expect("attacked").mean;
-        let star = result.malicious_mse_star.expect("star ran").mean;
+        let plain = result.malicious_mse_recover().expect("attacked").mean;
+        let star = result.malicious_mse_star().expect("star ran").mean;
         assert!(
             star < plain,
             "{protocol:?}: star malicious MSE {star:.3e} !< plain {plain:.3e}"
@@ -148,8 +148,8 @@ fn detection_is_no_better_than_ldprecover_star() {
         &PipelineOptions::full_comparison(),
     )
     .unwrap();
-    let star = result.mse_star.expect("star").mean;
-    let detection = result.mse_detection.expect("detection").mean;
+    let star = result.mse_star().expect("star").mean;
+    let detection = result.mse_detection().expect("detection").mean;
     assert!(
         star <= detection * 1.5,
         "star {star:.3e} should not be far worse than detection {detection:.3e}"
@@ -197,7 +197,8 @@ fn recovery_restores_the_heavy_hitter_list() {
         let mut rng = rng_from_seed(1000 + trial);
         let r = run_trial(&config, &options, &mut rng).unwrap();
         recall_poisoned += ldp_sim::top_k_recall(&r.poisoned, &r.true_freqs, 10).unwrap();
-        recall_recovered += ldp_sim::top_k_recall(&r.recovered, &r.true_freqs, 10).unwrap();
+        recall_recovered +=
+            ldp_sim::top_k_recall(r.recovered().unwrap(), &r.true_freqs, 10).unwrap();
     }
     recall_poisoned /= trials as f64;
     recall_recovered /= trials as f64;
@@ -260,7 +261,7 @@ fn multi_attacker_recovery_still_works() {
         &PipelineOptions::default(),
     )
     .unwrap();
-    assert!(result.mse_recover.mean < result.mse_before.mean);
+    assert!(result.mse_recover().unwrap().mean < result.mse_before.mean);
 }
 
 #[test]
@@ -283,7 +284,7 @@ fn recovery_extends_to_sue_and_hadamard() {
             let r = run_trial(&config, &options, &mut rng).unwrap();
             let targets = r.attack_targets.as_ref().unwrap();
             fg_before += ldp_sim::frequency_gain(&r.poisoned, &r.genuine, targets).unwrap();
-            let star = r.recovered_star.as_ref().expect("star arm");
+            let star = r.recovered_star().expect("star arm");
             fg_star += ldp_sim::frequency_gain(star, &r.genuine, targets).unwrap();
         }
         assert!(

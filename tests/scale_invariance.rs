@@ -24,7 +24,7 @@ fn method_ordering_is_preserved_across_scales() {
     for scale in [0.01, 0.05] {
         let result = run_experiment(&config_at_scale(scale), &options).unwrap();
         assert!(
-            result.mse_recover.mean < result.mse_before.mean,
+            result.mse_recover().unwrap().mean < result.mse_before.mean,
             "scale {scale}: recovery must beat poisoning"
         );
     }
