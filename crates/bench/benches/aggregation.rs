@@ -1,14 +1,15 @@
 //! Per-user vs count-based batched aggregation throughput.
 //!
-//! Quantifies the batched engine's headline claim: GRR/OUE/SUE/HR
-//! aggregate support counts can be sampled in `O(d)`–`O(d·log n)`
-//! independent of the population size, versus the `O(n·d)` per-user loop.
-//! OLH is included as the honest baseline — its grouped fallback is still
-//! per-user (hash seeds are per-user state), so it bounds what "batched"
-//! can mean for seed-carrying protocols.
+//! Quantifies the batched engine's headline claim: all five protocols
+//! (GRR/OUE/SUE/HR, and OLH since the λ-split mixture sampler) sample
+//! aggregate support counts in `O(d)`–`O(d·log n)` independent of the
+//! population size, versus the `O(n·d)` per-user loop. The OLH rows are
+//! the ones to watch — they measure the closed-form sampler that retired
+//! the grouped per-user fallback.
 //!
-//! Run with `cargo bench --bench aggregation`; CI only compiles it
-//! (`cargo bench --no-run`).
+//! Run with `cargo bench --bench aggregation`; CI runs it in `--release`
+//! and gates the emitted `BENCH_aggregation.json` against the blessed
+//! trajectory (see `crates/bench/trajectory/`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ldp_common::rng::rng_from_seed;

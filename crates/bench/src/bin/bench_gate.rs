@@ -1,0 +1,179 @@
+//! `bench_gate` — the perf-trajectory regression gate.
+//!
+//! Compares freshly emitted `BENCH_<suite>.json` files (written by the
+//! vendored criterion harness when `LDP_BENCH_JSON_DIR` is set) against
+//! the blessed trajectory checked in under `crates/bench/trajectory/`.
+//!
+//! ```text
+//! LDP_BENCH_JSON_DIR=bench-out cargo bench --bench aggregation -p ldp-bench
+//! cargo run --release -p ldp-bench --bin bench_gate -- bench-out
+//! LDP_BLESS_BENCH=1 cargo run -p ldp-bench --bin bench_gate -- bench-out
+//! ```
+//!
+//! The comparison works on `score` — median ns/iteration normalized by
+//! the in-process calibration microbench — so it is stable across
+//! machines of different absolute speeds. The gate is one-sided with a
+//! generous band (`TOLERANCE`×): only genuine regressions fail; noise
+//! and modest machine-to-machine variation do not. Large *improvements*
+//! are reported as a hint to re-bless so the trajectory keeps ratcheting
+//! downward. `LDP_BLESS_BENCH=1` rewrites the blessed files from the
+//! emitted ones.
+
+use ldp_common::{Json, LdpError, Result};
+use std::path::{Path, PathBuf};
+
+/// A case fails when its normalized score exceeds the blessed score by
+/// more than this factor. Wide on purpose: scores already factor out
+/// machine speed, but cache hierarchy and allocator behaviour still
+/// differ between hosts; the gate exists to catch algorithmic
+/// regressions (an O(n·d) loop sneaking back in is a 100×+ jump at
+/// n=10⁶, far outside any band this wide).
+const TOLERANCE: f64 = 4.0;
+
+/// An improvement beyond this factor earns a re-bless hint.
+const IMPROVEMENT_HINT: f64 = 4.0;
+
+/// One `{id, median_ns, score}` entry of a trajectory file.
+struct Case {
+    id: String,
+    median_ns: f64,
+    score: f64,
+}
+
+fn blessed_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("trajectory")
+}
+
+fn parse_cases(path: &Path) -> Result<Vec<Case>> {
+    let text = std::fs::read_to_string(path)?;
+    let json = Json::parse(&text)?;
+    let cases = json
+        .get("cases")
+        .and_then(Json::as_array)
+        .ok_or_else(|| LdpError::invalid(format!("{}: no `cases` array", path.display())))?;
+    cases
+        .iter()
+        .map(|c| {
+            let field = |key: &str| {
+                c.get(key).ok_or_else(|| {
+                    LdpError::invalid(format!("{}: case missing `{key}`", path.display()))
+                })
+            };
+            Ok(Case {
+                id: field("id")?
+                    .as_str()
+                    .ok_or_else(|| LdpError::invalid("`id` must be a string"))?
+                    .to_string(),
+                median_ns: field("median_ns")?
+                    .as_f64()
+                    .ok_or_else(|| LdpError::invalid("`median_ns` must be a number"))?,
+                score: field("score")?
+                    .as_f64()
+                    .ok_or_else(|| LdpError::invalid("`score` must be a number"))?,
+            })
+        })
+        .collect()
+}
+
+/// `BENCH_*.json` filenames in `dir`, sorted for stable output.
+fn bench_files(dir: &Path) -> Result<Vec<String>> {
+    let mut names = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let name = entry?.file_name().to_string_lossy().into_owned();
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            names.push(name);
+        }
+    }
+    names.sort();
+    Ok(names)
+}
+
+/// Compares one emitted suite against its blessed counterpart; returns
+/// the number of failures.
+fn gate_suite(name: &str, emitted_path: &Path, blessed_path: &Path) -> Result<usize> {
+    let emitted = parse_cases(emitted_path)?;
+    let blessed = parse_cases(blessed_path)?;
+    let mut failures = 0usize;
+    println!("{name}:");
+    for b in &blessed {
+        let Some(e) = emitted.iter().find(|e| e.id == b.id) else {
+            println!("  FAIL {:<40} missing from the emitted run", b.id);
+            failures += 1;
+            continue;
+        };
+        let ratio = e.score / b.score.max(1e-12);
+        let (tag, note) = if ratio > TOLERANCE {
+            failures += 1;
+            ("FAIL", "")
+        } else if ratio < 1.0 / IMPROVEMENT_HINT {
+            ("  ok", "  ← big improvement; consider LDP_BLESS_BENCH=1")
+        } else {
+            ("  ok", "")
+        };
+        println!(
+            "  {tag} {:<40} score {:>10.3} vs blessed {:>10.3}  ({ratio:.2}x, median {:.0} ns){note}",
+            e.id, e.score, b.score, e.median_ns,
+        );
+    }
+    for e in &emitted {
+        if !blessed.iter().any(|b| b.id == e.id) {
+            println!(
+                "  FAIL {:<40} not in the blessed trajectory (bless with LDP_BLESS_BENCH=1)",
+                e.id
+            );
+            failures += 1;
+        }
+    }
+    Ok(failures)
+}
+
+fn main() -> Result<()> {
+    let emitted_dir = PathBuf::from(std::env::args().nth(1).ok_or_else(|| {
+        LdpError::invalid("usage: bench_gate <dir with emitted BENCH_*.json files>")
+    })?);
+    let names = bench_files(&emitted_dir)?;
+    if names.is_empty() {
+        return Err(LdpError::invalid(format!(
+            "no BENCH_*.json files in {} — run the benches with LDP_BENCH_JSON_DIR set",
+            emitted_dir.display()
+        )));
+    }
+
+    let blessed = blessed_dir();
+    if std::env::var("LDP_BLESS_BENCH").map(|v| v == "1") == Ok(true) {
+        std::fs::create_dir_all(&blessed)?;
+        for name in &names {
+            std::fs::copy(emitted_dir.join(name), blessed.join(name))?;
+            println!("blessed {}", blessed.join(name).display());
+        }
+        return Ok(());
+    }
+
+    let mut failures = 0usize;
+    for name in &names {
+        let blessed_path = blessed.join(name);
+        if !blessed_path.is_file() {
+            println!("FAIL {name}: no blessed trajectory (bless with LDP_BLESS_BENCH=1)");
+            failures += 1;
+            continue;
+        }
+        failures += gate_suite(name, &emitted_dir.join(name), &blessed_path)?;
+    }
+    // Coverage in the other direction: a blessed suite that stopped being
+    // emitted is a silently-lost gate.
+    for name in bench_files(&blessed)? {
+        if !names.contains(&name) {
+            println!("FAIL {name}: blessed but not emitted by this run");
+            failures += 1;
+        }
+    }
+
+    if failures > 0 {
+        return Err(LdpError::invalid(format!(
+            "perf trajectory: {failures} case(s) regressed beyond {TOLERANCE}x \
+             (or coverage changed); re-bless with LDP_BLESS_BENCH=1 only if intentional"
+        )));
+    }
+    println!("perf trajectory: all suites within {TOLERANCE}x of blessed");
+    Ok(())
+}

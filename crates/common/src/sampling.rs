@@ -65,6 +65,13 @@ impl AliasTable {
         if total <= 0.0 {
             return Err(LdpError::invalid("all weights are zero"));
         }
+        if !total.is_finite() {
+            // Each weight is finite but the sum overflowed: normalizing
+            // would zero every weight and silently skew the table.
+            return Err(LdpError::invalid(
+                "weights sum to +inf; rescale them before building the alias table",
+            ));
+        }
 
         let n = weights.len();
         let normalized: Vec<f64> = weights.iter().map(|&w| w / total).collect();
@@ -344,6 +351,14 @@ pub fn sample_multinomial<R: Rng + ?Sized>(
     let Some(last_positive) = last_positive else {
         return Err(LdpError::invalid("all weights are zero"));
     };
+    if !total.is_finite() {
+        // Per-weight finiteness does not imply a finite sum; an overflowed
+        // total would send every conditional fraction to 0 and dump all
+        // `n` draws on the last positive bin.
+        return Err(LdpError::invalid(
+            "weights sum to +inf; rescale them before sampling",
+        ));
+    }
 
     let mut counts = vec![0u64; weights.len()];
     let mut remaining_n = n;
@@ -374,19 +389,35 @@ pub fn sample_multinomial<R: Rng + ?Sized>(
 /// when `n < bins` (the counts of iid uniform draws *are* the multinomial),
 /// conditional binomial splitting (`O(bins)` draws) otherwise.
 ///
+/// Allocates the output vector; hot loops that already own a count buffer
+/// should use [`add_multinomial_uniform`] instead.
+///
 /// # Panics
 /// Panics if `bins == 0` while `n > 0`.
 pub fn sample_multinomial_uniform<R: Rng + ?Sized>(n: u64, bins: usize, rng: &mut R) -> Vec<u64> {
-    if n == 0 {
-        return vec![0u64; bins];
-    }
-    assert!(bins >= 1, "cannot scatter {n} draws over zero bins");
     let mut counts = vec![0u64; bins];
+    add_multinomial_uniform(n, &mut counts, rng);
+    counts
+}
+
+/// Zero-alloc [`sample_multinomial_uniform`]: draws
+/// `Multinomial(n, uniform over counts.len())` and **adds** each bin's
+/// count into `counts` in place. Consumes exactly the RNG draws of the
+/// allocating variant, so the two are bitwise interchangeable per seed.
+///
+/// # Panics
+/// Panics if `counts` is empty while `n > 0`.
+pub fn add_multinomial_uniform<R: Rng + ?Sized>(n: u64, counts: &mut [u64], rng: &mut R) {
+    if n == 0 {
+        return;
+    }
+    let bins = counts.len();
+    assert!(bins >= 1, "cannot scatter {n} draws over zero bins");
     if n < bins as u64 {
         for _ in 0..n {
             counts[uniform_index(rng, bins)] += 1;
         }
-        return counts;
+        return;
     }
     let mut remaining = n;
     for (i, c) in counts.iter_mut().enumerate() {
@@ -395,14 +426,13 @@ pub fn sample_multinomial_uniform<R: Rng + ?Sized>(n: u64, bins: usize, rng: &mu
         }
         let left = (bins - i) as u64;
         if left == 1 {
-            *c = remaining;
+            *c += remaining;
             break;
         }
         let x = sample_binomial(remaining, 1.0 / left as f64, rng);
-        *c = x;
+        *c += x;
         remaining -= x;
     }
-    counts
 }
 
 #[cfg(test)]
@@ -609,6 +639,63 @@ mod tests {
         assert!(sample_multinomial(10, &[0.0, 0.0], &mut rng).is_err());
         assert!(sample_multinomial(10, &[f64::NAN], &mut rng).is_err());
         assert!(sample_multinomial(10, &[f64::INFINITY, 1.0], &mut rng).is_err());
+    }
+
+    #[test]
+    fn multinomial_rejects_overflowing_weight_totals() {
+        // Every weight finite, but the *sum* overflows to +inf: the old
+        // code normalized by it, zeroing every conditional fraction and
+        // silently dumping all n draws on the last positive bin.
+        let mut rng = rng_from_seed(140);
+        let overflow = [f64::MAX, f64::MAX, 1.0];
+        let err = sample_multinomial(10, &overflow, &mut rng).unwrap_err();
+        assert!(err.to_string().contains("inf"), "{err}");
+        assert!(AliasTable::new(&overflow).is_err());
+        // Large-but-finite totals stay valid.
+        let big = [f64::MAX / 4.0, f64::MAX / 4.0];
+        let counts = sample_multinomial(10, &big, &mut rng).unwrap();
+        assert_eq!(counts.iter().sum::<u64>(), 10);
+        assert!(AliasTable::new(&big).is_ok());
+    }
+
+    #[test]
+    fn multinomial_edge_cases_conserve_totals() {
+        let mut rng = rng_from_seed(141);
+        // Single category: every draw lands in it.
+        for n in [0u64, 1, 12_345] {
+            assert_eq!(sample_multinomial(n, &[0.7], &mut rng).unwrap(), vec![n]);
+        }
+        // n = 0 with many categories: all zeros, no RNG consumed panic-free.
+        assert_eq!(
+            sample_multinomial(0, &[1.0, 2.0, 3.0], &mut rng).unwrap(),
+            vec![0, 0, 0]
+        );
+        // Unnormalized weights (sum ≫ 1 and sum ≪ 1) conserve the total.
+        for weights in [&[300.0, 500.0, 200.0][..], &[3e-9, 5e-9, 2e-9][..]] {
+            let counts = sample_multinomial(100_000, weights, &mut rng).unwrap();
+            assert_eq!(counts.iter().sum::<u64>(), 100_000);
+        }
+        // Subnormal-but-positive weights still behave.
+        let tiny = [f64::MIN_POSITIVE, f64::MIN_POSITIVE];
+        let counts = sample_multinomial(1_000, &tiny, &mut rng).unwrap();
+        assert_eq!(counts.iter().sum::<u64>(), 1_000);
+    }
+
+    #[test]
+    fn add_multinomial_uniform_matches_allocating_variant_bitwise() {
+        // The zero-alloc variant must consume the identical RNG stream —
+        // it is what the batched samplers' hot loops now call.
+        for (n, bins) in [(0u64, 4usize), (5, 100), (5_000, 16), (64, 64), (7, 1)] {
+            let mut a = rng_from_seed(18);
+            let mut b = rng_from_seed(18);
+            let alloc = sample_multinomial_uniform(n, bins, &mut a);
+            let mut added = vec![3u64; bins]; // pre-seeded: must add, not overwrite
+            add_multinomial_uniform(n, &mut added, &mut b);
+            for (x, y) in alloc.iter().zip(&added) {
+                assert_eq!(x + 3, *y, "n={n} bins={bins}");
+            }
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>(), "RNG streams diverged");
+        }
     }
 
     #[test]

@@ -21,17 +21,24 @@
 //!   multinomial over that row's `K/2` positive columns; the uniform part
 //!   pools into a single K-outcome multinomial. Support counts then read
 //!   off the column histogram.
-//! * **OLH** — the sampled hash seed is irreducible per-user state, so
-//!   there is no closed-form count sampler; the fallback loops over item
-//!   groups calling the *concrete* [`Olh`] (per-report enum dispatch and
-//!   `Report` wrapping hoisted out of the hot loop).
+//! * **OLH** — GRR over the hashed range `[g]` is the mixture
+//!   `λ·δ_{h(v)} + (1−λ)·Uniform(g)` with `λ = (p·g − 1)/(g − 1)` (check:
+//!   `λ + (1−λ)/g = p` and `(1−λ)/g = (1−p)/(g−1)`, i.e. exactly
+//!   GRR-over-`[g]`). Under hash uniformity an item `w` is supported by a
+//!   λ-branch report of a `w`-holder always, and by any other report with
+//!   probability `1/g`, so per item two binomials suffice:
+//!   `C(w) = k_w + Binomial(n − k_w, 1/g)` with `k_w ~ Binomial(c_w, λ)` —
+//!   `O(d)` total, no per-user loop. Per-item marginals (mean *and*
+//!   variance) match the per-user path exactly; only the within-report
+//!   cross-item hash-collision correlation is idealized away (see
+//!   `Olh::batch_support_counts`).
 //!
 //! Batched sampling consumes different RNG draws than the per-user loop,
 //! so a batched trial is statistically — not bitwise — equivalent to a
 //! per-user trial at the same seed. Each mode is individually
 //! deterministic: same seed, same counts.
 
-use ldp_common::sampling::{sample_binomial, sample_multinomial_uniform};
+use ldp_common::sampling::{add_multinomial_uniform, sample_binomial};
 use rand::Rng;
 
 use crate::grr::Grr;
@@ -42,9 +49,10 @@ use crate::params::PureParams;
 use crate::sue::Sue;
 use crate::traits::LdpFrequencyProtocol;
 
-/// Grouped per-user aggregation over item counts — the fallback for
-/// protocols without a closed-form count sampler (OLH, and any future
-/// protocol whose `batch_aggregate` keeps the trait default). Walks the
+/// Grouped per-user aggregation over item counts — the fallback for any
+/// future protocol whose `batch_aggregate` keeps the trait default, and
+/// the reference implementation the closed-form samplers are
+/// differential-tested against (`tests/batched_aggregation.rs`). Walks the
 /// item groups calling the concrete protocol's `perturb` + `accumulate`:
 /// still `O(n·d)`, but with per-report enum dispatch, `Report` wrapping,
 /// and item-array chasing hoisted out.
@@ -110,13 +118,7 @@ impl Grr {
             counts[v] += kept;
             pooled_uniform += c - kept;
         }
-        for (slot, extra) in
-            counts
-                .iter_mut()
-                .zip(sample_multinomial_uniform(pooled_uniform, d, rng))
-        {
-            *slot += extra;
-        }
+        add_multinomial_uniform(pooled_uniform, &mut counts, rng);
         counts
     }
 }
@@ -182,6 +184,10 @@ impl HadamardResponse {
         let lambda = (2.0 * self.params().p() - 1.0).max(0.0);
         let mut col_counts = vec![0u64; k];
         let mut pooled_uniform = 0u64;
+        // Scratch buffers reused across the item loop: the K/2 positive
+        // columns of the current row, and the per-column split counts.
+        let mut positives: Vec<usize> = Vec::with_capacity(k / 2);
+        let mut split: Vec<u64> = Vec::with_capacity(k / 2);
         for (item, &c) in item_counts.iter().enumerate() {
             if c == 0 {
                 continue;
@@ -192,23 +198,16 @@ impl HadamardResponse {
                 continue;
             }
             let row = self.row_of(item);
-            let positives: Vec<usize> = (0..k)
-                .filter(|&y| hadamard_positive(row, y as u32))
-                .collect();
-            for (j, extra) in sample_multinomial_uniform(targeted, positives.len(), rng)
-                .into_iter()
-                .enumerate()
-            {
-                col_counts[positives[j]] += extra;
+            positives.clear();
+            positives.extend((0..k).filter(|&y| hadamard_positive(row, y as u32)));
+            split.clear();
+            split.resize(positives.len(), 0);
+            add_multinomial_uniform(targeted, &mut split, rng);
+            for (&col, &extra) in positives.iter().zip(&split) {
+                col_counts[col] += extra;
             }
         }
-        for (slot, extra) in
-            col_counts
-                .iter_mut()
-                .zip(sample_multinomial_uniform(pooled_uniform, k, rng))
-        {
-            *slot += extra;
-        }
+        add_multinomial_uniform(pooled_uniform, &mut col_counts, rng);
         // C(w) = Σ_y col_counts[y] · [had⁺(row_w, y)].
         (0..d)
             .map(|w| {
@@ -225,9 +224,26 @@ impl HadamardResponse {
 }
 
 impl Olh {
-    /// Grouped per-user aggregation: OLH has no closed-form count sampler
-    /// (each report carries its own hash seed), so this delegates to
-    /// [`grouped_support_counts`].
+    /// Samples the aggregate support counts in closed form, `O(d)` — two
+    /// binomials per item instead of `n` per-user reports with `O(d)` hash
+    /// evaluations each.
+    ///
+    /// GRR over the hashed range is the mixture
+    /// `λ·δ_{h(v)} + (1−λ)·Uniform(g)` with `λ = (p·g − 1)/(g − 1)`. A
+    /// λ-branch report of a `v`-holder supports `v` deterministically;
+    /// every other report supports `v` with probability `q = 1/g` exactly
+    /// (both mixture branches collide with `h(v)` at rate `1/g` under hash
+    /// uniformity). Hence per item:
+    /// `C(v) = k_v + Binomial(n − k_v, 1/g)`, `k_v ~ Binomial(c_v, λ)`.
+    ///
+    /// Per-item marginals are exact: mean `c_v·p + (n−c_v)·q` and variance
+    /// `c_v·p(1−p) + (n−c_v)·q(1−q)`, identical to the per-user loop
+    /// (differential-tested in `tests/batched_aggregation.rs`). The one
+    /// idealization is *cross-item*: within a single report, two items
+    /// colliding under the same hash function support together, a
+    /// covariance this sampler drops. The estimator and every recovery arm
+    /// consume the counts item-wise, so expectations of all downstream
+    /// metrics are unchanged.
     ///
     /// # Panics
     /// Panics if `item_counts.len()` differs from the domain size.
@@ -236,7 +252,20 @@ impl Olh {
         item_counts: &[u64],
         rng: &mut R,
     ) -> Vec<u64> {
-        grouped_support_counts(self, item_counts, rng)
+        let d = self.domain().size();
+        assert_eq!(item_counts.len(), d, "item counts must cover the domain");
+        let n: u64 = item_counts.iter().sum();
+        let g = f64::from(self.range());
+        // λ > 0 for every ε > 0 (p > 1/g exactly when e^ε > 1); the max(0)
+        // guards f64 dust at tiny ε.
+        let lambda = ((self.params().p() * g - 1.0) / (g - 1.0)).max(0.0);
+        let q = self.params().q();
+        let mut counts = vec![0u64; d];
+        for (slot, &c) in counts.iter_mut().zip(item_counts) {
+            let kept = sample_binomial(c, lambda, rng);
+            *slot = kept + sample_binomial(n - kept, q, rng);
+        }
+        counts
     }
 }
 
@@ -416,6 +445,69 @@ mod tests {
             };
             let tol = 6.0 * (var / reps as f64).sqrt();
             assert!((mean - target).abs() < tol, "item {v}: {mean} vs {target}");
+        }
+    }
+
+    #[test]
+    fn every_enum_protocol_is_closed_form() {
+        // The trait signal must be truthful: `is_closed_form()` iff
+        // `batch_aggregate` returns `Some` — and since the OLH λ-split
+        // sampler, all five enum protocols are genuinely closed-form.
+        let domain = Domain::new(8).unwrap();
+        let mut rng = rng_from_seed(3);
+        for kind in ProtocolKind::EXTENDED {
+            let protocol = kind.build(0.5, domain).unwrap();
+            assert!(protocol.is_closed_form(), "{kind}");
+            assert_eq!(
+                protocol.is_closed_form(),
+                protocol.batch_aggregate(&[1; 8], &mut rng).is_some(),
+                "{kind}: signal out of sync with batch_aggregate"
+            );
+        }
+    }
+
+    #[test]
+    fn olh_closed_form_mixture_is_exactly_the_kernel() {
+        // Single-occupied-item population: the OLH marginal at the true
+        // item must have mean n·p and variance n·p(1−p); at any other
+        // item mean n·q, variance n·q(1−q). The closed-form sampler is
+        // O(d), so a high rep count is cheap.
+        let d = 10;
+        let n = 2_000u64;
+        let mut item_counts = vec![0u64; d];
+        item_counts[3] = n;
+        let olh = Olh::new(0.7, Domain::new(d).unwrap()).unwrap();
+        let (p, q) = (olh.params().p(), olh.params().q());
+        let reps = 600usize;
+        let mut rng = rng_from_seed(6);
+        let mut sums = vec![0.0f64; d];
+        let mut sqs = vec![0.0f64; d];
+        for _ in 0..reps {
+            for ((s, sq), c) in sums
+                .iter_mut()
+                .zip(sqs.iter_mut())
+                .zip(olh.batch_support_counts(&item_counts, &mut rng))
+            {
+                *s += c as f64;
+                *sq += (c as f64).powi(2);
+            }
+        }
+        for v in 0..d {
+            let (mp, vp) = if v == 3 { (p, p) } else { (q, q) };
+            let target = n as f64 * mp;
+            let var_target = n as f64 * vp * (1.0 - vp);
+            let mean = sums[v] / reps as f64;
+            let var = sqs[v] / reps as f64 - mean * mean;
+            let mean_tol = 6.0 * (var_target / reps as f64).sqrt();
+            assert!(
+                (mean - target).abs() < mean_tol,
+                "item {v}: mean {mean} vs {target}"
+            );
+            let var_tol = 8.0 * var_target * (2.0 / reps as f64).sqrt();
+            assert!(
+                (var - var_target).abs() < var_tol,
+                "item {v}: var {var} vs {var_target}"
+            );
         }
     }
 

@@ -144,9 +144,9 @@ impl LdpFrequencyProtocol for Olh {
         debug_assert_eq!(counts.len(), self.domain.size());
         let hasher = self.hasher(report.seed);
         for (v, c) in counts.iter_mut().enumerate() {
-            // O(d) hash evaluations per report: the unavoidable cost of
-            // OLH server-side aggregation (n·d total); xxh64_u64 keeps it
-            // a handful of ns each.
+            // O(d) hash evaluations per report — n·d total on the per-user
+            // path (the batched λ-split sampler avoids them entirely);
+            // xxh64_u64 keeps it a handful of ns each.
             if hasher.hash(v) == report.value {
                 *c += 1;
             }
@@ -158,9 +158,13 @@ impl LdpFrequencyProtocol for Olh {
         item_counts: &[u64],
         rng: &mut R,
     ) -> Option<Vec<u64>> {
-        // Not a closed-form sampler — the grouped per-user fallback (see
-        // `crate::batch`) — but batched callers still get one entry point.
+        // Closed-form since the λ-split sampler (`crate::batch`): two
+        // binomials per item, no per-user loop.
         Some(self.batch_support_counts(item_counts, rng))
+    }
+
+    fn is_closed_form(&self) -> bool {
+        true
     }
 }
 

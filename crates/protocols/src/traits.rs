@@ -56,10 +56,12 @@ pub trait LdpFrequencyProtocol {
     /// item `v`, exactly distributed as running [`Self::perturb`] +
     /// [`Self::accumulate`] per user (see `crate::batch`).
     ///
-    /// Returns `None` when the protocol has no batched sampler (the
-    /// default) — callers then fall back to the per-user loop. Batched and
-    /// per-user paths consume different RNG draws, so they are
-    /// statistically, not bitwise, interchangeable.
+    /// Returns `Some` **iff the protocol has a closed-form count sampler**
+    /// (i.e. [`Self::is_closed_form`] is `true`); `None` — the default —
+    /// sends callers to the grouped per-user fallback
+    /// (`crate::batch::grouped_support_counts`). Batched and per-user
+    /// paths consume different RNG draws, so they are statistically, not
+    /// bitwise, interchangeable.
     ///
     /// # Panics
     /// Implementations panic if `item_counts.len() != d`.
@@ -70,5 +72,15 @@ pub trait LdpFrequencyProtocol {
     ) -> Option<Vec<u64>> {
         let _ = (item_counts, rng);
         None
+    }
+
+    /// Whether [`Self::batch_aggregate`] is a genuine closed-form count
+    /// sampler (`O(d)`–`O(d·log n)`, no per-user loop). `false` — the
+    /// default — means batched callers run the grouped per-user fallback,
+    /// so "batched" buys bookkeeping but not asymptotics; reporting and
+    /// bench labels use this to stay truthful about which one they
+    /// measured. Contract: `is_closed_form() == batch_aggregate(..).is_some()`.
+    fn is_closed_form(&self) -> bool {
+        false
     }
 }

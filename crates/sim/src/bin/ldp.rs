@@ -241,8 +241,31 @@ impl ReproArgs {
     }
 }
 
+/// Fail fast — before any simulation work — when an output flag points
+/// into a directory that does not exist, instead of surfacing a bare io
+/// error (or losing a long run's output) at write time.
+fn validate_output_parent(flag: &str, path: &std::path::Path) -> Result<()> {
+    let parent = match path.parent() {
+        // A bare filename resolves against the current directory.
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => return Ok(()),
+    };
+    if parent.is_dir() {
+        Ok(())
+    } else {
+        Err(LdpError::invalid(format!(
+            "{flag} {}: parent directory {} does not exist (create it first)",
+            path.display(),
+            parent.display()
+        )))
+    }
+}
+
 fn repro_main<I: Iterator<Item = String>>(iter: I) -> Result<()> {
     let args = parse_repro_args(iter)?;
+    if let Some(path) = &args.json {
+        validate_output_parent("--json", path)?;
+    }
     let ids: Vec<&str> = if args.figure == "all" {
         catalog::FIGURE_IDS.to_vec()
     } else {
@@ -409,6 +432,12 @@ fn parse_stream_args<I: Iterator<Item = String>>(mut iter: I) -> Result<StreamAr
 
 fn stream_main<I: Iterator<Item = String>>(iter: I) -> Result<()> {
     let args = parse_stream_args(iter)?;
+    if let Some(path) = &args.json {
+        validate_output_parent("--json", path)?;
+    }
+    if let Some(path) = &args.checkpoint {
+        validate_output_parent("--checkpoint", path)?;
+    }
     let mut engine = match &args.resume {
         Some(path) => {
             let text = std::fs::read_to_string(path)?;
@@ -860,5 +889,28 @@ mod tests {
             parse(&["--aggregation", "per-user"]).unwrap().aggregation,
             AggregationMode::PerUser
         );
+    }
+
+    #[test]
+    fn output_parent_validation() {
+        use std::path::Path;
+        // Bare filenames and existing directories pass.
+        assert!(validate_output_parent("--json", Path::new("out.json")).is_ok());
+        assert!(validate_output_parent("--json", Path::new("./out.json")).is_ok());
+        let tmp = std::env::temp_dir();
+        assert!(validate_output_parent("--json", &tmp.join("out.json")).is_ok());
+        // A missing directory fails with the flag and both paths named.
+        let missing = tmp.join("ldp-no-such-dir-ever").join("out.json");
+        let err = validate_output_parent("--checkpoint", &missing)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("--checkpoint"), "{err}");
+        assert!(err.contains("ldp-no-such-dir-ever"), "{err}");
+        assert!(err.contains("does not exist"), "{err}");
+        // A parent that exists but is a file is just as unwritable.
+        let file_parent = tmp.join("ldp-parent-is-a-file");
+        std::fs::write(&file_parent, "x").unwrap();
+        assert!(validate_output_parent("--json", &file_parent.join("out.json")).is_err());
+        std::fs::remove_file(&file_parent).unwrap();
     }
 }

@@ -118,11 +118,12 @@ pub enum AggregationMode {
     /// report): `O(n·d)`, required whenever an arm consumes raw reports.
     PerUser,
     /// Sample the aggregate support-count vector directly
-    /// (`batch_aggregate`): `O(d)`–`O(d·log n)` for GRR/OUE/SUE/HR,
-    /// grouped per-user for OLH. Statistically equivalent to `PerUser`
-    /// (exact, not approximate) but consumes different RNG draws, so the
-    /// two modes are not bitwise interchangeable. Incompatible with arms
-    /// that need per-user reports (Detection, k-means).
+    /// (`batch_aggregate`): `O(d)`–`O(d·log n)` closed-form for all five
+    /// protocols (GRR/OUE/SUE/HR/OLH). Statistically equivalent to
+    /// `PerUser` (exact per-item marginals) but consumes different RNG
+    /// draws, so the two modes are not bitwise interchangeable.
+    /// Incompatible with arms that need per-user reports (Detection,
+    /// k-means).
     Batched,
     /// `Batched` whenever no configured arm retains reports, `PerUser`
     /// otherwise — the default, and what the sweep binaries run.

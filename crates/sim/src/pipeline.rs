@@ -132,8 +132,8 @@ impl TrialResult {
 /// * **batched** — sample the population's count vector directly
 ///   (`DatasetKind::generate_counts`, one multinomial) and feed it to the
 ///   protocol's count sampler (`batch_aggregate`), so the whole genuine
-///   half is `O(d)`–`O(d·log n)` for GRR/OUE/SUE/HR — nothing `O(n)` is
-///   ever materialized. This is what makes full-paper-scale sweeps
+///   half is `O(d)`–`O(d·log n)` for all five protocols — nothing `O(n)`
+///   is ever materialized. This is what makes full-paper-scale sweeps
 ///   affordable.
 ///
 /// Malicious reports are always crafted individually — the attack decides

@@ -15,7 +15,8 @@
 //!   traffic: it samples its epoch's population histogram
 //!   ([`DatasetKind::generate_user_counts`]) and feeds it to the protocol's
 //!   count sampler (`batch_aggregate`, the PR 2 batched engine), `O(d)`
-//!   per epoch for GRR/OUE/SUE/HR regardless of traffic volume. Malicious
+//!   per epoch for all five protocols regardless of traffic volume.
+//!   Malicious
 //!   reports are crafted individually — the attack decides their joint
 //!   shape — and folded into a separate accumulator, exactly as the
 //!   offline pipeline does.
@@ -236,7 +237,7 @@ pub fn shard_epoch_delta(spec: &StreamSpec, shard: usize, epoch: usize) -> Resul
     let users = spec.shard_users(shard);
 
     // Genuine traffic: population histogram + batched count sampler —
-    // nothing O(n) is ever materialized for GRR/OUE/SUE/HR.
+    // nothing O(n) is ever materialized.
     let population = spec.dataset.generate_user_counts(users, &mut rng)?;
     let domain = population.domain();
     let protocol = spec.protocol.build(spec.epsilon, domain)?;

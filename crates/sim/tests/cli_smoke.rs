@@ -38,6 +38,9 @@ fn ldp_cli_runs_one_tiny_cell() {
 #[ignore = "spawns the CLI binary; run with --ignored"]
 fn ldp_repro_subcommand_runs_one_figure() {
     let dir = std::env::temp_dir().join("ldprecover-cli-smoke");
+    // The CLI fail-fasts on missing output parents instead of creating
+    // them (see `validate_output_parent`), so the dir must exist.
+    std::fs::create_dir_all(&dir).unwrap();
     let json_path = dir.join("table1.json");
     let _ = std::fs::remove_file(&json_path);
     let output = Command::new(env!("CARGO_BIN_EXE_ldp"))
@@ -153,6 +156,36 @@ fn ldp_stream_resume_reproduces_the_uninterrupted_run_byte_for_byte() {
         std::fs::read(&json_resumed).unwrap(),
         "resumed JSON report must be byte-identical to the uninterrupted run"
     );
+}
+
+#[test]
+#[ignore = "spawns the CLI binary; run with --ignored"]
+fn output_flags_into_missing_directories_fail_before_any_work() {
+    // `--json`/`--checkpoint` pointing into a directory that doesn't
+    // exist must fail up front with a clear message — not run the whole
+    // experiment and then lose the report to a bare io error.
+    let missing = std::env::temp_dir()
+        .join("ldprecover-no-such-dir")
+        .join("out.json");
+    let _ = std::fs::remove_dir_all(missing.parent().unwrap());
+    for args in [
+        vec!["repro", "--figure", "table1", "--scale", "0.002", "--json"],
+        vec!["stream", "--epochs", "2", "--json"],
+        vec!["stream", "--epochs", "2", "--checkpoint"],
+    ] {
+        let flag = args[args.len() - 1];
+        let output = Command::new(env!("CARGO_BIN_EXE_ldp"))
+            .args(&args)
+            .arg(&missing)
+            .output()
+            .expect("spawn ldp");
+        assert!(!output.status.success(), "{flag} into a missing dir");
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains("does not exist") && stderr.contains(flag),
+            "{flag}: expected a clear parent-directory error, got:\n{stderr}"
+        );
+    }
 }
 
 #[test]

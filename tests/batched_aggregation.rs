@@ -112,18 +112,8 @@ fn auto_mode_preserves_full_comparison_arms() {
     assert!(result.fg_before.is_some());
 }
 
-#[test]
-fn olh_grouped_fallback_matches_per_user_statistically() {
-    // OLH has no closed-form count sampler: its `batch_aggregate` is the
-    // grouped per-user fallback. This is the same per-support-count
-    // mean/variance contract GRR/OUE/SUE/HR get from the closed-form
-    // samplers (`ldp_protocols::batch` unit tests), applied to the
-    // grouped path: over repeated aggregations of a fixed population, the
-    // batched and plain per-user support counts must agree in mean and
-    // variance per item, and both must sit on the analytic mean
-    // `E[C(v)] = c_v·p + (n−c_v)·q`.
-    let d = 12usize;
-    let n = 2_000u64;
+/// A skewed halving population over `d` items, `n` users total.
+fn halving_population(d: usize, n: u64) -> Vec<u64> {
     let mut item_counts = vec![0u64; d];
     let mut remaining = n;
     for slot in &mut item_counts {
@@ -134,73 +124,148 @@ fn olh_grouped_fallback_matches_per_user_statistically() {
             break;
         }
     }
-    let domain = Domain::new(d).unwrap();
-    let protocol = ProtocolKind::Olh.build(0.8, domain).unwrap();
-    let params = protocol.params();
-    let (p, q) = (params.p(), params.q());
-    let reps = 80usize;
+    item_counts
+}
 
-    let mut rng = rng_from_seed(0x01_1155);
-    let mut sums = [vec![0.0f64; d], vec![0.0f64; d]];
-    let mut sqs = [vec![0.0f64; d], vec![0.0f64; d]];
-    for _ in 0..reps {
-        let batched = protocol
-            .batch_aggregate(&item_counts, &mut rng)
-            .expect("OLH exposes the grouped fallback");
-        let mut acc = CountAccumulator::new(domain);
-        for (item, &c) in item_counts.iter().enumerate() {
-            for _ in 0..c {
-                let report = protocol.perturb(item, &mut rng);
-                acc.add(&protocol, &report);
+#[test]
+fn olh_closed_form_matches_per_user_across_epsilon_and_domain() {
+    // The differential gate of the OLH λ-split sampler (which retired the
+    // grouped per-user fallback): over repeated aggregations of a fixed
+    // population, the closed-form and per-user support counts must agree
+    // in per-item mean and variance, and both must sit on the analytic
+    // values `E[C(v)] = c_v·p + (n−c_v)·q` and
+    // `Var[C(v)] = c_v·p(1−p) + (n−c_v)·q(1−q)`, across the ε range of
+    // the paper's sweeps and domains from GRR-scale to Hadamard-scale.
+    // Population sizes / reps shrink as d grows to keep the per-user
+    // reference path (O(n·d) hash evaluations per rep) affordable in
+    // debug builds.
+    for (d, n, reps) in [
+        (16usize, 2_000u64, 60usize),
+        (128, 1_000, 40),
+        (1_024, 400, 24),
+    ] {
+        for eps in [0.5f64, 1.0, 2.0] {
+            let item_counts = halving_population(d, n);
+            let domain = Domain::new(d).unwrap();
+            let protocol = ProtocolKind::Olh.build(eps, domain).unwrap();
+            let params = protocol.params();
+            let (p, q) = (params.p(), params.q());
+
+            let mut rng = rng_from_seed(0x01_1155 ^ d as u64 ^ (eps * 64.0) as u64);
+            let mut sums = [vec![0.0f64; d], vec![0.0f64; d]];
+            let mut sqs = [vec![0.0f64; d], vec![0.0f64; d]];
+            for _ in 0..reps {
+                let batched = protocol
+                    .batch_aggregate(&item_counts, &mut rng)
+                    .expect("OLH is closed-form");
+                let mut acc = CountAccumulator::new(domain);
+                for (item, &c) in item_counts.iter().enumerate() {
+                    for _ in 0..c {
+                        let report = protocol.perturb(item, &mut rng);
+                        acc.add(&protocol, &report);
+                    }
+                }
+                for (path, counts) in [&batched[..], acc.counts()].into_iter().enumerate() {
+                    for (v, &count) in counts.iter().enumerate() {
+                        sums[path][v] += count as f64;
+                        sqs[path][v] += (count as f64).powi(2);
+                    }
+                }
             }
-        }
-        for (path, counts) in [&batched[..], acc.counts()].into_iter().enumerate() {
-            for (v, &count) in counts.iter().enumerate() {
-                sums[path][v] += count as f64;
-                sqs[path][v] += (count as f64).powi(2);
+
+            for v in 0..d {
+                let c = item_counts[v] as f64;
+                let analytic_mean = c * p + (n as f64 - c) * q;
+                let analytic_var = c * p * (1.0 - p) + (n as f64 - c) * q * (1.0 - q);
+                let mean = |path: usize| sums[path][v] / reps as f64;
+                let var = |path: usize| sqs[path][v] / reps as f64 - mean(path).powi(2);
+
+                // Both paths on the analytic mean (6σ of the rep average)…
+                let mean_tol = 6.0 * (analytic_var / reps as f64).sqrt();
+                for (path, label) in [(0, "closed-form"), (1, "per-user")] {
+                    assert!(
+                        (mean(path) - analytic_mean).abs() < mean_tol,
+                        "eps={eps} d={d} item {v} {label}: mean {} vs analytic \
+                         {analytic_mean} (tol {mean_tol})",
+                        mean(path)
+                    );
+                }
+                // …therefore on each other, and with matching spread:
+                // sample variances within the (generous) sampling error of
+                // a variance estimate over `reps` draws.
+                assert!(
+                    (mean(0) - mean(1)).abs() < 2.0 * mean_tol,
+                    "eps={eps} d={d} item {v}: closed-form mean {} vs per-user mean {}",
+                    mean(0),
+                    mean(1)
+                );
+                let var_tol = 10.0 * analytic_var * (2.0 / reps as f64).sqrt();
+                assert!(
+                    (var(0) - var(1)).abs() < var_tol,
+                    "eps={eps} d={d} item {v}: closed-form var {} vs per-user var {} \
+                     (tol {var_tol})",
+                    var(0),
+                    var(1)
+                );
+                for (path, label) in [(0, "closed-form"), (1, "per-user")] {
+                    assert!(
+                        (var(path) - analytic_var).abs() < var_tol,
+                        "eps={eps} d={d} item {v} {label}: var {} vs analytic \
+                         {analytic_var} (tol {var_tol})",
+                        var(path)
+                    );
+                }
             }
         }
     }
+}
 
-    for v in 0..d {
-        let c = item_counts[v] as f64;
-        let analytic_mean = c * p + (n as f64 - c) * q;
-        let analytic_var = c * p * (1.0 - p) + (n as f64 - c) * q * (1.0 - q);
-        let mean = |path: usize| sums[path][v] / reps as f64;
-        let var = |path: usize| sqs[path][v] / reps as f64 - mean(path).powi(2);
-
-        // Both paths on the analytic mean (6σ of the rep average)…
-        let mean_tol = 6.0 * (analytic_var / reps as f64).sqrt();
-        for (path, label) in [(0, "batched"), (1, "per-user")] {
-            assert!(
-                (mean(path) - analytic_mean).abs() < mean_tol,
-                "item {v} {label}: mean {} vs analytic {analytic_mean} (tol {mean_tol})",
-                mean(path)
-            );
-        }
-        // …therefore on each other, and with matching spread: sample
-        // variances within the (generous) sampling error of a variance
-        // estimate over `reps` draws.
-        assert!(
-            (mean(0) - mean(1)).abs() < 2.0 * mean_tol,
-            "item {v}: batched mean {} vs per-user mean {}",
-            mean(0),
-            mean(1)
-        );
-        let var_tol = 10.0 * analytic_var * (2.0 / reps as f64).sqrt();
-        assert!(
-            (var(0) - var(1)).abs() < var_tol,
-            "item {v}: batched var {} vs per-user var {} (tol {var_tol})",
-            var(0),
-            var(1)
-        );
-        for (path, label) in [(0, "batched"), (1, "per-user")] {
-            assert!(
-                (var(path) - analytic_var).abs() < var_tol,
-                "item {v} {label}: var {} vs analytic {analytic_var} (tol {var_tol})",
-                var(path)
-            );
-        }
+#[test]
+fn olh_retirement_leaves_non_olh_rng_streams_untouched() {
+    // Bit-compare gate for the OLH retirement + zero-alloc refactor: the
+    // GRR/OUE/SUE/HR batched samplers must consume *exactly* the RNG
+    // draws they did before (the `add_multinomial_uniform` rewrite is
+    // draw-for-draw identical), so every non-OLH batched experiment —
+    // including the 13 blessed goldens — reproduces bit-identically.
+    // Expected vectors were captured at the pre-retirement tree.
+    let d = 16usize;
+    let item_counts = halving_population(d, 5_000);
+    let domain = Domain::new(d).unwrap();
+    let expected: [(ProtocolKind, Vec<u64>); 4] = [
+        (
+            ProtocolKind::Grr,
+            vec![
+                441, 392, 340, 324, 306, 300, 265, 318, 296, 269, 276, 294, 306, 316, 247, 310,
+            ],
+        ),
+        (
+            ProtocolKind::Oue,
+            vec![
+                2037, 1810, 1662, 1683, 1605, 1561, 1570, 1563, 1572, 1563, 1595, 1590, 1551, 1609,
+                1461, 1484,
+            ],
+        ),
+        (
+            ProtocolKind::Sue,
+            vec![
+                2424, 2275, 2103, 2128, 2011, 2028, 2005, 2001, 1987, 1994, 1960, 1965, 2006, 1946,
+                1912, 1936,
+            ],
+        ),
+        (
+            ProtocolKind::Hr,
+            vec![
+                2942, 2722, 2592, 2587, 2567, 2551, 2543, 2589, 2569, 2487, 2467, 2504, 2474, 2456,
+                2470, 2474,
+            ],
+        ),
+    ];
+    for (kind, want) in expected {
+        let protocol = kind.build(0.8, domain).unwrap();
+        let got = protocol
+            .batch_aggregate(&item_counts, &mut rng_from_seed(0xD1FF))
+            .unwrap();
+        assert_eq!(got, want, "{kind:?}: batched RNG stream perturbed");
     }
 }
 

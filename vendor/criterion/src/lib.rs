@@ -15,9 +15,20 @@
 //! * Any other invocation (e.g. `cargo test --benches`) runs each benchmark
 //!   body exactly once as a smoke test, so bench targets are cheap to gate
 //!   in CI.
+//!
+//! # Perf-trajectory emission
+//!
+//! With `LDP_BENCH_JSON_DIR=<dir>` set, a measured run additionally writes
+//! `<dir>/BENCH_<suite>.json`: the median ns/iteration of every case, plus
+//! a `score` normalized by a deterministic calibration microbench timed in
+//! the same process — so scores are comparable across machines of
+//! different speeds. `criterion_main!` triggers the write after all groups
+//! finish; the gate binary (`ldp-bench/bench_gate`) compares these files
+//! against the blessed trajectory.
 
 #![warn(missing_docs)]
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -77,14 +88,23 @@ impl IntoBenchmarkId for String {
     }
 }
 
+/// One measured benchmark case, queued for trajectory emission.
+struct CaseRecord {
+    id: String,
+    ns_per_iter: f64,
+}
+
+/// Measured cases of this process, drained by [`write_bench_json`].
+static RECORDS: Mutex<Vec<CaseRecord>> = Mutex::new(Vec::new());
+
 /// The timing loop handle passed to benchmark closures.
 pub struct Bencher {
     mode: Mode,
     warm_up: Duration,
     measurement: Duration,
     sample_size: usize,
-    /// Mean seconds per iteration, filled by [`Bencher::iter`].
-    mean_secs: f64,
+    /// Median seconds per iteration, filled by [`Bencher::iter`].
+    secs_per_iter: f64,
     iters: u64,
 }
 
@@ -117,7 +137,7 @@ impl Bencher {
         let target_batch = self.measurement.as_secs_f64() / self.sample_size as f64;
         let batch = ((target_batch / per_iter.max(1e-12)).ceil() as u64).max(1);
 
-        let mut total_time = 0.0_f64;
+        let mut batch_means: Vec<f64> = Vec::with_capacity(self.sample_size + 1);
         let mut total_iters: u64 = 0;
         let measure_start = Instant::now();
         while measure_start.elapsed() < self.measurement {
@@ -125,11 +145,27 @@ impl Bencher {
             for _ in 0..batch {
                 black_box(routine());
             }
-            total_time += t.elapsed().as_secs_f64();
+            batch_means.push(t.elapsed().as_secs_f64() / batch as f64);
             total_iters += batch;
         }
-        self.mean_secs = total_time / total_iters.max(1) as f64;
+        // Median over batches: robust to the scheduler hiccups a plain
+        // mean folds into the trajectory.
+        self.secs_per_iter = median(&mut batch_means);
         self.iters = total_iters;
+    }
+}
+
+/// Median of `xs` (sorts in place; 0.0 when empty).
+fn median(xs: &mut [f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
     }
 }
 
@@ -199,7 +235,7 @@ impl BenchmarkGroup<'_> {
             warm_up: self.warm_up,
             measurement: self.measurement,
             sample_size: self.sample_size,
-            mean_secs: 0.0,
+            secs_per_iter: 0.0,
             iters: 0,
         };
         routine(&mut bencher);
@@ -209,18 +245,28 @@ impl BenchmarkGroup<'_> {
             Mode::Measure => {
                 let rate = self.throughput.map(|t| match t {
                     Throughput::Elements(n) => {
-                        format!("  ({:.3e} elem/s)", n as f64 / bencher.mean_secs.max(1e-12))
+                        format!(
+                            "  ({:.3e} elem/s)",
+                            n as f64 / bencher.secs_per_iter.max(1e-12)
+                        )
                     }
                     Throughput::Bytes(n) => {
-                        format!("  ({:.3e} B/s)", n as f64 / bencher.mean_secs.max(1e-12))
+                        format!(
+                            "  ({:.3e} B/s)",
+                            n as f64 / bencher.secs_per_iter.max(1e-12)
+                        )
                     }
                 });
                 println!(
                     "bench {full_id}: {:>12.1} ns/iter over {} iters{}",
-                    bencher.mean_secs * 1e9,
+                    bencher.secs_per_iter * 1e9,
                     bencher.iters,
                     rate.unwrap_or_default()
                 );
+                RECORDS.lock().expect("bench registry").push(CaseRecord {
+                    id: full_id,
+                    ns_per_iter: bencher.secs_per_iter * 1e9,
+                });
             }
         }
     }
@@ -274,6 +320,90 @@ impl Criterion {
     }
 }
 
+/// Nanoseconds per step of a fixed integer workload (xorshift64), the
+/// machine-speed yardstick trajectory scores are normalized by. Median of
+/// several samples, measured in-process right before emission so it sees
+/// the same thermal/frequency state as the benchmarks themselves.
+fn calibration_ns() -> f64 {
+    const STEPS: u64 = 100_000;
+    let mut samples = Vec::with_capacity(17);
+    let mut x = 0x9E37_79B9_7F4A_7C15_u64;
+    for _ in 0..17 {
+        let t = Instant::now();
+        for _ in 0..STEPS {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x = black_box(x);
+        }
+        samples.push(t.elapsed().as_secs_f64() * 1e9 / STEPS as f64);
+    }
+    black_box(x);
+    median(&mut samples)
+}
+
+/// The bench-suite name: the executable stem with cargo's trailing
+/// `-<16-hex-digit hash>` stripped.
+fn strip_cargo_hash(stem: &str) -> &str {
+    match stem.rsplit_once('-') {
+        Some((base, hash))
+            if !base.is_empty()
+                && hash.len() == 16
+                && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            base
+        }
+        _ => stem,
+    }
+}
+
+/// Renders the trajectory JSON for `suite`.
+fn render_bench_json(suite: &str, calib_ns: f64, records: &[CaseRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"suite\": \"{suite}\",\n"));
+    out.push_str(&format!("  \"calibration_ns\": {calib_ns:.4},\n"));
+    out.push_str("  \"cases\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"median_ns\": {:.4}, \"score\": {:.6}}}{comma}\n",
+            r.id,
+            r.ns_per_iter,
+            r.ns_per_iter / calib_ns.max(1e-12)
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes `BENCH_<suite>.json` into `$LDP_BENCH_JSON_DIR`, if that
+/// variable is set and this process measured anything (i.e. ran under
+/// `--bench`). Called by [`criterion_main!`] after every group has run;
+/// a no-op in smoke mode or without the env var.
+pub fn write_bench_json() {
+    let Ok(dir) = std::env::var("LDP_BENCH_JSON_DIR") else {
+        return;
+    };
+    let records = RECORDS.lock().expect("bench registry");
+    if records.is_empty() {
+        return;
+    }
+    let exe = std::env::current_exe().ok();
+    let suite = exe
+        .as_deref()
+        .and_then(|p| p.file_stem())
+        .and_then(|s| s.to_str())
+        .map_or_else(|| "bench".to_string(), |s| strip_cargo_hash(s).to_string());
+    let body = render_bench_json(&suite, calibration_ns(), &records);
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{suite}.json"));
+    if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, body)) {
+        eprintln!("failed to write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    eprintln!("wrote {}", path.display());
+}
+
 /// Declares a group of benchmark functions, mirroring criterion's macro.
 #[macro_export]
 macro_rules! criterion_group {
@@ -285,12 +415,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the bench `main` that runs the given groups.
+/// Declares the bench `main` that runs the given groups, then emits the
+/// perf trajectory (see [`write_bench_json`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_bench_json();
         }
     };
 }
@@ -313,5 +445,57 @@ mod tests {
     fn benchmark_id_renders() {
         assert_eq!(BenchmarkId::new("grr", 102).into_id(), "grr/102");
         assert_eq!(BenchmarkId::from_parameter(7).into_id(), "7");
+    }
+
+    #[test]
+    fn median_is_robust_to_order_and_parity() {
+        assert_eq!(median(&mut []), 0.0);
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn cargo_hash_is_stripped_only_when_present() {
+        assert_eq!(
+            strip_cargo_hash("aggregation-0123456789abcdef"),
+            "aggregation"
+        );
+        assert_eq!(
+            strip_cargo_hash("end_to_end-ABCDEF0123456789"),
+            "end_to_end"
+        );
+        // Not a 16-hex suffix → untouched.
+        assert_eq!(strip_cargo_hash("aggregation"), "aggregation");
+        assert_eq!(strip_cargo_hash("agg-regation"), "agg-regation");
+        assert_eq!(strip_cargo_hash("-0123456789abcdef"), "-0123456789abcdef");
+    }
+
+    #[test]
+    fn trajectory_json_shape() {
+        let records = vec![
+            CaseRecord {
+                id: "g/grr/1000".into(),
+                ns_per_iter: 250.0,
+            },
+            CaseRecord {
+                id: "g/olh/1000".into(),
+                ns_per_iter: 125.0,
+            },
+        ];
+        let json = render_bench_json("aggregation", 2.5, &records);
+        assert!(json.contains("\"suite\": \"aggregation\""));
+        assert!(json.contains("\"calibration_ns\": 2.5000"));
+        assert!(json
+            .contains("{\"id\": \"g/grr/1000\", \"median_ns\": 250.0000, \"score\": 100.000000},"));
+        assert!(json
+            .contains("{\"id\": \"g/olh/1000\", \"median_ns\": 125.0000, \"score\": 50.000000}\n"));
+        // Exactly one trailing comma: the list is valid JSON.
+        assert_eq!(json.matches("},").count(), 1);
+    }
+
+    #[test]
+    fn calibration_is_positive_and_finite() {
+        let ns = calibration_ns();
+        assert!(ns.is_finite() && ns > 0.0, "{ns}");
     }
 }
