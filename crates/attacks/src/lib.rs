@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Poisoning attacks against LDP frequency estimation.
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Experiment harness shared by the `fig*` / `table1` / `repro` binaries.
 //!
 //! Every binary regenerates one table or figure of the LDPRecover paper
@@ -147,7 +148,7 @@ impl Cli {
     pub fn run_figure(&self, id: &str) -> Result<()> {
         let scenario = catalog::scenario(id)?;
         let report = run_scenario(&scenario, &self.run_scale())?;
-        report.print(self.csv);
+        print!("{}", report.render_text(self.csv));
         if let Some(path) = &self.json {
             let written = report.write_json(path, false)?;
             eprintln!("wrote {}", written.display());
@@ -180,7 +181,7 @@ pub fn run_all_figures() -> Result<()> {
         println!("################################################################");
         let scenario = catalog::scenario(id)?;
         let report = run_scenario(&scenario, &cli.run_scale())?;
-        report.print(cli.csv);
+        print!("{}", report.render_text(cli.csv));
         if let Some(path) = &cli.json {
             let written = report.write_json(path, true)?;
             eprintln!("wrote {}", written.display());

@@ -1,0 +1,58 @@
+//! Intentional exact float comparison — the one blessed `==` site.
+//!
+//! Rule D03 of the workspace lint (`crates/lint`) bans `==`/`!=` on
+//! float-typed operands everywhere else: accidental float equality is a
+//! rounding-sensitive bug waiting for a different libm or optimization
+//! level. But the codebase *does* need a handful of exact comparisons —
+//! sentinel checks against values that are stored, not computed
+//! (`beta == 0.0` for "no attack configured", `scale == 1.0` for "corpus
+//! unscaled", `v.fract() == 0.0` for "JSON number is integral"). Routing
+//! them through this module keeps the intent auditable: a call to
+//! [`exact_eq`] says "I mean bitwise-for-bitwise IEEE equality semantics,
+//! and I know why that is safe here".
+//!
+//! These helpers are `#[inline]` identity wrappers over `==`; they
+//! compile to the exact same instruction and preserve IEEE semantics
+//! (`-0.0 == 0.0` is true, `NaN == NaN` is false), so converting a
+//! legacy `a == b` site is bit-for-bit behavior-preserving.
+
+/// Exact IEEE-754 equality, declared intentional.
+///
+/// Same semantics as `a == b` (`-0.0` equals `0.0`; `NaN` equals
+/// nothing). Use only when both operands are stored values — never on
+/// the result of arithmetic you expect to round-trip.
+#[inline]
+#[must_use]
+pub fn exact_eq(a: f64, b: f64) -> bool {
+    a == b
+}
+
+/// True when `x` is exactly `±0.0` — the common "field left at its
+/// default / sentinel" check.
+#[inline]
+#[must_use]
+pub fn exactly_zero(x: f64) -> bool {
+    exact_eq(x, 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_ieee_equality_semantics() {
+        assert!(exact_eq(1.5, 1.5));
+        assert!(!exact_eq(1.5, 1.5 + f64::EPSILON));
+        assert!(exact_eq(0.0, -0.0), "signed zeros compare equal");
+        assert!(!exact_eq(f64::NAN, f64::NAN), "NaN equals nothing");
+        assert!(exact_eq(f64::INFINITY, f64::INFINITY));
+    }
+
+    #[test]
+    fn exactly_zero_is_the_zero_sentinel() {
+        assert!(exactly_zero(0.0));
+        assert!(exactly_zero(-0.0));
+        assert!(!exactly_zero(f64::MIN_POSITIVE));
+        assert!(!exactly_zero(f64::NAN));
+    }
+}

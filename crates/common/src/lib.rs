@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Shared substrate for the LDPRecover reproduction.
 //!
@@ -15,6 +16,8 @@
 //! * [`sampling`] — alias tables, Zipf weights, random distributions,
 //!   and subset sampling.
 //! * [`vecmath`] — dense `f64` vector helpers (MSE, norms, normalization).
+//! * [`float`] — intentional exact float comparison (the one site rule
+//!   D03 of `ldp-lint` blesses).
 //! * [`stats`] — streaming moments, the normal distribution, and the
 //!   Kolmogorov–Smirnov statistic used by the theory-validation tests.
 //!
@@ -25,6 +28,7 @@
 pub mod bitvec;
 pub mod domain;
 pub mod error;
+pub mod float;
 pub mod hash;
 pub mod json;
 pub mod rng;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! **LDPRecover** — recovering frequencies from poisoning attacks against
 //! local differential privacy (Sun et al., ICDE 2024).

@@ -11,6 +11,7 @@
 //! provided as an independent oracle, and [`PostProcess::ClipNormalize`]
 //! as a cheaper, biased ablation baseline.
 
+use ldp_common::float::exactly_zero;
 use ldp_common::{LdpError, Result};
 use serde::{Deserialize, Serialize};
 
@@ -148,7 +149,7 @@ pub fn base_cut(estimate: &[f64]) -> Vec<f64> {
         .iter()
         .map(|&x| if x >= threshold { x } else { 0.0 })
         .collect();
-    if out.iter().all(|&x| x == 0.0) {
+    if out.iter().all(|&x| exactly_zero(x)) {
         return clip_normalize(estimate);
     }
     ldp_common::vecmath::normalize_to_simplex_sum(&mut out);

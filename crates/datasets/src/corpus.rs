@@ -12,6 +12,7 @@
 //! substitution argument and `Dataset::from_item_file` for plugging in the
 //! real extracts.
 
+use ldp_common::float::exact_eq;
 use ldp_common::sampling::sample_multinomial;
 use ldp_common::{Domain, LdpError, Result};
 use rand::Rng;
@@ -78,7 +79,7 @@ impl DatasetKind {
             DatasetKind::Ipums => ipums_like(rng)?,
             DatasetKind::Fire => fire_like(rng)?,
         };
-        if scale == 1.0 {
+        if exact_eq(scale, 1.0) {
             Ok(full)
         } else {
             full.subsample(scale, rng)

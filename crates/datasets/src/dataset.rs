@@ -3,6 +3,7 @@
 use std::io::BufRead;
 use std::path::Path;
 
+use ldp_common::float::exact_eq;
 use ldp_common::rng::uniform_index;
 use ldp_common::{Domain, LdpError, Result};
 use rand::Rng;
@@ -124,7 +125,7 @@ impl Dataset {
                 "subsample fraction must be in (0,1], got {fraction}"
             )));
         }
-        if fraction == 1.0 {
+        if exact_eq(fraction, 1.0) {
             return Ok(self.clone());
         }
         let target = ((self.items.len() as f64) * fraction).ceil() as usize;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Key-value LDP collection under poisoning — the LDPRecover paper's
 //! stated future work ("extend LDPRecover to poisoning attacks on LDP

@@ -1,5 +1,6 @@
 //! The PrivKV-style single-round key-value protocol.
 
+use ldp_common::float::exactly_zero;
 use ldp_common::rng::{uniform_index, FastBernoulli};
 use ldp_common::{Domain, LdpError, Result};
 use ldp_protocols::BinaryRandomizedResponse;
@@ -171,7 +172,7 @@ impl KvProtocol {
         let mut means = vec![0.0; d];
         for k in 0..d {
             let n_k = agg.probes[k] as f64;
-            if n_k == 0.0 {
+            if exactly_zero(n_k) {
                 continue; // no probes: leave 0 (the caller's priors apply)
             }
             let c_k = agg.presences[k] as f64;

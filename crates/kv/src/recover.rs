@@ -26,6 +26,7 @@
 //! 4. removes the implied all-`+1` malicious sign mass from the mean
 //!    estimator's counts and re-debiases the means.
 
+use ldp_common::float::exactly_zero;
 use ldp_common::{LdpError, Result};
 use ldprecover::solve::norm_sub;
 use serde::{Deserialize, Serialize};
@@ -112,7 +113,7 @@ impl KvRecover {
         let mut means = vec![0.0; d];
         for k in 0..d {
             let n_k = agg.probes[k] as f64;
-            if n_k == 0.0 {
+            if exactly_zero(n_k) {
                 continue;
             }
             let m_k = malicious_probes[k].min(n_k - 1.0).max(0.0);

@@ -1,0 +1,23 @@
+// Fixture: D01 — HashMap/HashSet iteration in library code.
+// `//~ <ID>` markers name the rule expected to fire on that line.
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(xs: &[u32]) -> Vec<(u32, u32)> {
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    let mut out = Vec::new();
+    for (k, v) in &counts { //~ D01
+        out.push((*k, *v));
+    }
+    out
+}
+
+pub fn keys_of(m: &HashMap<u32, u32>) -> Vec<u32> {
+    m.keys().copied().collect() //~ D01
+}
+
+pub fn drain_all(seen: &mut HashSet<u64>) -> Vec<u64> {
+    seen.drain().collect() //~ D01
+}

@@ -1,0 +1,19 @@
+// Fixture: D02 — ambient entropy and wall-clock reads.
+use std::time::{Instant, SystemTime};
+
+pub fn jittery_seed() -> u64 {
+    let mut rng = rand::thread_rng(); //~ D02
+    let x: u64 = rand::random(); //~ D02
+    let _ = rng.next_u64();
+    x
+}
+
+pub fn timed(mut f: impl FnMut()) -> u128 {
+    let start = Instant::now(); //~ D02
+    f();
+    start.elapsed().as_nanos()
+}
+
+pub fn stamp() -> SystemTime {
+    SystemTime::now() //~ D02
+}

@@ -1,0 +1,16 @@
+// Fixture: D03 — float equality comparisons.
+pub fn is_reset(x: f64) -> bool {
+    x == 0.0 //~ D03
+}
+
+pub fn not_unit(y: f64) -> bool {
+    1.0 != y //~ D03
+}
+
+pub fn cast_compare(n: u64, z: f64) -> bool {
+    n as f64 == z //~ D03
+}
+
+pub fn fract_check(v: f64) -> bool {
+    v.fract() == 0.0 //~ D03
+}

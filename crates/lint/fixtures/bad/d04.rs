@@ -1,0 +1,6 @@
+// Fixture: D04 — panicking extraction in library code.
+pub fn first_plus_one(xs: &[u64]) -> u64 {
+    let first = xs.first().unwrap(); //~ D04
+    let parsed: u64 = "7".parse().expect(""); //~ D04
+    first + parsed
+}

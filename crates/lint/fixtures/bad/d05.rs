@@ -1,0 +1,8 @@
+// Fixture: D05 — hard-coded seed literal in a production path.
+use ldp_common::rng::rng_from_seed;
+use rand::Rng;
+
+pub fn sample() -> u64 {
+    let mut rng = rng_from_seed(42); //~ D05
+    rng.random_range(0..10)
+}

@@ -1,0 +1,6 @@
+//~ H01
+//! Fixture: H01 — a crate root (the harness labels this file
+//! `crates/fixturecrate/src/lib.rs`) without `#![forbid(unsafe_code)]`.
+//! The marker sits on line 1 because the finding anchors at 1:1.
+
+pub mod something;

@@ -1,0 +1,6 @@
+// Fixture: H02 — stray terminal output from library code.
+pub fn report(x: u64) -> u64 {
+    println!("x = {x}"); //~ H02
+    eprintln!("warning: something"); //~ H02
+    x
+}

@@ -1,0 +1,25 @@
+// Fixture: D01 twin — hash collections used only for membership, with
+// iteration routed through sorted/ordered structures.
+use std::collections::{BTreeMap, HashSet};
+
+pub fn tally(xs: &[u32]) -> Vec<(u32, u32)> {
+    let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    // BTreeMap iteration is key-ordered: deterministic.
+    counts.into_iter().collect()
+}
+
+pub fn dedup_in_order(xs: &[u64]) -> Vec<u64> {
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    for &x in xs {
+        // Membership checks on a HashSet stay legal — only iteration
+        // observes the nondeterministic order.
+        if seen.insert(x) {
+            out.push(x);
+        }
+    }
+    out
+}

@@ -1,0 +1,14 @@
+// Fixture: D02 twin — every random bit derives from the master seed;
+// nothing observes real time. Mentions of banned names in comments
+// (thread_rng, SystemTime::now) and strings must not fire.
+use ldp_common::rng::{derive_seed2, rng_from_seed};
+use rand::Rng;
+
+pub fn shard_stream(master: u64, shard: u64, epoch: u64) -> u64 {
+    let mut rng = rng_from_seed(derive_seed2(master, shard, epoch));
+    rng.random_range(0..u64::MAX)
+}
+
+pub fn describe() -> &'static str {
+    "deterministic: no SystemTime::now, no thread_rng"
+}

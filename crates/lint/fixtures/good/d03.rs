@@ -1,0 +1,20 @@
+// Fixture: D03 twin — epsilon bands for computed values, the blessed
+// ldp_common::float helpers for intentional exact sentinel checks.
+use ldp_common::float::{exact_eq, exactly_zero};
+
+pub fn is_reset(x: f64) -> bool {
+    exactly_zero(x)
+}
+
+pub fn unit_scale(scale: f64) -> bool {
+    exact_eq(scale, 1.0)
+}
+
+pub fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-12
+}
+
+pub fn int_compare(n: u64) -> bool {
+    // Integer equality is fine — the rule only watches float operands.
+    n == 0
+}

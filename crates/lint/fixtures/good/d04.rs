@@ -1,0 +1,22 @@
+// Fixture: D04 twin — typed errors, justified expects, and test-scope
+// unwraps (exempt).
+use ldp_common::{LdpError, Result};
+
+pub fn first_plus_one(xs: &[u64]) -> Result<u64> {
+    let first = xs
+        .first()
+        .ok_or_else(|| LdpError::invalid("empty input".to_string()))?;
+    let parsed: u64 = "7"
+        .parse()
+        .expect("literal '7' always parses as u64");
+    Ok(first + parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Vec<u64> = vec![1];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,4 @@
+#![forbid(unsafe_code)]
+//! Fixture: H01 twin — a crate root carrying the forbid attribute.
+
+pub mod something;

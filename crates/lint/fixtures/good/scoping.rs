@@ -1,0 +1,35 @@
+// Fixture: lexer/scoping torture twin — banned spellings hidden where
+// the rules must NOT see them: comments (line, doc, nested block),
+// cooked/raw strings, char-vs-lifetime territory, and test regions.
+//
+// thread_rng SystemTime::now unwrap() println! == 0.0   <- comment: ignored
+
+/* nested /* block comment with Instant::now and .unwrap() */ still fine */
+
+//! not really inner docs, but: rand::random and expect("")
+
+pub fn strings<'a>(s: &'a str) -> String {
+    let cooked = "SystemTime::now() .unwrap() println!(\"x\") == 0.0";
+    let raw = r#"thread_rng() and rng_from_seed(42) stay inert in raw strings"#;
+    let ch: char = '=';
+    let lifetime_marker: &'a str = s;
+    format!("{cooked}{raw}{ch}{lifetime_marker}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn everything_is_legal_in_test_scope() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(1u32, 2u32);
+        for (k, v) in &m {
+            println!("{k}={v}");
+        }
+        let x: f64 = 0.0;
+        assert!(x == 0.0);
+        let _ = m.get(&1).unwrap();
+        let _ = ldp_common::rng::rng_from_seed(42);
+    }
+}

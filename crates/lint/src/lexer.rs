@@ -1,0 +1,513 @@
+//! A hand-rolled, line/column-tracking Rust tokenizer.
+//!
+//! This is *not* a full Rust lexer — it is exactly the subset the rule
+//! catalog needs to reason about source text without being fooled by
+//! comments, strings, or char-vs-lifetime ambiguity:
+//!
+//! * line (`//`, `///`, `//!`) and **nested** block comments are skipped;
+//! * cooked, raw (`r"…"`, `r#"…"#`), byte (`b"…"`), and raw-byte strings
+//!   are lexed as single [`TokKind::Str`] tokens, so banned names inside
+//!   string literals never fire a rule;
+//! * char literals (`'x'`, `'\n'`, `'\u{7f}'`, `b'x'`) are distinguished
+//!   from lifetimes (`'a`, `'static`, `'_`);
+//! * raw identifiers (`r#match`) lex as plain identifiers;
+//! * numeric literals classify as integer or float (decimal point,
+//!   exponent, or `f32`/`f64` suffix ⇒ float; `0x`/`0o`/`0b` ⇒ integer),
+//!   which rule D03 leans on;
+//! * multi-char operators the rules care about (`==`, `!=`, `::`, `..`,
+//!   `..=`, `->`, `=>`, `<=`, `>=`, `&&`, `||`) are fused into single
+//!   punctuation tokens.
+//!
+//! Every token carries its 1-based line and column, and — after
+//! [`crate::rules::mark_test_regions`] runs — whether it sits inside
+//! `#[cfg(test)]` / `#[test]` / `mod tests` scope.
+
+/// What a token is, as far as the rule catalog cares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (raw identifiers lose their `r#`).
+    Ident,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// A char or byte-char literal.
+    Char,
+    /// Any string literal (cooked / raw / byte / raw-byte).
+    Str {
+        /// True when the literal's content is empty or all-whitespace —
+        /// what rule D04 calls a "bare" `expect` message.
+        empty: bool,
+    },
+    /// An integer literal (including `0x…`/`0o…`/`0b…`).
+    Int,
+    /// A float literal (decimal point, exponent, or `f…` suffix).
+    Float,
+    /// Punctuation; `text` holds the (possibly multi-char) operator.
+    Punct,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// The lexeme (for `Str`, the raw lexeme including quotes).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in chars).
+    pub col: u32,
+    /// Set by [`crate::rules::mark_test_regions`]: the token lives in
+    /// test-gated code (`#[cfg(test)]`, `#[test]`, `#[bench]`, or a
+    /// `mod test…` block).
+    pub in_test: bool,
+}
+
+impl Tok {
+    /// True for a punctuation token with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+
+    /// True for an identifier token with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    /// Char at `i + k`, or `'\0'` past the end.
+    fn peek(&self, k: usize) -> char {
+        self.chars.get(self.i + k).copied().unwrap_or('\0')
+    }
+
+    fn at_end(&self) -> bool {
+        self.i >= self.chars.len()
+    }
+
+    /// Consumes one char, tracking line/col.
+    fn bump(&mut self) {
+        if let Some(&c) = self.chars.get(self.i) {
+            self.i += 1;
+            if c == '\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    /// The lexeme spanned since `start` (a char index).
+    fn text_since(&self, start: usize) -> String {
+        self.chars[start..self.i].iter().collect()
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Tokenizes `src`. The lexer is total: malformed input (unterminated
+/// strings or comments) consumes to end-of-file rather than failing, so
+/// the lint pass degrades gracefully on files rustc would reject anyway.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut toks: Vec<Tok> = Vec::new();
+    while !lx.at_end() {
+        let c = lx.peek(0);
+        let (line, col) = (lx.line, lx.col);
+        if c.is_whitespace() {
+            lx.bump();
+            continue;
+        }
+        // Comments.
+        if c == '/' && lx.peek(1) == '/' {
+            while !lx.at_end() && lx.peek(0) != '\n' {
+                lx.bump();
+            }
+            continue;
+        }
+        if c == '/' && lx.peek(1) == '*' {
+            lx.bump_n(2);
+            let mut depth = 1usize;
+            while !lx.at_end() && depth > 0 {
+                if lx.peek(0) == '/' && lx.peek(1) == '*' {
+                    depth += 1;
+                    lx.bump_n(2);
+                } else if lx.peek(0) == '*' && lx.peek(1) == '/' {
+                    depth -= 1;
+                    lx.bump_n(2);
+                } else {
+                    lx.bump();
+                }
+            }
+            continue;
+        }
+        // String-ish prefixes: r"…", r#"…"#, b"…", br#"…"#, b'…', r#ident.
+        if (c == 'r' || c == 'b') && try_lex_prefixed(&mut lx, &mut toks, line, col) {
+            continue;
+        }
+        if is_ident_start(c) {
+            let start = lx.i;
+            while is_ident_continue(lx.peek(0)) {
+                lx.bump();
+            }
+            toks.push(tok(TokKind::Ident, lx.text_since(start), line, col));
+            continue;
+        }
+        if c == '"' {
+            let text = lex_cooked_string(&mut lx);
+            push_str(&mut toks, text, line, col);
+            continue;
+        }
+        if c == '\'' {
+            lex_char_or_lifetime(&mut lx, &mut toks, line, col);
+            continue;
+        }
+        if c.is_ascii_digit() {
+            lex_number(&mut lx, &mut toks, line, col);
+            continue;
+        }
+        // Punctuation: fuse the multi-char operators the rules care about.
+        let three: String = [lx.peek(0), lx.peek(1), lx.peek(2)].iter().collect();
+        let two: String = [lx.peek(0), lx.peek(1)].iter().collect();
+        if three == "..=" {
+            lx.bump_n(3);
+            toks.push(tok(TokKind::Punct, three, line, col));
+            continue;
+        }
+        const TWO_CHAR: [&str; 10] = ["::", "==", "!=", "<=", ">=", "->", "=>", "..", "&&", "||"];
+        if TWO_CHAR.contains(&two.as_str()) {
+            lx.bump_n(2);
+            toks.push(tok(TokKind::Punct, two, line, col));
+            continue;
+        }
+        lx.bump();
+        toks.push(tok(TokKind::Punct, c.to_string(), line, col));
+    }
+    toks
+}
+
+fn tok(kind: TokKind, text: String, line: u32, col: u32) -> Tok {
+    Tok {
+        kind,
+        text,
+        line,
+        col,
+        in_test: false,
+    }
+}
+
+/// Classifies and pushes a string token, computing the "bare" flag from
+/// the raw lexeme (content between the outermost quotes).
+fn push_str(toks: &mut Vec<Tok>, text: String, line: u32, col: u32) {
+    let inner: String = {
+        let s: Vec<char> = text.chars().collect();
+        let first_quote = s.iter().position(|&c| c == '"').map_or(0, |p| p + 1);
+        let last_quote = s.iter().rposition(|&c| c == '"').unwrap_or(0);
+        if first_quote <= last_quote {
+            s[first_quote..last_quote].iter().collect()
+        } else {
+            String::new()
+        }
+    };
+    let empty = inner.trim().is_empty();
+    toks.push(tok(TokKind::Str { empty }, text, line, col));
+}
+
+/// Handles `r`/`b`-prefixed literals and raw identifiers. Returns true
+/// when it consumed something; false means "lex as a plain identifier".
+fn try_lex_prefixed(lx: &mut Lexer, toks: &mut Vec<Tok>, line: u32, col: u32) -> bool {
+    let c = lx.peek(0);
+    // b'x' — byte char.
+    if c == 'b' && lx.peek(1) == '\'' {
+        let start = lx.i;
+        lx.bump(); // b
+        lex_char_body(lx);
+        toks.push(tok(TokKind::Char, lx.text_since(start), line, col));
+        return true;
+    }
+    // b"…" — cooked byte string.
+    if c == 'b' && lx.peek(1) == '"' {
+        let start = lx.i;
+        lx.bump(); // b
+        let _ = lex_cooked_string(lx);
+        push_str(toks, lx.text_since(start), line, col);
+        return true;
+    }
+    // r"…", r#"…"#, br"…", br#"…"# — raw (byte) strings; r#ident.
+    let mut j = 1; // past the leading r or b
+    if c == 'b' {
+        if lx.peek(1) != 'r' {
+            return false;
+        }
+        j = 2;
+    }
+    let mut hashes = 0usize;
+    while lx.peek(j + hashes) == '#' {
+        hashes += 1;
+    }
+    if lx.peek(j + hashes) == '"' {
+        let start = lx.i;
+        lx.bump_n(j + hashes + 1); // prefix + hashes + opening quote
+        loop {
+            if lx.at_end() {
+                break;
+            }
+            if lx.peek(0) == '"' {
+                let mut k = 1;
+                while k <= hashes && lx.peek(k) == '#' {
+                    k += 1;
+                }
+                if k == hashes + 1 {
+                    lx.bump_n(hashes + 1);
+                    break;
+                }
+            }
+            lx.bump();
+        }
+        push_str(toks, lx.text_since(start), line, col);
+        return true;
+    }
+    // r#ident — raw identifier (only r, exactly one #, then ident start).
+    if c == 'r' && hashes == 1 && is_ident_start(lx.peek(2)) {
+        lx.bump_n(2);
+        let start = lx.i;
+        while is_ident_continue(lx.peek(0)) {
+            lx.bump();
+        }
+        toks.push(tok(TokKind::Ident, lx.text_since(start), line, col));
+        return true;
+    }
+    false
+}
+
+/// Consumes a cooked string starting at `"`; returns the lexeme.
+fn lex_cooked_string(lx: &mut Lexer) -> String {
+    let start = lx.i;
+    lx.bump(); // opening quote
+    while !lx.at_end() {
+        match lx.peek(0) {
+            '\\' => lx.bump_n(2),
+            '"' => {
+                lx.bump();
+                break;
+            }
+            _ => lx.bump(),
+        }
+    }
+    lx.text_since(start)
+}
+
+/// Consumes a char literal starting at `'` (escape-aware, `\u{…}` ok).
+fn lex_char_body(lx: &mut Lexer) {
+    lx.bump(); // opening quote
+    if lx.peek(0) == '\\' {
+        lx.bump_n(2); // backslash + escaped char (u of \u{…} included)
+        while !lx.at_end() && lx.peek(0) != '\'' {
+            lx.bump();
+        }
+        lx.bump(); // closing quote
+    } else {
+        lx.bump(); // the char
+        lx.bump(); // closing quote
+    }
+}
+
+/// `'…` is a char literal or a lifetime; disambiguate and push.
+fn lex_char_or_lifetime(lx: &mut Lexer, toks: &mut Vec<Tok>, line: u32, col: u32) {
+    let start = lx.i;
+    if lx.peek(1) == '\\' || (lx.peek(2) == '\'' && lx.peek(1) != '\'') {
+        lex_char_body(lx);
+        toks.push(tok(TokKind::Char, lx.text_since(start), line, col));
+    } else {
+        // Lifetime: ' followed by ident chars (or _), no closing quote.
+        lx.bump();
+        while is_ident_continue(lx.peek(0)) {
+            lx.bump();
+        }
+        toks.push(tok(TokKind::Lifetime, lx.text_since(start), line, col));
+    }
+}
+
+/// Lexes a numeric literal, classifying integer vs float.
+fn lex_number(lx: &mut Lexer, toks: &mut Vec<Tok>, line: u32, col: u32) {
+    let start = lx.i;
+    let mut float = false;
+    if lx.peek(0) == '0' && matches!(lx.peek(1), 'x' | 'o' | 'b') {
+        lx.bump_n(2);
+        while lx.peek(0).is_ascii_alphanumeric() || lx.peek(0) == '_' {
+            lx.bump();
+        }
+        toks.push(tok(TokKind::Int, lx.text_since(start), line, col));
+        return;
+    }
+    while lx.peek(0).is_ascii_digit() || lx.peek(0) == '_' {
+        lx.bump();
+    }
+    if lx.peek(0) == '.' {
+        let next = lx.peek(1);
+        if next.is_ascii_digit() {
+            lx.bump(); // the point
+            while lx.peek(0).is_ascii_digit() || lx.peek(0) == '_' {
+                lx.bump();
+            }
+            float = true;
+        } else if next != '.' && !is_ident_start(next) {
+            // `1.` — trailing-dot float (stop before `..` ranges and
+            // method calls / tuple indexing).
+            lx.bump();
+            float = true;
+        }
+    }
+    if matches!(lx.peek(0), 'e' | 'E') {
+        let (n1, n2) = (lx.peek(1), lx.peek(2));
+        if n1.is_ascii_digit() || (matches!(n1, '+' | '-') && n2.is_ascii_digit()) {
+            lx.bump(); // e
+            if matches!(lx.peek(0), '+' | '-') {
+                lx.bump();
+            }
+            while lx.peek(0).is_ascii_digit() || lx.peek(0) == '_' {
+                lx.bump();
+            }
+            float = true;
+        }
+    }
+    // Type suffix (f64, u32, usize, …).
+    let suffix_start = lx.i;
+    while is_ident_continue(lx.peek(0)) {
+        lx.bump();
+    }
+    if lx.chars.get(suffix_start).copied() == Some('f') {
+        float = true;
+    }
+    let kind = if float { TokKind::Float } else { TokKind::Int };
+    toks.push(tok(kind, lx.text_since(start), line, col));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_are_skipped_including_nested_blocks() {
+        let toks = kinds("a // unwrap()\nb /* x /* thread_rng */ y */ c");
+        let idents: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(idents, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn strings_hide_banned_names_and_track_emptiness() {
+        let toks = lex(r#"let s = "SystemTime::now"; let e = ""; let w = " ";"#);
+        let strs: Vec<bool> = toks
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Str { empty } => Some(empty),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, [false, true, true]);
+        assert!(!toks.iter().any(|t| t.is_ident("SystemTime")));
+    }
+
+    #[test]
+    fn raw_and_byte_strings_lex_as_single_tokens() {
+        let toks = lex(r###"let a = r#"has "quotes" and unwrap()"#; let b = br"x"; end"###);
+        assert!(toks.iter().any(|t| t.is_ident("end")));
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        let n_strings = toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Str { .. }))
+            .count();
+        assert_eq!(n_strings, 2);
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let toks = lex(
+            r"let c: char = 'x'; let n = '\n'; let u = '\u{7f}'; fn f<'a>(x: &'a str, y: &'_ u8) {}",
+        );
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a", "'_"]);
+        let chars = toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(chars, 3);
+    }
+
+    #[test]
+    fn numbers_classify_float_vs_int() {
+        let toks = lex("0 1_000 0xFF 0b10 1.5 2. 1e3 2E-4 3f64 7u32 1..2 0.0..=9.0");
+        let floats: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Float)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(floats, ["1.5", "2.", "1e3", "2E-4", "3f64", "0.0", "9.0"]);
+        let ints: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Int)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(ints, ["0", "1_000", "0xFF", "0b10", "7u32", "1", "2"]);
+        assert!(toks.iter().any(|t| t.is_punct("..")));
+        assert!(toks.iter().any(|t| t.is_punct("..=")));
+    }
+
+    #[test]
+    fn multichar_operators_fuse() {
+        let toks = lex("a == b != c :: d -> e => f <= g >= h && i || j");
+        for op in ["==", "!=", "::", "->", "=>", "<=", ">=", "&&", "||"] {
+            assert!(toks.iter().any(|t| t.is_punct(op)), "missing {op}");
+        }
+    }
+
+    #[test]
+    fn raw_identifiers_lose_their_prefix() {
+        let toks = lex("let r#match = 1;");
+        assert!(toks.iter().any(|t| t.is_ident("match")));
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let toks = lex("ab\n  cd /* x\n y */ ef");
+        let cd = toks
+            .iter()
+            .find(|t| t.is_ident("cd"))
+            .map(|t| (t.line, t.col));
+        let ef = toks
+            .iter()
+            .find(|t| t.is_ident("ef"))
+            .map(|t| (t.line, t.col));
+        assert_eq!(cd, Some((2, 3)));
+        assert_eq!(ef, Some((3, 7)));
+    }
+}

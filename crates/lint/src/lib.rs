@@ -1,0 +1,171 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! `ldp-lint` — workspace determinism & hygiene lints the compiler and
+//! clippy cannot express.
+//!
+//! The reproduction's whole value rests on bit-exact determinism: the
+//! differential gates (PR 4–6) prove RNG streams draw-for-draw
+//! unperturbed, and 13 golden gates enforce the paper's numbers. This
+//! crate makes the classic regressions *statically* impossible instead
+//! of hoping a test notices. It is a hand-rolled lexer ([`lexer`]) plus
+//! a rule pass ([`rules`]) plus waiver bookkeeping ([`waivers`]) — no
+//! dependencies, no registry, no nightly, same vendored ethos as the
+//! workspace's hand-rolled JSON layer.
+//!
+//! # Rule catalog
+//!
+//! | id  | rule | rationale | exempt |
+//! |-----|------|-----------|--------|
+//! | D01 | no `HashMap`/`HashSet` **iteration** | hash iteration order is nondeterministic; one `for (k, _) in &map` feeding a draw loop desynchronizes every downstream RNG stream. Membership checks stay legal. | tests, examples, `crates/bench` |
+//! | D02 | no ambient entropy / wall-clock (`thread_rng`, `rand::random`, `OsRng`, `from_entropy`, `SystemTime::now`, `Instant::now`) | every random bit must flow from the master seed (`rng_from_seed` / `derive_seed2`) or replay breaks; time reads make output machine-dependent | `crates/bench`, binary targets (the CLI) |
+//! | D03 | no `==`/`!=` on float-typed operands | float equality is almost always a rounding-sensitive bug; *intentional* exact comparison (sentinels, golden bit-compares) must go through `ldp_common::float::{exact_eq, exactly_zero}`, which documents the intent | tests, examples, `crates/bench`, the `float` module itself |
+//! | D04 | no `unwrap()` / bare `expect("")` in library code | a library panic kills a whole shard worker mid-stream; the workspace contract is typed errors (`LdpError`) or degradation (`ArmOutcome::Degenerate`). A justified `expect("<why this cannot fail>")` is allowed. | tests, examples, `crates/bench`, binary targets |
+//! | D05 | seed literals (`rng_from_seed(<int>)`) only in tests/benches/examples | production paths must derive per-purpose streams via `derive_seed2(master, …)`; a literal silently reuses one stream everywhere | tests, examples, `crates/bench` |
+//! | H01 | every crate root carries `#![forbid(unsafe_code)]` | the workspace is pure safe Rust; `forbid` makes that a compile error, this rule makes *removing the forbid* a lint error | — |
+//! | H02 | no `println!`/`eprintln!` in library code | library output must be returned (`String`/`Table`/JSON) so the CLI and bench binaries own the terminal; stray prints corrupt `--json` emissions | the CLI and other bins, `crates/bench`, tests, examples |
+//!
+//! # Waivers
+//!
+//! `lint_waivers.toml` at the workspace root grants per-file-per-rule
+//! suppressions; each needs a `justification` and an `expires_pr` (see
+//! [`waivers`]). `--check-waivers` fails on stale or unused entries, so
+//! waived debt cannot silently outlive its excuse.
+//!
+//! # Known limits (by design)
+//!
+//! The lexer has no type information. D01 tracks only file-local
+//! bindings (`let x = HashMap::new()`, `x: HashMap<…>` ascriptions);
+//! D03 only fires when one operand is a float literal or an
+//! `as f64`/`as f32` cast. False negatives are possible; false positives
+//! are rare and waivable. The point is to catch the classic regression
+//! shapes cheaply and offline, not to re-implement rustc.
+
+pub mod lexer;
+pub mod rules;
+pub mod waivers;
+
+pub use rules::{lint_file, FileClass, Finding, RuleId};
+pub use waivers::{
+    apply_waivers, check_waivers, current_pr_from_changes, parse_waivers, render_waivers, Waiver,
+};
+
+use std::path::{Path, PathBuf};
+
+/// A fatal lint-pass error (I/O or waiver-file syntax) — distinct from
+/// findings, which are diagnostics about the code under analysis.
+#[derive(Debug)]
+pub enum LintError {
+    /// Reading the tree or a file failed.
+    Io(String),
+    /// `lint_waivers.toml` is malformed.
+    Waivers(String),
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintError::Io(m) => write!(f, "io error: {m}"),
+            LintError::Waivers(m) => write!(f, "waiver file error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// The roots the pass walks, relative to the workspace root. `vendor/`
+/// is deliberately absent: vendored stand-ins are external code.
+pub const WALK_ROOTS: [&str; 4] = ["crates", "src", "tests", "examples"];
+
+/// Directory names skipped wherever they appear: build output, VCS, and
+/// the lint crate's own known-bad fixture snippets.
+pub const SKIP_DIRS: [&str; 4] = ["target", ".git", "fixtures", "vendor"];
+
+/// Everything one workspace scan produced.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Findings no waiver covered, in (path, line, col) order.
+    pub findings: Vec<Finding>,
+    /// Findings a waiver suppressed, with the waiver's index.
+    pub suppressed: Vec<(Finding, usize)>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Collects every `.rs` file under the walk roots, sorted by path so
+/// output (and therefore CI logs) is deterministic.
+pub fn collect_files(root: &Path) -> Result<Vec<PathBuf>, LintError> {
+    let mut files = Vec::new();
+    for wr in WALK_ROOTS {
+        let dir = root.join(wr);
+        if dir.is_dir() {
+            walk_dir(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk_dir(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| LintError::Io(format!("{}: {e}", dir.display())))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| LintError::Io(format!("{}: {e}", dir.display())))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                walk_dir(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs the full catalog over the workspace at `root`, applying
+/// `waivers`. Findings come back sorted by path/line/col.
+pub fn lint_workspace(root: &Path, waivers: &[Waiver]) -> Result<LintReport, LintError> {
+    let files = collect_files(root)?;
+    let files_scanned = files.len();
+    let mut all: Vec<Finding> = Vec::new();
+    for file in &files {
+        let src = std::fs::read_to_string(file)
+            .map_err(|e| LintError::Io(format!("{}: {e}", file.display())))?;
+        let rel = relative_path(root, file);
+        all.extend(rules::lint_file(&rel, &src));
+    }
+    let (findings, suppressed) = waivers::apply_waivers(all, waivers);
+    Ok(LintReport {
+        findings,
+        suppressed,
+        files_scanned,
+    })
+}
+
+/// Loads `lint_waivers.toml` from the workspace root; a missing file
+/// means "no waivers", a malformed one is a hard error.
+pub fn load_waivers(path: &Path) -> Result<Vec<Waiver>, LintError> {
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    let content = std::fs::read_to_string(path)
+        .map_err(|e| LintError::Io(format!("{}: {e}", path.display())))?;
+    waivers::parse_waivers(&content)
+        .map_err(|(line, msg)| LintError::Waivers(format!("{}:{line}: {msg}", path.display())))
+}
+
+/// Reads the in-flight PR number from `<root>/CHANGES.md` (see
+/// [`waivers::current_pr_from_changes`]); `None` when undeterminable.
+pub fn discover_current_pr(root: &Path) -> Option<u32> {
+    let content = std::fs::read_to_string(root.join("CHANGES.md")).ok()?;
+    waivers::current_pr_from_changes(&content)
+}
+
+/// Workspace-relative forward-slash path (falls back to the full path
+/// when `file` is not under `root`).
+fn relative_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.to_string_lossy().replace('\\', "/")
+}

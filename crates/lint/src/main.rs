@@ -1,0 +1,136 @@
+//! The `ldp-lint` binary: scans the workspace, prints findings as
+//! `path:line:col: [ID] message` (with the offending line), and — with
+//! `--check-waivers` — validates waiver freshness. See the library docs
+//! for the rule catalog.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ldp_lint::{check_waivers, discover_current_pr, lint_workspace, load_waivers, RuleId};
+
+const USAGE: &str = "\
+ldp-lint — workspace determinism & hygiene lints
+
+USAGE: ldp-lint [OPTIONS]
+
+OPTIONS:
+    --deny             exit non-zero when any unwaived finding remains
+    --check-waivers    fail on stale or unused lint_waivers.toml entries
+    --root <DIR>       workspace root (default: current directory)
+    --waivers <FILE>   waiver file (default: <root>/lint_waivers.toml)
+    --pr <N>           current PR number (default: derived from CHANGES.md)
+    --list-rules       print the rule catalog and exit
+    --help             print this help
+";
+
+struct Args {
+    deny: bool,
+    check_waivers: bool,
+    root: PathBuf,
+    waivers: Option<PathBuf>,
+    pr: Option<u32>,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        deny: false,
+        check_waivers: false,
+        root: PathBuf::from("."),
+        waivers: None,
+        pr: None,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny" => args.deny = true,
+            "--check-waivers" => args.check_waivers = true,
+            "--list-rules" => args.list_rules = true,
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a value")?);
+            }
+            "--waivers" => {
+                args.waivers = Some(PathBuf::from(it.next().ok_or("--waivers needs a value")?));
+            }
+            "--pr" => {
+                let v = it.next().ok_or("--pr needs a value")?;
+                args.pr = Some(v.parse().map_err(|_| format!("--pr: bad number `{v}`"))?);
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("ldp-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list_rules {
+        println!("ldp-lint rule catalog:");
+        for rule in RuleId::ALL {
+            println!("  [{}] {}", rule.id(), rule.summary());
+        }
+        return ExitCode::SUCCESS;
+    }
+    if !args.root.join("Cargo.toml").exists() || !args.root.join("crates").is_dir() {
+        eprintln!(
+            "ldp-lint: `{}` does not look like the workspace root (no Cargo.toml/crates); \
+             run from the repo root or pass --root",
+            args.root.display()
+        );
+        return ExitCode::from(2);
+    }
+    let waiver_path = args
+        .waivers
+        .clone()
+        .unwrap_or_else(|| args.root.join("lint_waivers.toml"));
+    let waivers = match load_waivers(&waiver_path) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("ldp-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match lint_workspace(&args.root, &waivers) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ldp-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for finding in &report.findings {
+        println!("{}", finding.render());
+    }
+    let mut failed = false;
+    if args.check_waivers {
+        let current_pr = args.pr.or_else(|| discover_current_pr(&args.root));
+        let errors = check_waivers(&waivers, &report.suppressed, current_pr);
+        for e in &errors {
+            println!("ldp-lint: {e}");
+        }
+        failed |= !errors.is_empty();
+    }
+    println!(
+        "ldp-lint: {} finding(s) ({} waived) across {} files, {} waiver(s) on file",
+        report.findings.len(),
+        report.suppressed.len(),
+        report.files_scanned,
+        waivers.len()
+    );
+    failed |= args.deny && !report.findings.is_empty();
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

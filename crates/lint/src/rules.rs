@@ -1,0 +1,773 @@
+//! The rule catalog and its enforcement pass.
+//!
+//! See the crate-level docs for the full rationale table. Each rule here
+//! is scoped by [`FileClass`] (where in the workspace the file lives) and
+//! by token-level test-region marking ([`mark_test_regions`]), so that
+//! the exemptions the catalog promises — tests, benches, examples, the
+//! CLI — are applied uniformly.
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// A rule identifier from the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// No iteration over `HashMap`/`HashSet` in non-test library code.
+    D01,
+    /// No ambient entropy or wall-clock outside benches and the CLI.
+    D02,
+    /// No `==`/`!=` against float-typed operands.
+    D03,
+    /// No `unwrap()` / bare `expect("")` in non-test library code.
+    D04,
+    /// Seed literals only in tests/benches/examples.
+    D05,
+    /// Every crate root carries `#![forbid(unsafe_code)]`.
+    H01,
+    /// No `println!`/`eprintln!` outside the CLI, benches, and tests.
+    H02,
+}
+
+impl RuleId {
+    /// Every rule, in catalog order.
+    pub const ALL: [RuleId; 7] = [
+        RuleId::D01,
+        RuleId::D02,
+        RuleId::D03,
+        RuleId::D04,
+        RuleId::D05,
+        RuleId::H01,
+        RuleId::H02,
+    ];
+
+    /// The stable id string (`"D01"`, …) used in output and waivers.
+    pub fn id(self) -> &'static str {
+        match self {
+            RuleId::D01 => "D01",
+            RuleId::D02 => "D02",
+            RuleId::D03 => "D03",
+            RuleId::D04 => "D04",
+            RuleId::D05 => "D05",
+            RuleId::H01 => "H01",
+            RuleId::H02 => "H02",
+        }
+    }
+
+    /// One-line summary for `--list-rules`.
+    pub fn summary(self) -> &'static str {
+        match self {
+            RuleId::D01 => "no HashMap/HashSet iteration in non-test library code",
+            RuleId::D02 => "no ambient entropy or wall-clock outside benches and the CLI",
+            RuleId::D03 => "no ==/!= on float-typed operands",
+            RuleId::D04 => "no unwrap()/bare expect(\"\") in non-test library code",
+            RuleId::D05 => "rng_from_seed(<literal>) only in tests/benches/examples",
+            RuleId::H01 => "crate roots must carry #![forbid(unsafe_code)]",
+            RuleId::H02 => "no println!/eprintln! outside the CLI, benches, and tests",
+        }
+    }
+
+    /// Parses an id string (case-insensitive).
+    pub fn parse(s: &str) -> Option<RuleId> {
+        RuleId::ALL
+            .into_iter()
+            .find(|r| r.id().eq_ignore_ascii_case(s.trim()))
+    }
+}
+
+/// One diagnostic: `path:line:col: [ID] message` plus the offending line.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Human-readable explanation.
+    pub message: String,
+    /// The offending source line, for display.
+    pub source_line: String,
+}
+
+impl Finding {
+    /// Renders the two-line diagnostic block.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: [{}] {}\n    | {}",
+            self.path,
+            self.line,
+            self.col,
+            self.rule.id(),
+            self.message,
+            self.source_line.trim_end()
+        )
+    }
+}
+
+/// Where a file sits in the workspace — drives per-rule exemptions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileClass {
+    /// Under `crates/bench/` (criterion suites, figure binaries, gate).
+    pub bench_crate: bool,
+    /// A binary target: under `src/bin/` or a `src/main.rs`.
+    pub bin: bool,
+    /// An integration-test file (top-level `tests/` or `crates/*/tests/`).
+    pub test_file: bool,
+    /// Under an `examples/` directory.
+    pub example: bool,
+    /// A crate root (`src/lib.rs`) — the H01 surface.
+    pub crate_root: bool,
+    /// The one blessed exact-float-comparison site
+    /// (`crates/common/src/float.rs`) — D03 does not apply there.
+    pub float_blessed: bool,
+}
+
+impl FileClass {
+    /// Classifies a workspace-relative, forward-slash path.
+    pub fn classify(rel_path: &str) -> FileClass {
+        let p = rel_path;
+        FileClass {
+            bench_crate: p.starts_with("crates/bench/"),
+            bin: p.contains("/src/bin/") || p.ends_with("src/main.rs"),
+            test_file: p.starts_with("tests/") || p.contains("/tests/"),
+            example: p.starts_with("examples/") || p.contains("/examples/"),
+            crate_root: p == "src/lib.rs"
+                || (p.starts_with("crates/") && p.ends_with("/src/lib.rs")),
+            float_blessed: p == "crates/common/src/float.rs",
+        }
+    }
+
+    /// "Library code": not a test file, example, bench-crate file, or bin.
+    fn library(&self) -> bool {
+        !(self.test_file || self.example || self.bench_crate || self.bin)
+    }
+}
+
+/// Marks every token that sits inside test-gated scope: an item under
+/// `#[cfg(test)]` / `#[test]` / `#[bench]` (any attribute whose
+/// identifier set contains `test` or `bench`), or a `mod` whose name
+/// starts with `test`. Attribute → item association is brace-structural:
+/// the pending flag applies until the item's `{` opens (marking the whole
+/// block) or a `;`/`,`/`}` ends a braceless item (`use`, `struct S;`).
+pub fn mark_test_regions(toks: &mut [Tok]) {
+    let mut stack: Vec<bool> = Vec::new();
+    let mut pending = false;
+    let mut k = 0usize;
+    while k < toks.len() {
+        let parent = stack.last().copied().unwrap_or(false);
+        // Outer attribute: consume `#[ … ]` atomically.
+        if toks[k].is_punct("#") && k + 1 < toks.len() && toks[k + 1].is_punct("[") {
+            let mut depth = 0usize;
+            let mut has_test = false;
+            let mut j = k + 1;
+            while j < toks.len() {
+                if toks[j].is_punct("[") {
+                    depth += 1;
+                } else if toks[j].is_punct("]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if toks[j].kind == TokKind::Ident
+                    && (toks[j].text == "test" || toks[j].text == "bench")
+                {
+                    has_test = true;
+                }
+                j += 1;
+            }
+            pending |= has_test;
+            let marked = parent || pending;
+            let end = j.min(toks.len() - 1);
+            for t in toks[k..=end].iter_mut() {
+                t.in_test = marked;
+            }
+            k = j + 1;
+            continue;
+        }
+        // Inner attribute `#![ … ]`: skip atomically, no pending change.
+        if toks[k].is_punct("#")
+            && k + 2 < toks.len()
+            && toks[k + 1].is_punct("!")
+            && toks[k + 2].is_punct("[")
+        {
+            let mut depth = 0usize;
+            let mut j = k + 2;
+            while j < toks.len() {
+                if toks[j].is_punct("[") {
+                    depth += 1;
+                } else if toks[j].is_punct("]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            let end = j.min(toks.len() - 1);
+            for t in toks[k..=end].iter_mut() {
+                t.in_test = parent;
+            }
+            k = j + 1;
+            continue;
+        }
+        // `mod test…` gates its block even without #[cfg(test)].
+        if toks[k].is_ident("mod")
+            && toks
+                .get(k + 1)
+                .is_some_and(|t| t.kind == TokKind::Ident && t.text.starts_with("test"))
+        {
+            pending = true;
+        }
+        toks[k].in_test = parent || pending;
+        if toks[k].is_punct("{") {
+            stack.push(parent || pending);
+            pending = false;
+        } else if toks[k].is_punct("}") {
+            stack.pop();
+            pending = false;
+        } else if toks[k].is_punct(";") || toks[k].is_punct(",") {
+            pending = false;
+        }
+        k += 1;
+    }
+}
+
+/// Runs the whole catalog over one file's source.
+pub fn lint_file(rel_path: &str, src: &str) -> Vec<Finding> {
+    let class = FileClass::classify(rel_path);
+    let mut toks = lex(src);
+    mark_test_regions(&mut toks);
+    let lines: Vec<&str> = src.lines().collect();
+    let mut out: Vec<Finding> = Vec::new();
+    {
+        let mut emit = |tok: &Tok, rule: RuleId, message: String| {
+            let source_line = lines
+                .get(tok.line as usize - 1)
+                .map(|s| (*s).to_string())
+                .unwrap_or_default();
+            out.push(Finding {
+                path: rel_path.to_string(),
+                line: tok.line,
+                col: tok.col,
+                rule,
+                message,
+                source_line,
+            });
+        };
+        rule_d01(&class, &toks, &mut emit);
+        rule_d02(&class, &toks, &mut emit);
+        rule_d03(&class, &toks, &mut emit);
+        rule_d04(&class, &toks, &mut emit);
+        rule_d05(&class, &toks, &mut emit);
+        rule_h01(&class, &toks, &mut emit, rel_path);
+        rule_h02(&class, &toks, &mut emit);
+    }
+    out.sort_by_key(|f| (f.line, f.col, f.rule));
+    out
+}
+
+/// Methods whose call on a hash collection observes iteration order.
+const ITER_METHODS: [&str; 8] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
+    "retain",
+];
+
+/// D01 — order-nondeterministic iteration over `HashMap`/`HashSet`.
+///
+/// Heuristic, file-local binding tracking: a name counts as hash-backed
+/// when it is `let`-bound to a `HashMap`/`HashSet` constructor expression
+/// or carries an explicit `: HashMap<…>`/`: HashSet<…>` ascription
+/// (params, fields, lets). Flagged uses: `name.iter()` & friends
+/// ([`ITER_METHODS`]) and `for … in [&[mut]] name {`. Membership checks
+/// (`contains`, `insert`, `get`) stay legal — that is the point of the
+/// rule: hash collections are fine as sets, not as iteration sources.
+fn rule_d01(class: &FileClass, toks: &[Tok], emit: &mut impl FnMut(&Tok, RuleId, String)) {
+    if !class.library() {
+        return;
+    }
+    // Pass 1: collect hash-backed binding names. Test-region bindings
+    // are skipped — they cannot leak into library scope, and a test-only
+    // `let names = HashSet::new()` must not taint an unrelated library
+    // binding that happens to share the name.
+    let mut bindings: Vec<String> = Vec::new();
+    for (k, t) in toks.iter().enumerate() {
+        if t.in_test || !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // Walk back over a `std :: collections ::` path prefix.
+        let mut head = k;
+        while head >= 2 && toks[head - 1].is_punct("::") && toks[head - 2].kind == TokKind::Ident {
+            head -= 2;
+        }
+        if head == 0 {
+            continue;
+        }
+        let before = &toks[head - 1];
+        if before.is_punct("=") {
+            // `let [mut] NAME = … HashMap::new()` — find the `let`.
+            let mut j = head - 1;
+            while j > 0 {
+                j -= 1;
+                let t = &toks[j];
+                if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+                    break;
+                }
+                if t.is_ident("let") {
+                    let mut n = j + 1;
+                    if toks.get(n).is_some_and(|t| t.is_ident("mut")) {
+                        n += 1;
+                    }
+                    if let Some(name) = toks.get(n).filter(|t| t.kind == TokKind::Ident) {
+                        bindings.push(name.text.clone());
+                    }
+                    break;
+                }
+            }
+        } else {
+            // `NAME: [&[mut]] HashMap<…>` — param, field, or ascribed let.
+            let mut b = head - 1;
+            while b > 0 && (toks[b].is_punct("&") || toks[b].is_ident("mut")) {
+                b -= 1;
+            }
+            if toks[b].is_punct(":") && b >= 1 && toks[b - 1].kind == TokKind::Ident {
+                bindings.push(toks[b - 1].text.clone());
+            }
+        }
+    }
+    bindings.sort();
+    bindings.dedup();
+    // Pass 2: flag order-observing uses of tracked names.
+    for (k, t) in toks.iter().enumerate() {
+        if t.in_test || t.kind != TokKind::Ident {
+            continue;
+        }
+        let name_is_tracked = bindings.binary_search(&t.text).is_ok();
+        if name_is_tracked
+            && toks.get(k + 1).is_some_and(|t| t.is_punct("."))
+            && toks
+                .get(k + 2)
+                .is_some_and(|m| ITER_METHODS.iter().any(|im| m.is_ident(im)))
+            && toks.get(k + 3).is_some_and(|t| t.is_punct("("))
+        {
+            let method = &toks[k + 2].text;
+            emit(
+                t,
+                RuleId::D01,
+                format!(
+                    "`{}.{method}()` iterates a HashMap/HashSet in library code — order is \
+                     nondeterministic; collect into a sorted Vec or use a BTreeMap/BTreeSet \
+                     (membership checks are fine)",
+                    t.text
+                ),
+            );
+        }
+        // `for PAT in [&[mut]] NAME {`
+        if t.is_ident("in") {
+            let mut j = k + 1;
+            if toks.get(j).is_some_and(|t| t.is_punct("&")) {
+                j += 1;
+            }
+            if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            let (Some(name), Some(open)) = (toks.get(j), toks.get(j + 1)) else {
+                continue;
+            };
+            if name.kind == TokKind::Ident
+                && bindings.binary_search(&name.text).is_ok()
+                && open.is_punct("{")
+            {
+                emit(
+                    name,
+                    RuleId::D01,
+                    format!(
+                        "`for … in {}` iterates a HashMap/HashSet in library code — order is \
+                         nondeterministic; iterate a sorted Vec or a BTreeMap/BTreeSet instead",
+                        name.text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// D02 — ambient entropy / wall-clock. The draw-for-draw differential
+/// gates only hold when every random bit flows from the master seed and
+/// nothing observes real time; `crates/bench` and binary targets (the
+/// CLI) are the only places allowed to touch the outside world.
+fn rule_d02(class: &FileClass, toks: &[Tok], emit: &mut impl FnMut(&Tok, RuleId, String)) {
+    if class.bench_crate || class.bin {
+        return;
+    }
+    for (k, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let banned = match t.text.as_str() {
+            "thread_rng" | "OsRng" | "from_entropy" => true,
+            "random" => k >= 2 && toks[k - 1].is_punct("::") && toks[k - 2].is_ident("rand"),
+            _ => false,
+        };
+        if banned {
+            emit(
+                t,
+                RuleId::D02,
+                format!(
+                    "`{}` is an ambient entropy source — all randomness must derive from the \
+                     master seed via rng_from_seed/derive_seed2",
+                    t.text
+                ),
+            );
+            continue;
+        }
+        if (t.is_ident("SystemTime") || t.is_ident("Instant"))
+            && toks.get(k + 1).is_some_and(|t| t.is_punct("::"))
+            && toks.get(k + 2).is_some_and(|t| t.is_ident("now"))
+        {
+            emit(
+                t,
+                RuleId::D02,
+                format!(
+                    "`{}::now()` reads the wall-clock — deterministic code must not observe \
+                     real time (benches and the CLI are exempt)",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// D03 — `==`/`!=` with a float-typed operand. Detection is heuristic
+/// (the lexer has no types): an operand is float-typed when it is a float
+/// literal or an `as f64`/`as f32` cast. Intentional exact comparison
+/// goes through `ldp_common::float` (the one blessed definition site).
+fn rule_d03(class: &FileClass, toks: &[Tok], emit: &mut impl FnMut(&Tok, RuleId, String)) {
+    if class.test_file || class.example || class.bench_crate || class.float_blessed {
+        return;
+    }
+    for (k, t) in toks.iter().enumerate() {
+        if !(t.is_punct("==") || t.is_punct("!=")) || t.in_test {
+            continue;
+        }
+        let left_float = k >= 1 && toks[k - 1].kind == TokKind::Float
+            || (k >= 2
+                && toks[k - 2].is_ident("as")
+                && (toks[k - 1].is_ident("f64") || toks[k - 1].is_ident("f32")));
+        let right_float = toks.get(k + 1).is_some_and(|t| t.kind == TokKind::Float);
+        if left_float || right_float {
+            emit(
+                t,
+                RuleId::D03,
+                format!(
+                    "`{}` on a float-typed operand — use ldp_common::float::exact_eq/\
+                     exactly_zero for intentional exact comparison, or an epsilon band",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// D04 — `unwrap()` / bare `expect("")` in non-test library code. The
+/// streaming/defense contracts degrade (`ArmOutcome::Degenerate`) or
+/// propagate typed errors; a library panic kills a whole shard worker.
+fn rule_d04(class: &FileClass, toks: &[Tok], emit: &mut impl FnMut(&Tok, RuleId, String)) {
+    if !class.library() {
+        return;
+    }
+    for (k, t) in toks.iter().enumerate() {
+        if t.in_test || k == 0 || !toks[k - 1].is_punct(".") {
+            continue;
+        }
+        if t.is_ident("unwrap")
+            && toks.get(k + 1).is_some_and(|t| t.is_punct("("))
+            && toks.get(k + 2).is_some_and(|t| t.is_punct(")"))
+        {
+            emit(
+                t,
+                RuleId::D04,
+                "`.unwrap()` in library code — return a typed error (`ldp_common::LdpError`) \
+                 or use `.expect(\"<why this cannot fail>\")`"
+                    .to_string(),
+            );
+        }
+        if t.is_ident("expect")
+            && toks.get(k + 1).is_some_and(|t| t.is_punct("("))
+            && toks
+                .get(k + 2)
+                .is_some_and(|t| matches!(t.kind, TokKind::Str { empty: true }))
+        {
+            emit(
+                t,
+                RuleId::D04,
+                "bare `.expect(\"\")` in library code — the message must state why the value \
+                 is guaranteed present"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// D05 — literal seeds in production paths. Every production RNG stream
+/// must be derived from the run's master seed via `derive_seed2` so that
+/// shard/epoch/trial streams never collide; a hard-coded
+/// `rng_from_seed(42)` silently reuses one stream everywhere.
+fn rule_d05(class: &FileClass, toks: &[Tok], emit: &mut impl FnMut(&Tok, RuleId, String)) {
+    if class.test_file || class.example || class.bench_crate {
+        return;
+    }
+    for (k, t) in toks.iter().enumerate() {
+        if t.in_test || !t.is_ident("rng_from_seed") {
+            continue;
+        }
+        if toks.get(k + 1).is_some_and(|t| t.is_punct("("))
+            && toks.get(k + 2).is_some_and(|t| t.kind == TokKind::Int)
+            && toks.get(k + 3).is_some_and(|t| t.is_punct(")"))
+        {
+            emit(
+                t,
+                RuleId::D05,
+                format!(
+                    "`rng_from_seed({})` hard-codes a seed in a production path — derive the \
+                     stream from the master seed via derive_seed2",
+                    toks[k + 2].text
+                ),
+            );
+        }
+    }
+}
+
+/// H01 — crate roots must carry `#![forbid(unsafe_code)]`.
+fn rule_h01(
+    class: &FileClass,
+    toks: &[Tok],
+    emit: &mut impl FnMut(&Tok, RuleId, String),
+    rel_path: &str,
+) {
+    if !class.crate_root {
+        return;
+    }
+    let found = toks.windows(8).any(|w| {
+        w[0].is_punct("#")
+            && w[1].is_punct("!")
+            && w[2].is_punct("[")
+            && w[3].is_ident("forbid")
+            && w[4].is_punct("(")
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(")")
+            && w[7].is_punct("]")
+    });
+    if !found {
+        let anchor = Tok {
+            kind: TokKind::Punct,
+            text: String::new(),
+            line: 1,
+            col: 1,
+            in_test: false,
+        };
+        emit(
+            &anchor,
+            RuleId::H01,
+            format!("crate root {rel_path} is missing `#![forbid(unsafe_code)]`"),
+        );
+    }
+}
+
+/// H02 — stray stdout/stderr. Library code renders to `String`/`Table`
+/// and lets the CLI / bench binaries decide what reaches a terminal.
+fn rule_h02(class: &FileClass, toks: &[Tok], emit: &mut impl FnMut(&Tok, RuleId, String)) {
+    if class.bench_crate || class.bin || class.test_file || class.example {
+        return;
+    }
+    for (k, t) in toks.iter().enumerate() {
+        if t.in_test || t.kind != TokKind::Ident {
+            continue;
+        }
+        if (t.text == "println" || t.text == "eprintln")
+            && toks.get(k + 1).is_some_and(|t| t.is_punct("!"))
+        {
+            emit(
+                t,
+                RuleId::H02,
+                format!(
+                    "`{}!` in library code — render to a String (e.g. \
+                     ScenarioReport::render_text) and let the CLI print",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_on(path: &str, src: &str) -> Vec<(u32, &'static str)> {
+        lint_file(path, src)
+            .into_iter()
+            .map(|f| (f.line, f.rule.id()))
+            .collect()
+    }
+
+    const LIB: &str = "crates/demo/src/x.rs";
+
+    #[test]
+    fn cfg_test_scope_exempts_unwrap_and_prints() {
+        let src = "pub fn f() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn g() { Some(1).unwrap(); println!(\"x\"); }\n\
+                   }\n";
+        assert!(rules_on(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn test_attr_on_fn_exempts_body() {
+        let src = "#[test]\nfn t() { Some(1).unwrap(); }\n";
+        assert!(rules_on(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn entropy_fires_even_in_test_code() {
+        // D02 is deliberately NOT test-exempt: the differential suites
+        // only mean something if the tests themselves are deterministic.
+        let src = "#[cfg(test)]\nuse rand::thread_rng;\n";
+        assert_eq!(rules_on(LIB, src), [(2, "D02")]);
+    }
+
+    #[test]
+    fn library_unwrap_fires_and_bin_is_exempt() {
+        let src = "pub fn f() { Some(1).unwrap(); }\n";
+        assert_eq!(rules_on(LIB, src), [(1, "D04")]);
+        assert!(rules_on("crates/sim/src/bin/ldp.rs", src).is_empty());
+    }
+
+    #[test]
+    fn bare_expect_fires_but_justified_expect_passes() {
+        let bare = "pub fn f() { Some(1).expect(\"\"); }\n";
+        let just = "pub fn f() { Some(1).expect(\"always present: seeded above\"); }\n";
+        assert_eq!(rules_on(LIB, bare), [(1, "D04")]);
+        assert!(rules_on(LIB, just).is_empty());
+    }
+
+    #[test]
+    fn hashmap_iteration_fires_membership_does_not() {
+        let bad = "pub fn f() {\n\
+                       let mut m = std::collections::HashMap::new();\n\
+                       m.insert(1, 2);\n\
+                       for (k, v) in &m { let _ = (k, v); }\n\
+                   }\n";
+        assert_eq!(rules_on(LIB, bad), [(4, "D01")]);
+        let ok = "pub fn f() {\n\
+                      let mut s = std::collections::HashSet::new();\n\
+                      s.insert(1);\n\
+                      let _ = s.contains(&1);\n\
+                  }\n";
+        assert!(rules_on(LIB, ok).is_empty());
+    }
+
+    #[test]
+    fn test_only_hash_binding_does_not_taint_library_names() {
+        // A library Vec named `names` iterated normally, plus a test-only
+        // HashSet that shares the name: no finding.
+        let src = "pub fn f() -> usize {\n\
+                       let names: Vec<u32> = vec![1, 2];\n\
+                       names.into_iter().count()\n\
+                   }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn g() {\n\
+                           let mut names = std::collections::HashSet::new();\n\
+                           names.insert(1);\n\
+                           for n in &names { let _ = n; }\n\
+                       }\n\
+                   }\n";
+        assert!(rules_on(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn ascribed_param_iteration_fires() {
+        let src = "pub fn f(m: &std::collections::HashMap<u32, u32>) -> Vec<u32> {\n\
+                       m.keys().copied().collect()\n\
+                   }\n";
+        assert_eq!(rules_on(LIB, src), [(2, "D01")]);
+    }
+
+    #[test]
+    fn entropy_and_wall_clock_fire_outside_bench() {
+        let src = "pub fn f() { let _ = rand::thread_rng(); }\n\
+                   pub fn g() { let _ = std::time::Instant::now(); }\n";
+        assert_eq!(rules_on(LIB, src), [(1, "D02"), (2, "D02")]);
+        assert!(rules_on("crates/bench/src/timing.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_equality_fires_int_does_not() {
+        assert_eq!(
+            rules_on(LIB, "pub fn f(x: f64) -> bool { x == 0.0 }\n"),
+            [(1, "D03")]
+        );
+        assert_eq!(
+            rules_on(LIB, "pub fn f(x: u32) -> bool { x as f64 != 1.0 }\n"),
+            [(1, "D03")]
+        );
+        assert!(rules_on(LIB, "pub fn f(x: u32) -> bool { x == 0 }\n").is_empty());
+        assert!(rules_on(
+            "crates/common/src/float.rs",
+            "pub fn eq(a: f64, b: f64) -> bool { a == 0.0 }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn seed_literal_fires_derived_seed_does_not() {
+        assert_eq!(
+            rules_on(LIB, "pub fn f() { let _ = rng_from_seed(42); }\n"),
+            [(1, "D05")]
+        );
+        assert!(rules_on(
+            LIB,
+            "pub fn f(master: u64) { let _ = rng_from_seed(derive_seed2(master, 1, 2)); }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn crate_root_requires_forbid_unsafe() {
+        assert_eq!(
+            rules_on("crates/demo/src/lib.rs", "//! Docs.\npub fn f() {}\n"),
+            [(1, "H01")]
+        );
+        assert!(rules_on(
+            "crates/demo/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn f() {}\n"
+        )
+        .is_empty());
+        // Non-roots are not checked.
+        assert!(rules_on(LIB, "pub fn f() {}\n").is_empty());
+    }
+
+    #[test]
+    fn println_fires_in_library_only() {
+        let src = "pub fn f() { println!(\"x\"); }\n";
+        assert_eq!(rules_on(LIB, src), [(1, "H02")]);
+        assert!(rules_on("crates/sim/src/bin/ldp.rs", src).is_empty());
+        assert!(rules_on("tests/foo.rs", src).is_empty());
+        assert!(rules_on("examples/demo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn banned_names_in_strings_and_comments_are_ignored() {
+        let src = "// thread_rng in a comment\n\
+                   pub fn f() -> &'static str { \"SystemTime::now unwrap()\" }\n";
+        assert!(rules_on(LIB, src).is_empty());
+    }
+}

@@ -1,0 +1,365 @@
+//! Hand-parsed `lint_waivers.toml`: per-file-per-rule suppressions.
+//!
+//! A waiver is a *debt note*, not an off switch: it must say **why** the
+//! finding is acceptable (non-empty `justification`) and **when** the
+//! debt comes due (`expires_pr` — the PR number by which the waiver must
+//! be gone). `ldp-lint --check-waivers` fails on:
+//!
+//! * **stale** waivers — `expires_pr <=` the current PR (derived from
+//!   `CHANGES.md`, overridable with `--pr`);
+//! * **unused** waivers — entries that suppressed nothing this run,
+//!   i.e. the finding was fixed but the waiver lingered.
+//!
+//! The format is the obvious TOML subset (parsed by hand — this crate is
+//! dependency-free):
+//!
+//! ```toml
+//! [[waiver]]
+//! path = "crates/sim/src/scenario/run.rs"
+//! rule = "D01"
+//! justification = "iteration feeds a sort, so order cannot leak"
+//! expires_pr = 9
+//! ```
+
+use crate::rules::{Finding, RuleId};
+
+/// One parsed waiver entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// Workspace-relative path the waiver applies to (forward slashes).
+    pub path: String,
+    /// The rule being waived.
+    pub rule: RuleId,
+    /// Why the finding is acceptable — required, non-empty.
+    pub justification: String,
+    /// The PR number by which this waiver must be removed.
+    pub expires_pr: u32,
+}
+
+/// Parses the waiver file content. Returns all entries or the first
+/// error, as `(line number, message)`.
+pub fn parse_waivers(content: &str) -> Result<Vec<Waiver>, (usize, String)> {
+    struct Partial {
+        header_line: usize,
+        path: Option<String>,
+        rule: Option<RuleId>,
+        justification: Option<String>,
+        expires_pr: Option<u32>,
+    }
+    let mut entries: Vec<Waiver> = Vec::new();
+    let mut current: Option<Partial> = None;
+    let finish = |p: Partial| -> Result<Waiver, (usize, String)> {
+        let at = p.header_line;
+        let path = p.path.ok_or((at, "waiver is missing `path`".to_string()))?;
+        let rule = p.rule.ok_or((at, "waiver is missing `rule`".to_string()))?;
+        let justification = p
+            .justification
+            .ok_or((at, "waiver is missing `justification`".to_string()))?;
+        let expires_pr = p
+            .expires_pr
+            .ok_or((at, "waiver is missing `expires_pr`".to_string()))?;
+        if justification.trim().is_empty() {
+            return Err((at, "waiver `justification` must be non-empty".to_string()));
+        }
+        if expires_pr == 0 {
+            return Err((at, "waiver `expires_pr` must be >= 1".to_string()));
+        }
+        if path.contains('\\') {
+            return Err((at, "waiver `path` must use forward slashes".to_string()));
+        }
+        Ok(Waiver {
+            path,
+            rule,
+            justification,
+            expires_pr,
+        })
+    };
+    for (idx, raw) in content.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[waiver]]" {
+            if let Some(p) = current.take() {
+                entries.push(finish(p)?);
+            }
+            current = Some(Partial {
+                header_line: lineno,
+                path: None,
+                rule: None,
+                justification: None,
+                expires_pr: None,
+            });
+            continue;
+        }
+        let Some(p) = current.as_mut() else {
+            return Err((
+                lineno,
+                format!("unexpected line outside a [[waiver]] entry: `{line}`"),
+            ));
+        };
+        let Some((key, value)) = line.split_once('=') else {
+            return Err((lineno, format!("expected `key = value`, got `{line}`")));
+        };
+        let (key, value) = (key.trim(), value.trim());
+        match key {
+            "path" => p.path = Some(parse_string(value).map_err(|e| (lineno, e))?),
+            "rule" => {
+                let s = parse_string(value).map_err(|e| (lineno, e))?;
+                let rule = RuleId::parse(&s).ok_or_else(|| {
+                    let known: Vec<&str> = RuleId::ALL.iter().map(|r| r.id()).collect();
+                    (
+                        lineno,
+                        format!("unknown rule `{s}` (known: {})", known.join(", ")),
+                    )
+                })?;
+                p.rule = Some(rule);
+            }
+            "justification" => {
+                p.justification = Some(parse_string(value).map_err(|e| (lineno, e))?)
+            }
+            "expires_pr" => {
+                let n: u32 = value.parse().map_err(|_| {
+                    (
+                        lineno,
+                        format!("`expires_pr` must be an integer, got `{value}`"),
+                    )
+                })?;
+                p.expires_pr = Some(n);
+            }
+            other => return Err((lineno, format!("unknown waiver key `{other}`"))),
+        }
+    }
+    if let Some(p) = current.take() {
+        entries.push(finish(p)?);
+    }
+    Ok(entries)
+}
+
+/// Parses a double-quoted TOML basic string with `\"` / `\\` escapes.
+fn parse_string(value: &str) -> Result<String, String> {
+    let chars: Vec<char> = value.chars().collect();
+    if chars.len() < 2 || chars[0] != '"' || chars[chars.len() - 1] != '"' {
+        return Err(format!("expected a double-quoted string, got `{value}`"));
+    }
+    let mut out = String::new();
+    let mut i = 1;
+    while i < chars.len() - 1 {
+        if chars[i] == '\\' && i + 1 < chars.len() - 1 {
+            out.push(chars[i + 1]);
+            i += 2;
+        } else if chars[i] == '"' {
+            return Err(format!("unescaped quote inside string `{value}`"));
+        } else {
+            out.push(chars[i]);
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+/// Renders waivers back to the canonical file format (the round-trip
+/// partner of [`parse_waivers`], used by tests and `--bless`-free
+/// tooling that wants to emit a template).
+pub fn render_waivers(waivers: &[Waiver]) -> String {
+    let mut out = String::new();
+    for w in waivers {
+        out.push_str("[[waiver]]\n");
+        out.push_str(&format!("path = \"{}\"\n", escape(&w.path)));
+        out.push_str(&format!("rule = \"{}\"\n", w.rule.id()));
+        out.push_str(&format!(
+            "justification = \"{}\"\n",
+            escape(&w.justification)
+        ));
+        out.push_str(&format!("expires_pr = {}\n\n", w.expires_pr));
+    }
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Splits findings into kept (unwaived) and suppressed, recording which
+/// waiver indices fired so `--check-waivers` can spot unused entries.
+pub fn apply_waivers(
+    findings: Vec<Finding>,
+    waivers: &[Waiver],
+) -> (Vec<Finding>, Vec<(Finding, usize)>) {
+    let mut kept = Vec::new();
+    let mut suppressed = Vec::new();
+    for f in findings {
+        match waivers
+            .iter()
+            .position(|w| w.rule == f.rule && w.path == f.path)
+        {
+            Some(i) => suppressed.push((f, i)),
+            None => kept.push(f),
+        }
+    }
+    (kept, suppressed)
+}
+
+/// Validates waiver freshness: every entry must have suppressed at least
+/// one finding this run, and must not have expired. Returns one message
+/// per violation (empty = clean).
+pub fn check_waivers(
+    waivers: &[Waiver],
+    suppressed: &[(Finding, usize)],
+    current_pr: Option<u32>,
+) -> Vec<String> {
+    let mut errors = Vec::new();
+    for (i, w) in waivers.iter().enumerate() {
+        let used = suppressed.iter().any(|(_, idx)| *idx == i);
+        if !used {
+            errors.push(format!(
+                "unused waiver: {} [{}] suppressed nothing — the finding was fixed, remove \
+                 the waiver",
+                w.path,
+                w.rule.id()
+            ));
+        }
+        if let Some(pr) = current_pr {
+            if w.expires_pr <= pr {
+                errors.push(format!(
+                    "stale waiver: {} [{}] expired at PR {} (current PR is {}) — fix the \
+                     finding or renegotiate the expiry",
+                    w.path,
+                    w.rule.id(),
+                    w.expires_pr,
+                    pr
+                ));
+            }
+        }
+    }
+    errors
+}
+
+/// Derives the current PR number from `CHANGES.md`: one line per landed
+/// PR, each starting `PR <n>:`; the PR in flight is `max(n) + 1`.
+pub fn current_pr_from_changes(changes_md: &str) -> Option<u32> {
+    let mut max_pr: Option<u32> = None;
+    for line in changes_md.lines() {
+        let Some(rest) = line.strip_prefix("PR ") else {
+            continue;
+        };
+        let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+        if digits.is_empty() || !rest[digits.len()..].starts_with(':') {
+            continue;
+        }
+        if let Ok(n) = digits.parse::<u32>() {
+            max_pr = Some(max_pr.map_or(n, |m| m.max(n)));
+        }
+    }
+    max_pr.map(|m| m + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn waiver(path: &str, rule: RuleId, expires: u32) -> Waiver {
+        Waiver {
+            path: path.to_string(),
+            rule,
+            justification: "because reasons, documented".to_string(),
+            expires_pr: expires,
+        }
+    }
+
+    fn finding(path: &str, rule: RuleId) -> Finding {
+        Finding {
+            path: path.to_string(),
+            line: 1,
+            col: 1,
+            rule,
+            message: "m".to_string(),
+            source_line: "s".to_string(),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_render_and_parse() {
+        let ws = vec![
+            waiver("crates/a/src/x.rs", RuleId::D03, 9),
+            Waiver {
+                path: "src/lib.rs".to_string(),
+                rule: RuleId::H02,
+                justification: "quote \" and back\\slash".to_string(),
+                expires_pr: 12,
+            },
+        ];
+        let rendered = render_waivers(&ws);
+        assert_eq!(parse_waivers(&rendered).expect("round-trip parses"), ws);
+    }
+
+    #[test]
+    fn empty_and_comment_only_files_parse_to_no_waivers() {
+        assert_eq!(parse_waivers("").expect("empty ok"), vec![]);
+        assert_eq!(
+            parse_waivers("# schema docs only\n\n# more\n").expect("comments ok"),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn missing_fields_and_bad_values_are_rejected() {
+        let missing = "[[waiver]]\npath = \"a.rs\"\nrule = \"D01\"\nexpires_pr = 9\n";
+        assert!(parse_waivers(missing).is_err(), "missing justification");
+        let blank =
+            "[[waiver]]\npath = \"a.rs\"\nrule = \"D01\"\njustification = \"  \"\nexpires_pr = 9\n";
+        assert!(parse_waivers(blank).is_err(), "blank justification");
+        let badrule =
+            "[[waiver]]\npath = \"a.rs\"\nrule = \"D99\"\njustification = \"x\"\nexpires_pr = 9\n";
+        let err = parse_waivers(badrule).expect_err("unknown rule");
+        assert!(err.1.contains("D01"), "error lists known rules: {}", err.1);
+        let badpr =
+            "[[waiver]]\npath = \"a.rs\"\nrule = \"D01\"\njustification = \"x\"\nexpires_pr = zero\n";
+        assert!(parse_waivers(badpr).is_err(), "non-integer expires_pr");
+        let stray = "path = \"a.rs\"\n";
+        assert!(parse_waivers(stray).is_err(), "key outside entry");
+        let unknown =
+            "[[waiver]]\npath = \"a.rs\"\nrule = \"D01\"\njustification = \"x\"\nexpires_pr = 9\nnote = \"y\"\n";
+        assert!(parse_waivers(unknown).is_err(), "unknown key");
+    }
+
+    #[test]
+    fn waivers_suppress_matching_findings_only() {
+        let ws = vec![waiver("a.rs", RuleId::D03, 99)];
+        let (kept, suppressed) = apply_waivers(
+            vec![
+                finding("a.rs", RuleId::D03),
+                finding("a.rs", RuleId::D04),
+                finding("b.rs", RuleId::D03),
+            ],
+            &ws,
+        );
+        assert_eq!(suppressed.len(), 1);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn unused_and_stale_waivers_fail_the_check() {
+        let ws = vec![
+            waiver("a.rs", RuleId::D03, 7),
+            waiver("b.rs", RuleId::D04, 99),
+        ];
+        // Only the second waiver is used; first is both unused and stale at PR 7.
+        let suppressed = vec![(finding("b.rs", RuleId::D04), 1usize)];
+        let errors = check_waivers(&ws, &suppressed, Some(7));
+        assert_eq!(errors.len(), 2, "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("unused")));
+        assert!(errors.iter().any(|e| e.contains("stale")));
+        // Fresh + used ⇒ clean.
+        assert!(check_waivers(&ws[1..], &[(finding("b.rs", RuleId::D04), 0)], Some(7)).is_empty());
+    }
+
+    #[test]
+    fn current_pr_derives_from_changes_md() {
+        let changes = "PR 1: a\nPR 2: b\nnot a pr line\nPR 10: c\n";
+        assert_eq!(current_pr_from_changes(changes), Some(11));
+        assert_eq!(current_pr_from_changes("nothing here"), None);
+        assert_eq!(current_pr_from_changes("PR x: nope\nPR 3 no-colon"), None);
+    }
+}

@@ -1,0 +1,134 @@
+//! Fixture-based golden tests for the rule catalog.
+//!
+//! Every rule has a known-bad snippet under `fixtures/bad/` whose
+//! expected diagnostics are written inline as `//~ <ID>` markers on the
+//! offending lines (compiletest style), and a known-good twin under
+//! `fixtures/good/` that must lint clean. The workspace walker skips
+//! `fixtures/` directories, so the known-bad snippets never pollute the
+//! live scan.
+
+use std::path::{Path, PathBuf};
+
+use ldp_lint::lint_file;
+
+fn fixture_dir(kind: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(kind)
+}
+
+/// The workspace-relative label a fixture is linted under. H01 fixtures
+/// must look like a crate root; everything else is a plain library file.
+fn label_for(stem: &str) -> String {
+    if stem.starts_with("h01") {
+        "crates/fixturecrate/src/lib.rs".to_string()
+    } else {
+        format!("crates/fixturecrate/src/{stem}.rs")
+    }
+}
+
+fn fixture_sources(kind: &str) -> Vec<(String, String)> {
+    let dir = fixture_dir(kind);
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(&dir).expect("fixture dir exists") {
+        let path = entry.expect("fixture dir readable").path();
+        let stem = path
+            .file_stem()
+            .expect("fixture has a name")
+            .to_string_lossy()
+            .to_string();
+        if path.extension().is_some_and(|e| e == "rs") {
+            let src = std::fs::read_to_string(&path).expect("fixture readable");
+            out.push((stem, src));
+        }
+    }
+    out.sort();
+    assert!(!out.is_empty(), "no fixtures under {}", dir.display());
+    out
+}
+
+/// Parses `//~ <ID> [<ID>…]` markers: (1-based line, rule id) pairs.
+fn expected_markers(src: &str) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        let Some(pos) = line.find("//~") else {
+            continue;
+        };
+        // Only rule-id tokens count, so prose *about* the `//~` syntax
+        // in fixture headers stays inert.
+        for id in line[pos + 3..].split_whitespace() {
+            if ldp_lint::RuleId::parse(id).is_some() {
+                out.push((idx as u32 + 1, id.to_string()));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn bad_fixtures_fire_exactly_their_marked_diagnostics() {
+    let mut rules_covered = std::collections::BTreeSet::new();
+    for (stem, src) in fixture_sources("bad") {
+        let expected = expected_markers(&src);
+        assert!(
+            !expected.is_empty(),
+            "bad fixture {stem} has no //~ markers"
+        );
+        let mut actual: Vec<(u32, String)> = lint_file(&label_for(&stem), &src)
+            .into_iter()
+            .map(|f| (f.line, f.rule.id().to_string()))
+            .collect();
+        actual.sort();
+        assert_eq!(
+            actual, expected,
+            "fixture {stem}: findings (left) must match //~ markers (right)"
+        );
+        for (_, id) in expected {
+            rules_covered.insert(id);
+        }
+    }
+    // Every rule in the catalog must have at least one bad fixture.
+    let all: Vec<String> = ldp_lint::RuleId::ALL
+        .iter()
+        .map(|r| r.id().to_string())
+        .collect();
+    let covered: Vec<String> = rules_covered.into_iter().collect();
+    assert_eq!(covered, all, "every rule needs a known-bad fixture");
+}
+
+#[test]
+fn good_fixtures_lint_clean() {
+    let mut checked = 0;
+    for (stem, src) in fixture_sources("good") {
+        let findings = lint_file(&label_for(&stem), &src);
+        assert!(
+            findings.is_empty(),
+            "good fixture {stem} should be clean, got:\n{}",
+            findings
+                .iter()
+                .map(ldp_lint::Finding::render)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        checked += 1;
+    }
+    // One good twin per rule, plus the lexer/scoping torture fixture.
+    assert!(checked >= 8, "expected ≥8 good fixtures, found {checked}");
+}
+
+#[test]
+fn finding_render_format_is_path_line_col_id_message() {
+    let src = "pub fn f() { Some(1).unwrap(); }\n";
+    let findings = lint_file("crates/fixturecrate/src/x.rs", src);
+    assert_eq!(findings.len(), 1);
+    let rendered = findings[0].render();
+    assert!(
+        rendered.starts_with("crates/fixturecrate/src/x.rs:1:22: [D04] "),
+        "unexpected render: {rendered}"
+    );
+    assert!(
+        rendered.ends_with("| pub fn f() { Some(1).unwrap(); }"),
+        "offending line missing: {rendered}"
+    );
+}

@@ -1,0 +1,86 @@
+//! Self-lint: plain `cargo test` runs the full rule catalog over the
+//! live workspace, so a determinism/hygiene regression fails the tier-1
+//! gate locally — CI's `ldp-lint --deny --check-waivers` step is the
+//! same check with a nicer log.
+
+use std::path::{Path, PathBuf};
+
+use ldp_lint::{check_waivers, discover_current_pr, lint_workspace, load_waivers};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("crates/lint/../.. is the workspace root")
+}
+
+#[test]
+fn workspace_lints_clean_with_fresh_waivers() {
+    let root = workspace_root();
+    let waivers = load_waivers(&root.join("lint_waivers.toml")).expect("waiver file parses");
+    let report = lint_workspace(&root, &waivers).expect("workspace scan succeeds");
+    assert!(
+        report.files_scanned > 100,
+        "suspiciously few files scanned ({}) — walker broke?",
+        report.files_scanned
+    );
+    assert!(
+        report.findings.is_empty(),
+        "unwaived lint findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(ldp_lint::Finding::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    let current_pr = discover_current_pr(&root);
+    assert!(
+        current_pr.is_some(),
+        "CHANGES.md must yield a current PR number for waiver expiry"
+    );
+    let errors = check_waivers(&waivers, &report.suppressed, current_pr);
+    assert!(
+        errors.is_empty(),
+        "waiver check failed:\n{}",
+        errors.join("\n")
+    );
+}
+
+#[test]
+fn walker_covers_every_crate_and_skips_fixtures_and_vendor() {
+    let root = workspace_root();
+    let files = ldp_lint::collect_files(&root).expect("walk succeeds");
+    let rels: Vec<String> = files
+        .iter()
+        .map(|f| {
+            f.strip_prefix(&root)
+                .expect("walked file is under root")
+                .to_string_lossy()
+                .replace('\\', "/")
+        })
+        .collect();
+    for crate_root in [
+        "src/lib.rs",
+        "crates/common/src/lib.rs",
+        "crates/protocols/src/lib.rs",
+        "crates/attacks/src/lib.rs",
+        "crates/datasets/src/lib.rs",
+        "crates/core/src/lib.rs",
+        "crates/kv/src/lib.rs",
+        "crates/sim/src/lib.rs",
+        "crates/bench/src/lib.rs",
+        "crates/lint/src/lib.rs",
+    ] {
+        assert!(
+            rels.contains(&crate_root.to_string()),
+            "missing {crate_root}"
+        );
+    }
+    assert!(
+        !rels
+            .iter()
+            .any(|r| r.contains("fixtures/") || r.starts_with("vendor/")),
+        "walker must skip fixtures/ and vendor/"
+    );
+}

@@ -280,7 +280,7 @@ fn repro_main<I: Iterator<Item = String>>(iter: I) -> Result<()> {
     for id in &ids {
         let scenario = catalog::scenario(id)?;
         let report = run_scenario(&scenario, &scale)?;
-        report.print(args.csv);
+        print!("{}", report.render_text(args.csv));
         if let Some(path) = &args.json {
             let written = report.write_json(path, ids.len() > 1)?;
             eprintln!("wrote {}", written.display());

@@ -1,6 +1,7 @@
 //! Declarative experiment configuration.
 
 use ldp_attacks::AttackKind;
+use ldp_common::float::exactly_zero;
 use ldp_common::{LdpError, Result};
 use ldp_datasets::DatasetKind;
 use ldp_protocols::ProtocolKind;
@@ -95,7 +96,7 @@ impl ExperimentConfig {
     /// Number of malicious users for `n` genuine ones:
     /// `m = round(β/(1−β)·n)` (so that β = m/(n+m)).
     pub fn malicious_count(&self, genuine: usize) -> usize {
-        if self.attack.is_none() || self.beta == 0.0 {
+        if self.attack.is_none() || exactly_zero(self.beta) {
             return 0;
         }
         ((self.beta / (1.0 - self.beta)) * genuine as f64).round() as usize

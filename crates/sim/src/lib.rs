@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Simulation pipeline for the LDPRecover reproduction.
 //!

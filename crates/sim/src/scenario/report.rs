@@ -1,6 +1,8 @@
 //! Structured scenario results: per-cell metric statistics, rendered
 //! grids, and the JSON emit consumed by the golden suite and CI artifacts.
 
+use ldp_common::float::exactly_zero;
+
 use crate::metrics::Stats;
 use crate::scenario::json::Json;
 use crate::scenario::spec::{Entry, GridSpec};
@@ -57,31 +59,40 @@ impl ScenarioReport {
             .map(|(_, stats)| *stats)
     }
 
-    /// Prints the run header, every grid, and the notes — the output the
-    /// historical `fig*` binaries hand-rolled.
-    pub fn print(&self, csv: bool) {
-        println!("LDPRecover reproduction — {}", self.title);
-        println!(
+    /// Renders the run header, every grid, and the notes — the output
+    /// the historical `fig*` binaries hand-rolled. Returns the full text
+    /// (trailing newline included) so callers that own a terminal — the
+    /// `ldp` CLI and the figure binaries — decide where it goes; library
+    /// code never prints (workspace lint rule H02).
+    pub fn render_text(&self, csv: bool) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        // Writing to a String is infallible; `let _ =` keeps that
+        // explicit without an unwrap.
+        let _ = writeln!(out, "LDPRecover reproduction — {}", self.title);
+        let _ = writeln!(
+            out,
             "figure={} trials={} scale={} seed={:#x}   (MSE scales ≈ 1/n: at scale σ \
              the noise floor is 1/σ × the paper's; method ordering is scale-invariant)",
             self.id, self.trials, self.scale_label, self.seed
         );
         if !self.paper_anchor.is_empty() {
-            println!("paper anchor: {}", self.paper_anchor);
+            let _ = writeln!(out, "paper anchor: {}", self.paper_anchor);
         }
-        println!();
+        let _ = writeln!(out);
         for grid in &self.grids {
-            println!("== {} ==", grid.title);
+            let _ = writeln!(out, "== {} ==", grid.title);
             if csv {
-                print!("{}", grid.table.render_csv());
+                out.push_str(&grid.table.render_csv());
             } else {
-                print!("{}", grid.table.render());
+                out.push_str(&grid.table.render());
             }
-            println!();
+            let _ = writeln!(out);
         }
         for note in &self.notes {
-            println!("note: {note}");
+            let _ = writeln!(out, "note: {note}");
         }
+        out
     }
 
     /// Writes the report's JSON to disk and returns the final path.
@@ -238,7 +249,7 @@ fn render_entry(entry: &Entry, report: &ScenarioReport) -> String {
 fn improvement(report: &ScenarioReport, cell: &str) -> Option<f64> {
     let recover = report.metric(cell, "mse_recover")?;
     let before = report.metric(cell, "mse_before")?;
-    (before.mean != 0.0).then(|| 1.0 - recover.mean / before.mean)
+    (!exactly_zero(before.mean)).then(|| 1.0 - recover.mean / before.mean)
 }
 
 #[cfg(test)]

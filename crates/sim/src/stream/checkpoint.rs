@@ -16,6 +16,7 @@
 //! stream.
 
 use ldp_attacks::AttackKind;
+use ldp_common::float::exactly_zero;
 use ldp_common::{Json, LdpError, Result};
 use ldp_datasets::DatasetKind;
 use ldp_protocols::{CountAccumulator, ProtocolKind};
@@ -40,7 +41,7 @@ fn usize_field(json: &Json, key: &str) -> Result<usize> {
     let v = field(json, key)?
         .as_f64()
         .ok_or_else(|| LdpError::invalid(format!("checkpoint: '{key}' not a number")))?;
-    if !(v.is_finite() && (0.0..=MAX_SAFE_INT).contains(&v) && v.fract() == 0.0) {
+    if !(v.is_finite() && (0.0..=MAX_SAFE_INT).contains(&v) && exactly_zero(v.fract())) {
         return Err(LdpError::invalid(format!(
             "checkpoint: '{key}' = {v} is not a non-negative integer"
         )));
@@ -75,7 +76,7 @@ fn counts_field(json: &Json, key: &str, len: usize) -> Result<Vec<u64>> {
             let x = v.as_f64().ok_or_else(|| {
                 LdpError::invalid(format!("checkpoint: '{key}' entry not a number"))
             })?;
-            if !(x.is_finite() && (0.0..=MAX_SAFE_INT).contains(&x) && x.fract() == 0.0) {
+            if !(x.is_finite() && (0.0..=MAX_SAFE_INT).contains(&x) && exactly_zero(x.fract())) {
                 return Err(LdpError::invalid(format!(
                     "checkpoint: '{key}' entry {x} is not a count"
                 )));

@@ -55,6 +55,7 @@
 pub mod checkpoint;
 
 use ldp_attacks::AttackKind;
+use ldp_common::float::exactly_zero;
 use ldp_common::rng::{derive_seed2, rng_from_seed};
 use ldp_common::{Domain, Json, LdpError, Result};
 use ldp_datasets::DatasetKind;
@@ -186,7 +187,7 @@ impl StreamSpec {
     /// Malicious reports accompanying `genuine` genuine users:
     /// `m = round(β/(1−β) · genuine)` (so that β = m/(n+m)).
     pub fn malicious_count(&self, genuine: usize) -> usize {
-        if self.attack.is_none() || self.beta == 0.0 {
+        if self.attack.is_none() || exactly_zero(self.beta) {
             return 0;
         }
         ((self.beta / (1.0 - self.beta)) * genuine as f64).round() as usize

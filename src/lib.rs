@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Umbrella crate for the LDPRecover (Sun et al., ICDE 2024) reproduction.
 //!
