@@ -21,10 +21,10 @@ use std::hint::black_box;
 /// IPUMS-like domain size (paper §VI-A.1).
 const D: usize = 102;
 
-/// A Zipf(1)-shaped population of `n` users over `D` items — the skewed
+/// A Zipf(1)-shaped population of `n` users over `d` items — the skewed
 /// shape real frequency workloads have.
-fn item_counts(n: u64) -> Vec<u64> {
-    let weights = zipf_weights(D, 1.0);
+fn item_counts_over(d: usize, n: u64) -> Vec<u64> {
+    let weights = zipf_weights(d, 1.0);
     let total: f64 = weights.iter().sum();
     let mut counts: Vec<u64> = weights
         .iter()
@@ -33,6 +33,10 @@ fn item_counts(n: u64) -> Vec<u64> {
     let assigned: u64 = counts.iter().sum();
     counts[0] += n - assigned;
     counts
+}
+
+fn item_counts(n: u64) -> Vec<u64> {
+    item_counts_over(D, n)
 }
 
 /// The population sizes of the comparison: 10⁴, 10⁵, and the paper-scale
@@ -94,5 +98,53 @@ fn bench_batched(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_per_user, bench_batched);
+/// The FWHT readoff claim in isolation: folding n = 10⁶ pre-generated HR
+/// reports into support counts at a wide domain (d = 1024 → Hadamard
+/// order k = 2048). `loop` is the per-report scatter (O(n·d) column
+/// adds, the pre-kernel per-user path); `fwht` is
+/// `CountAccumulator::add_batch`, which histograms the reports and does
+/// one O(k log k) transform. Perturbation is deliberately hoisted out of
+/// the timed body so the two cases differ only in the readoff.
+fn bench_hr_accumulate_wide(c: &mut Criterion) {
+    const D_WIDE: usize = 1024;
+    const N: u64 = 1_000_000;
+    let mut group = c.benchmark_group("accumulate_hr_wide");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    let domain = Domain::new(D_WIDE).unwrap();
+    let protocol = ProtocolKind::Hr.build(0.5, domain).unwrap();
+    let mut rng = rng_from_seed(3);
+    let mut reports = Vec::with_capacity(N as usize);
+    for (item, &c) in item_counts_over(D_WIDE, N).iter().enumerate() {
+        for _ in 0..c {
+            reports.push(protocol.perturb(item, &mut rng));
+        }
+    }
+    group.throughput(Throughput::Elements(N));
+    group.bench_with_input(BenchmarkId::new("loop", N), &N, |b, _| {
+        b.iter(|| {
+            let mut acc = CountAccumulator::new(domain);
+            for report in &reports {
+                acc.add(&protocol, report);
+            }
+            black_box(acc.counts()[0])
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("fwht", N), &N, |b, _| {
+        b.iter(|| {
+            let mut acc = CountAccumulator::new(domain);
+            acc.add_batch(&protocol, &reports);
+            black_box(acc.counts()[0])
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_per_user,
+    bench_batched,
+    bench_hr_accumulate_wide
+);
 criterion_main!(benches);

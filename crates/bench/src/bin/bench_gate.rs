@@ -88,6 +88,25 @@ fn bench_files(dir: &Path) -> Result<Vec<String>> {
     Ok(names)
 }
 
+/// Rejects scores the ratio test would silently mishandle: a NaN
+/// propagates to a never-failing comparison, and a zero/negative blessed
+/// score used to be clamped to `1e-12`, turning any emitted value into an
+/// astronomically "failing" — or, for a corrupt emitted zero, silently
+/// passing — ratio. Either way the gate's verdict would be meaningless,
+/// so both sides must be finite and strictly positive.
+///
+/// # Errors
+/// [`LdpError::InvalidParameter`] naming the case and the bad value.
+fn check_score(what: &str, id: &str, score: f64) -> Result<()> {
+    if !score.is_finite() || score <= 0.0 {
+        return Err(LdpError::invalid(format!(
+            "{what} score for `{id}` is {score}, not a finite positive number — \
+             re-bless the trajectory or fix the baseline before gating"
+        )));
+    }
+    Ok(())
+}
+
 /// Compares one emitted suite against its blessed counterpart; returns
 /// the number of failures.
 fn gate_suite(name: &str, emitted_path: &Path, blessed_path: &Path) -> Result<usize> {
@@ -101,7 +120,9 @@ fn gate_suite(name: &str, emitted_path: &Path, blessed_path: &Path) -> Result<us
             failures += 1;
             continue;
         };
-        let ratio = e.score / b.score.max(1e-12);
+        check_score("blessed", &b.id, b.score)?;
+        check_score("emitted", &e.id, e.score)?;
+        let ratio = e.score / b.score;
         let (tag, note) = if ratio > TOLERANCE {
             failures += 1;
             ("FAIL", "")
@@ -176,4 +197,52 @@ fn main() -> Result<()> {
     }
     println!("perf trajectory: all suites within {TOLERANCE}x of blessed");
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_score_accepts_positive_finite() {
+        check_score("blessed", "case", 1e-9).unwrap();
+        check_score("emitted", "case", 1234.5).unwrap();
+    }
+
+    #[test]
+    fn check_score_rejects_every_degenerate_value() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = check_score("blessed", "aggregate/HR/n=1000000", bad)
+                .expect_err(&format!("{bad} must be rejected"));
+            let msg = err.to_string();
+            assert!(
+                msg.contains("aggregate/HR/n=1000000") && msg.contains("re-bless"),
+                "unhelpful error: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn gate_suite_fails_loudly_on_corrupt_blessed_score() {
+        // End-to-end through the file layer: a blessed score of 0 must
+        // error out instead of silently passing (the old max(1e-12)
+        // clamp made `0 / 0-clamped` look like a huge regression and a
+        // corrupt emitted 0 vs healthy blessed look like a huge win).
+        let dir = std::env::temp_dir().join("ldp_bench_gate_zero_score_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let blessed = dir.join("blessed.json");
+        let emitted = dir.join("emitted.json");
+        std::fs::write(
+            &blessed,
+            r#"{"cases": [{"id": "a", "median_ns": 10.0, "score": 0.0}]}"#,
+        )
+        .unwrap();
+        std::fs::write(
+            &emitted,
+            r#"{"cases": [{"id": "a", "median_ns": 10.0, "score": 1.0}]}"#,
+        )
+        .unwrap();
+        let err = gate_suite("suite", &emitted, &blessed).expect_err("must reject");
+        assert!(err.to_string().contains("blessed score"), "{err}");
+    }
 }

@@ -15,6 +15,10 @@
 //! * [`bitvec`] — packed bit vectors backing OUE reports.
 //! * [`sampling`] — alias tables, Zipf weights, random distributions,
 //!   and subset sampling.
+//! * [`kernels`] — safe-code vectorized batch kernels (the fast
+//!   Walsh–Hadamard transform and branchless popcount-parity scans).
+//! * [`population`] — shared population accounting (the canonical
+//!   malicious-count formula).
 //! * [`vecmath`] — dense `f64` vector helpers (MSE, norms, normalization).
 //! * [`float`] — intentional exact float comparison (the one site rule
 //!   D03 of `ldp-lint` blesses).
@@ -31,6 +35,8 @@ pub mod error;
 pub mod float;
 pub mod hash;
 pub mod json;
+pub mod kernels;
+pub mod population;
 pub mod rng;
 pub mod sampling;
 pub mod stats;

@@ -1,0 +1,54 @@
+//! Population accounting shared by the offline and streaming engines.
+
+/// Number of malicious users accompanying `genuine` genuine ones at
+/// corruption fraction `β`: `m = round(β/(1−β)·genuine)`, so that
+/// `β = m/(n+m)` (paper §VI-A.3).
+///
+/// This is the **single** canonical form of the formula; the offline
+/// config (`ExperimentConfig::malicious_count`), the streaming spec
+/// (`StreamSpec::malicious_count`), and the scenario catalog's custom
+/// cells all route through it so a future rounding tweak cannot silently
+/// fork one of them away from the goldens (regression-pinned in
+/// `tests/determinism.rs`).
+///
+/// `β ≤ 0` yields 0; callers gate on "an attack is configured" —
+/// `β` alone does not decide whether poisoning happens.
+///
+/// # Panics
+/// Debug-asserts `β < 1` (a full-corruption fraction has no finite `m`).
+pub fn malicious_count(beta: f64, genuine: usize) -> usize {
+    debug_assert!(beta < 1.0, "beta must be < 1, got {beta}");
+    if beta <= 0.0 {
+        return 0;
+    }
+    ((beta / (1.0 - beta)) * genuine as f64).round() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_paper_formula() {
+        // β = 0.05, n = 7798 (the scale-0.02 IPUMS population): the
+        // paper's m = round(0.05/0.95 · 7798) = 410.
+        assert_eq!(malicious_count(0.05, 7798), 410);
+        assert_eq!(malicious_count(0.0, 1_000_000), 0);
+        assert_eq!(malicious_count(-0.1, 50), 0);
+        assert_eq!(malicious_count(0.5, 100), 100);
+    }
+
+    #[test]
+    fn beta_is_recovered_from_the_count() {
+        for beta in [0.001, 0.01, 0.05, 0.1, 0.2, 0.25] {
+            for n in [1_000usize, 50_000, 1_000_000] {
+                let m = malicious_count(beta, n);
+                let realized = m as f64 / (n + m) as f64;
+                assert!(
+                    (realized - beta).abs() < 1.0 / n as f64,
+                    "beta={beta}, n={n}: realized {realized}"
+                );
+            }
+        }
+    }
+}

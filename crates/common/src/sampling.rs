@@ -263,13 +263,37 @@ fn binomial_le_half<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
     if nf * p <= 16.0 {
         // Bottom-up inversion: pmf(0) = (1−p)^n cannot underflow here
         // (n·p ≤ 16 and p ≤ ½ give (1−p)^n ≥ e^{−32}).
+        //
+        // Branchless chunked scan. The CDF is nondecreasing (pmf ≥ 0),
+        // so the inverse-CDF answer is the *count* of prefix sums the
+        // uniform still clears: k = min(n, #{j : u ≥ cdf_j}). Each chunk
+        // advances the pmf/cdf recurrences straight-line and accumulates
+        // that count as 0/1 arithmetic — no data-dependent branch inside
+        // (the classic `while u >= cdf` exit mispredicts once per draw
+        // at an unpredictable step). The float op order (pmf multiply
+        // chain, sequential cdf adds) is exactly the old loop's, so
+        // every draw is bit-identical — pinned by
+        // `branchless_binomial_keeps_captured_draws` in
+        // `tests/sampler_streams.rs`. Between chunks one predictable
+        // branch early-exits, keeping the small-mean regime O(n·p), not
+        // O(n).
         let mut pmf = (nf * (1.0 - p).ln()).exp();
-        let mut cdf = pmf;
-        let mut k = 0u64;
-        while u >= cdf && k < n {
-            pmf *= (n - k) as f64 / (k + 1) as f64 * odds;
-            k += 1;
-            cdf += pmf;
+        let mut cdf = pmf; // cdf_0
+        let mut k = u64::from(u >= cdf); // counts level 0
+        let mut j = 0u64; // levels 0..=j materialized
+        const SCAN_CHUNK: u64 = 8;
+        // Invariant: k = #{i ≤ j : u ≥ cdf_i}. Continue only while every
+        // materialized level cleared (k == j+1) — a miss is final by
+        // monotonicity — and levels remain (the old loop never checks
+        // cdf_n, capping the draw at n).
+        while k == j + 1 && j + 1 < n {
+            let steps = SCAN_CHUNK.min(n - 1 - j);
+            for _ in 0..steps {
+                pmf *= (n - j) as f64 / (j + 1) as f64 * odds;
+                j += 1;
+                cdf += pmf;
+                k += u64::from(u >= cdf);
+            }
         }
         return k;
     }
@@ -278,6 +302,13 @@ fn binomial_le_half<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
     // outward (right step, then left step, …) until the target quantile u
     // is covered. pmf(m) via `ln_factorial` is accurate to ~1e−12, far
     // below every statistical tolerance in the workspace.
+    //
+    // Unlike the bottom-up regime above, this loop keeps its per-step
+    // exits: the mid-iteration `u < cdf` checks are semantically
+    // load-bearing (the answer depends on *which* step covered u, and
+    // the right-then-left cdf add order is pinned by the captured-vector
+    // tests), and the expected trip count is only O(√(n·p·(1−p))) with
+    // a single taken exit — there is no misprediction pile-up to shave.
     let m = (((n + 1) as f64) * p).floor() as u64;
     let m = m.min(n);
     let ln_pmf_m = ln_factorial(n) - ln_factorial(m) - ln_factorial(n - m)

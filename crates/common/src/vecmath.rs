@@ -36,20 +36,34 @@ pub fn mse(a: &[f64], b: &[f64]) -> f64 {
     sum / a.len() as f64
 }
 
-/// L1 distance `Σ |a_i − b_i|`.
+/// L1 distance `Σ |a_i − b_i|` (Kahan-compensated, like [`mse`]).
 pub fn l1_distance(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "L1 requires equal-length vectors");
-    a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).sum()
+    let mut sum = 0.0f64;
+    let mut c = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        let term = (x - y).abs();
+        let t0 = term - c;
+        let t1 = sum + t0;
+        c = (t1 - sum) - t0;
+        sum = t1;
+    }
+    sum
 }
 
-/// L2 distance `√(Σ (a_i − b_i)²)`.
+/// L2 distance `√(Σ (a_i − b_i)²)` (Kahan-compensated, like [`mse`]).
 pub fn l2_distance(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "L2 requires equal-length vectors");
-    a.iter()
-        .zip(b)
-        .map(|(&x, &y)| (x - y) * (x - y))
-        .sum::<f64>()
-        .sqrt()
+    let mut sum = 0.0f64;
+    let mut c = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        let sq = (x - y) * (x - y);
+        let t0 = sq - c;
+        let t1 = sum + t0;
+        c = (t1 - sum) - t0;
+        sum = t1;
+    }
+    sum.sqrt()
 }
 
 /// Rescales `v` in place so it sums to 1.
@@ -137,6 +151,26 @@ mod tests {
         let b = [1.0, 0.0, 7.0];
         assert!((l1_distance(&a, &b) - 6.0).abs() < 1e-15);
         assert!((l2_distance(&a, &b) - 20.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distances_are_compensated() {
+        // A large head followed by many tiny terms: the naive `.sum()`
+        // these used to run loses the tail entirely; Kahan keeps it.
+        let n = 1_000_000usize;
+        let mut a = vec![0.1f64; n + 1];
+        a[0] = 1e9;
+        let b = vec![0.0f64; n + 1];
+        let expect = 1e9 + n as f64 * 0.1;
+        assert!((l1_distance(&a, &b) - expect).abs() < 1e-4);
+
+        let mut a2 = vec![1e-4f64; n + 1]; // squares to 1e-8 each
+        a2[0] = 1e5; // squares to 1e10
+        let expect_sq = 1e10 + n as f64 * 1e-8;
+        // Tolerance: √ round-trip costs ~2·eps·1e10 ≈ 4e-6; the naive
+        // sum lost the whole 0.01 tail.
+        let l2 = l2_distance(&a2, &b);
+        assert!((l2 * l2 - expect_sq).abs() < 1e-3, "l2²={}", l2 * l2);
     }
 
     #[test]

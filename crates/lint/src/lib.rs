@@ -31,6 +31,14 @@
 //! [`waivers`]). `--check-waivers` fails on stale or unused entries, so
 //! waived debt cannot silently outlive its excuse.
 //!
+//! # Golden drift
+//!
+//! `--check-goldens` verifies every blessed artifact (`tests/golden/*.json`
+//! and `crates/bench/trajectory/*.json`) against the checked-in
+//! `golden.manifest` of FNV-1a 64 content hashes (see [`goldens`]), so a
+//! golden cannot change — or appear, or vanish — without an explicit
+//! `--bless-goldens` whose manifest diff lands in review.
+//!
 //! # Known limits (by design)
 //!
 //! The lexer has no type information. D01 tracks only file-local
@@ -40,10 +48,12 @@
 //! are rare and waivable. The point is to catch the classic regression
 //! shapes cheaply and offline, not to re-implement rustc.
 
+pub mod goldens;
 pub mod lexer;
 pub mod rules;
 pub mod waivers;
 
+pub use goldens::{bless_goldens, check_goldens, GOLDEN_DIRS, GOLDEN_MANIFEST};
 pub use rules::{lint_file, FileClass, Finding, RuleId};
 pub use waivers::{
     apply_waivers, check_waivers, current_pr_from_changes, parse_waivers, render_waivers, Waiver,

@@ -6,7 +6,10 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use ldp_lint::{check_waivers, discover_current_pr, lint_workspace, load_waivers, RuleId};
+use ldp_lint::{
+    bless_goldens, check_goldens, check_waivers, discover_current_pr, lint_workspace, load_waivers,
+    RuleId, GOLDEN_MANIFEST,
+};
 
 const USAGE: &str = "\
 ldp-lint — workspace determinism & hygiene lints
@@ -16,6 +19,9 @@ USAGE: ldp-lint [OPTIONS]
 OPTIONS:
     --deny             exit non-zero when any unwaived finding remains
     --check-waivers    fail on stale or unused lint_waivers.toml entries
+    --check-goldens    fail when a blessed golden/trajectory file drifted
+                       from golden.manifest
+    --bless-goldens    regenerate golden.manifest from the tree and exit
     --root <DIR>       workspace root (default: current directory)
     --waivers <FILE>   waiver file (default: <root>/lint_waivers.toml)
     --pr <N>           current PR number (default: derived from CHANGES.md)
@@ -26,6 +32,8 @@ OPTIONS:
 struct Args {
     deny: bool,
     check_waivers: bool,
+    check_goldens: bool,
+    bless_goldens: bool,
     root: PathBuf,
     waivers: Option<PathBuf>,
     pr: Option<u32>,
@@ -36,6 +44,8 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         deny: false,
         check_waivers: false,
+        check_goldens: false,
+        bless_goldens: false,
         root: PathBuf::from("."),
         waivers: None,
         pr: None,
@@ -46,6 +56,8 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--deny" => args.deny = true,
             "--check-waivers" => args.check_waivers = true,
+            "--check-goldens" => args.check_goldens = true,
+            "--bless-goldens" => args.bless_goldens = true,
             "--list-rules" => args.list_rules = true,
             "--root" => {
                 args.root = PathBuf::from(it.next().ok_or("--root needs a value")?);
@@ -90,6 +102,18 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(2);
     }
+    if args.bless_goldens {
+        return match bless_goldens(&args.root) {
+            Ok(n) => {
+                println!("ldp-lint: blessed {n} file(s) into {GOLDEN_MANIFEST}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("ldp-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
     let waiver_path = args
         .waivers
         .clone()
@@ -119,6 +143,20 @@ fn main() -> ExitCode {
             println!("ldp-lint: {e}");
         }
         failed |= !errors.is_empty();
+    }
+    if args.check_goldens {
+        match check_goldens(&args.root) {
+            Ok(errors) => {
+                for e in &errors {
+                    println!("ldp-lint: {e}");
+                }
+                failed |= !errors.is_empty();
+            }
+            Err(e) => {
+                eprintln!("ldp-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
     }
     println!(
         "ldp-lint: {} finding(s) ({} waived) across {} files, {} waiver(s) on file",

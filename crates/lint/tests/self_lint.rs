@@ -48,6 +48,17 @@ fn workspace_lints_clean_with_fresh_waivers() {
 }
 
 #[test]
+fn blessed_goldens_match_the_manifest() {
+    // The live tree's golden.manifest must agree with every blessed
+    // artifact — CI's `ldp-lint --check-goldens` is the same check. A
+    // failure here means a golden or trajectory file changed without an
+    // explicit `ldp-lint --bless-goldens`.
+    let root = workspace_root();
+    let errors = ldp_lint::check_goldens(&root).expect("golden scan succeeds");
+    assert!(errors.is_empty(), "golden drift:\n{}", errors.join("\n"));
+}
+
+#[test]
 fn walker_covers_every_crate_and_skips_fixtures_and_vendor() {
     let root = workspace_root();
     let files = ldp_lint::collect_files(&root).expect("walk succeeds");

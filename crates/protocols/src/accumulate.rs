@@ -53,6 +53,23 @@ impl CountAccumulator {
         }
     }
 
+    /// Folds a whole slice of reports in through the protocol's batch
+    /// kernel ([`LdpFrequencyProtocol::accumulate_all`]) — bitwise
+    /// identical to per-report [`CountAccumulator::add`] calls, but HR
+    /// aggregates through one fast Walsh–Hadamard transform.
+    pub fn add_batch<P: LdpFrequencyProtocol>(&mut self, protocol: &P, reports: &[P::Report]) {
+        protocol.accumulate_all(reports, &mut self.counts);
+        self.reports += reports.len();
+    }
+
+    /// Clears the accumulator for reuse over `domain`, keeping its
+    /// allocation when the size matches (the trial-arena path).
+    pub fn reset(&mut self, domain: Domain) {
+        self.counts.clear();
+        self.counts.resize(domain.size(), 0);
+        self.reports = 0;
+    }
+
     /// Merges another accumulator (e.g. genuine + malicious = poisoned).
     ///
     /// # Panics
@@ -126,6 +143,47 @@ mod tests {
 
         assert_eq!(a, joint);
         assert_eq!(a.report_count(), 500);
+    }
+
+    #[test]
+    fn add_batch_matches_per_report_adds_for_every_protocol() {
+        // The batch kernel contract: bitwise-identical counts to the
+        // per-report loop (HR goes through the FWHT; the rest loop).
+        let domain = Domain::new(37).unwrap();
+        for kind in ProtocolKind::EXTENDED {
+            let p = kind.build(0.7, domain).unwrap();
+            let mut rng = rng_from_seed(9);
+            let reports: Vec<_> = (0..800).map(|i| p.perturb(i % 37, &mut rng)).collect();
+
+            let mut looped = CountAccumulator::new(domain);
+            for r in &reports {
+                looped.add(&p, r);
+            }
+            let mut batched = CountAccumulator::new(domain);
+            batched.add_batch(&p, &reports);
+
+            assert_eq!(looped, batched, "{kind}");
+            assert_eq!(batched.report_count(), 800, "{kind}");
+        }
+    }
+
+    #[test]
+    fn reset_clears_counts_and_reports() {
+        let domain = Domain::new(8).unwrap();
+        let p = ProtocolKind::Grr.build(0.5, domain).unwrap();
+        let mut rng = rng_from_seed(2);
+        let mut acc = CountAccumulator::new(domain);
+        let r = p.perturb(3, &mut rng);
+        acc.add(&p, &r);
+        assert_eq!(acc.report_count(), 1);
+
+        acc.reset(domain);
+        assert_eq!(acc, CountAccumulator::new(domain));
+
+        // Reuse over a different domain reshapes too.
+        let wider = Domain::new(12).unwrap();
+        acc.reset(wider);
+        assert_eq!(acc.counts().len(), 12);
     }
 
     #[test]

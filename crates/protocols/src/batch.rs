@@ -38,16 +38,59 @@
 //! per-user trial at the same seed. Each mode is individually
 //! deterministic: same seed, same counts.
 
+use ldp_common::kernels::{fwht_i64, positive_columns_into};
 use ldp_common::sampling::{add_multinomial_uniform, sample_binomial};
 use rand::Rng;
 
 use crate::grr::Grr;
-use crate::hadamard::{hadamard_positive, HadamardResponse};
+use crate::hadamard::HadamardResponse;
 use crate::olh::Olh;
 use crate::oue::Oue;
 use crate::params::PureParams;
+use crate::report::AnyProtocol;
 use crate::sue::Sue;
 use crate::traits::LdpFrequencyProtocol;
+
+/// Reusable scratch for [`HadamardResponse::batch_support_counts_with`]:
+/// the `K`-column histogram, the positive-column and split buffers of the
+/// per-item mixture, and the FWHT workspace. One instance per worker
+/// amortizes all four allocations across an experiment's trials.
+#[derive(Debug, Default, Clone)]
+pub struct HrScratch {
+    col_counts: Vec<u64>,
+    positives: Vec<u32>,
+    split: Vec<u64>,
+    fwht: Vec<i64>,
+}
+
+/// Per-worker scratch reused across batched aggregations of any
+/// [`AnyProtocol`]. Only HR needs transform workspace today; the struct
+/// exists so the trial arena has one stable slot as protocols grow.
+#[derive(Debug, Default, Clone)]
+pub struct ProtocolScratch {
+    /// Hadamard Response workspace (unused by the other protocols).
+    pub hr: HrScratch,
+}
+
+impl AnyProtocol {
+    /// [`LdpFrequencyProtocol::batch_aggregate`] with caller-owned
+    /// scratch: identical draws, identical counts, no per-call transform
+    /// allocations for HR. Protocols that need no scratch simply ignore
+    /// it.
+    pub fn batch_aggregate_with<R: Rng + ?Sized>(
+        &self,
+        item_counts: &[u64],
+        rng: &mut R,
+        scratch: &mut ProtocolScratch,
+    ) -> Option<Vec<u64>> {
+        match self {
+            AnyProtocol::Hr(x) => {
+                Some(x.batch_support_counts_with(item_counts, rng, &mut scratch.hr))
+            }
+            other => other.batch_aggregate(item_counts, rng),
+        }
+    }
+}
 
 /// Grouped per-user aggregation over item counts — the fallback for any
 /// future protocol whose `batch_aggregate` keeps the trait default, and
@@ -175,6 +218,21 @@ impl HadamardResponse {
         item_counts: &[u64],
         rng: &mut R,
     ) -> Vec<u64> {
+        self.batch_support_counts_with(item_counts, rng, &mut HrScratch::default())
+    }
+
+    /// [`HadamardResponse::batch_support_counts`] with caller-owned
+    /// scratch — same RNG draws in the same order, bitwise-identical
+    /// counts, zero transform allocations when `scratch` is reused.
+    ///
+    /// # Panics
+    /// Panics if `item_counts.len()` differs from the domain size.
+    pub fn batch_support_counts_with<R: Rng + ?Sized>(
+        &self,
+        item_counts: &[u64],
+        rng: &mut R,
+        scratch: &mut HrScratch,
+    ) -> Vec<u64> {
         let d = self.domain().size();
         assert_eq!(item_counts.len(), d, "item counts must cover the domain");
         let k = self.order() as usize;
@@ -182,12 +240,9 @@ impl HadamardResponse {
         // user's row"; the complement is uniform over all K columns.
         // Valid because p = e^ε/(1+e^ε) > ½ for every ε > 0.
         let lambda = (2.0 * self.params().p() - 1.0).max(0.0);
-        let mut col_counts = vec![0u64; k];
+        scratch.col_counts.clear();
+        scratch.col_counts.resize(k, 0);
         let mut pooled_uniform = 0u64;
-        // Scratch buffers reused across the item loop: the K/2 positive
-        // columns of the current row, and the per-column split counts.
-        let mut positives: Vec<usize> = Vec::with_capacity(k / 2);
-        let mut split: Vec<u64> = Vec::with_capacity(k / 2);
         for (item, &c) in item_counts.iter().enumerate() {
             if c == 0 {
                 continue;
@@ -197,28 +252,29 @@ impl HadamardResponse {
             if targeted == 0 {
                 continue;
             }
-            let row = self.row_of(item);
-            positives.clear();
-            positives.extend((0..k).filter(|&y| hadamard_positive(row, y as u32)));
-            split.clear();
-            split.resize(positives.len(), 0);
-            add_multinomial_uniform(targeted, &mut split, rng);
-            for (&col, &extra) in positives.iter().zip(&split) {
-                col_counts[col] += extra;
+            // Branchless enumeration of the row's K/2 positive columns,
+            // ascending — the same order the old `filter` produced, so
+            // the multinomial scatter consumes identical draws.
+            positive_columns_into(self.row_of(item), k, &mut scratch.positives);
+            scratch.split.clear();
+            scratch.split.resize(scratch.positives.len(), 0);
+            add_multinomial_uniform(targeted, &mut scratch.split, rng);
+            for (&col, &extra) in scratch.positives.iter().zip(&scratch.split) {
+                scratch.col_counts[col as usize] += extra;
             }
         }
-        add_multinomial_uniform(pooled_uniform, &mut col_counts, rng);
-        // C(w) = Σ_y col_counts[y] · [had⁺(row_w, y)].
+        add_multinomial_uniform(pooled_uniform, &mut scratch.col_counts, rng);
+        // C(w) = Σ_y h_y · [had⁺(row_w, y)] = (N + (H·h)[row_w]) / 2,
+        // one FWHT (O(K log K)) instead of the O(d·K) per-item filter
+        // sums. Integer-exact: N + (H·h)[x] is a sum of even terms.
+        let total: i64 = scratch.col_counts.iter().map(|&c| c as i64).sum();
+        scratch.fwht.clear();
+        scratch
+            .fwht
+            .extend(scratch.col_counts.iter().map(|&c| c as i64));
+        fwht_i64(&mut scratch.fwht);
         (0..d)
-            .map(|w| {
-                let row = self.row_of(w);
-                col_counts
-                    .iter()
-                    .enumerate()
-                    .filter(|&(y, _)| hadamard_positive(row, y as u32))
-                    .map(|(_, &c)| c)
-                    .sum()
-            })
+            .map(|w| ((total + scratch.fwht[self.row_of(w) as usize]) / 2) as u64)
             .collect()
     }
 }

@@ -18,6 +18,7 @@
 //! Rows are indexed by `item + 1` so that row 0 (all `+1`, which carries
 //! no signal) is never used; this requires `K > d`.
 
+use ldp_common::kernels::{add_even_parity, fwht_i64};
 use ldp_common::rng::{uniform_index, FastBernoulli};
 use ldp_common::{Domain, LdpError, Result};
 use rand::Rng;
@@ -83,6 +84,36 @@ impl HadamardResponse {
         item as u32 + 1
     }
 
+    /// Adds the support counts of a whole batch of reported columns in
+    /// one transform: builds the `K`-column histogram `h`, applies the
+    /// fast Walsh–Hadamard transform, and reads off
+    /// `C(w) += (N + (H·h)[row_w]) / 2` — `O(N + K log K)` instead of the
+    /// per-report scatter's `O(N·d)`.
+    ///
+    /// Exact integer arithmetic throughout: `N + (H·h)[x] = Σ_y h_y·(1 +
+    /// had(x, y))` is a sum of even non-negative terms, so the halving is
+    /// exact and the result is bitwise identical to looping
+    /// [`LdpFrequencyProtocol::accumulate`].
+    ///
+    /// # Panics
+    /// Panics if a column is outside `0..K` or `counts.len() != d`.
+    pub fn accumulate_columns<I>(&self, columns: I, counts: &mut [u64])
+    where
+        I: IntoIterator<Item = u32>,
+    {
+        assert_eq!(counts.len(), self.domain.size());
+        let mut hist = vec![0i64; self.k as usize];
+        let mut total = 0i64;
+        for y in columns {
+            hist[y as usize] += 1;
+            total += 1;
+        }
+        fwht_i64(&mut hist);
+        for (w, c) in counts.iter_mut().enumerate() {
+            *c += ((total + hist[w + 1]) / 2) as u64;
+        }
+    }
+
     /// Samples a uniform column where `row` has the requested sign.
     ///
     /// Exactly half of the `K` columns qualify for any nonzero row, so
@@ -136,11 +167,12 @@ impl LdpFrequencyProtocol for HadamardResponse {
 
     fn accumulate(&self, report: &u32, counts: &mut [u64]) {
         debug_assert_eq!(counts.len(), self.domain.size());
-        for (v, c) in counts.iter_mut().enumerate() {
-            if hadamard_positive(v as u32 + 1, *report) {
-                *c += 1;
-            }
-        }
+        // Branchless parity scatter (item v owns row v + 1).
+        add_even_parity(*report, 1, counts);
+    }
+
+    fn accumulate_all(&self, reports: &[u32], counts: &mut [u64]) {
+        self.accumulate_columns(reports.iter().copied(), counts);
     }
 
     fn batch_aggregate<R: Rng + ?Sized>(
@@ -251,6 +283,27 @@ mod tests {
                 "item {v}: {} vs {truth}",
                 freqs[v]
             );
+        }
+    }
+
+    #[test]
+    fn fwht_batch_accumulation_is_bitwise_identical_to_the_loop() {
+        // The transform-domain path must agree with the per-report
+        // scatter exactly (integer arithmetic, no tolerance) — including
+        // non-power-of-two domains where K > d + 1.
+        for d in [3usize, 8, 102, 490] {
+            let h = hr(0.9, d);
+            let mut rng = rng_from_seed(17);
+            let reports: Vec<u32> = (0..2_000).map(|i| h.perturb(i % d, &mut rng)).collect();
+            let mut looped = vec![0u64; d];
+            for r in &reports {
+                h.accumulate(r, &mut looped);
+            }
+            let mut batched = vec![5u64; d]; // nonzero base: must *add*
+            h.accumulate_columns(reports.iter().copied(), &mut batched);
+            for (b, l) in batched.iter().zip(&looped) {
+                assert_eq!(*b, l + 5, "d={d}");
+            }
         }
     }
 

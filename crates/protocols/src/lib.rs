@@ -68,6 +68,7 @@ pub mod sue;
 pub mod traits;
 
 pub use accumulate::CountAccumulator;
+pub use batch::{HrScratch, ProtocolScratch};
 pub use grr::Grr;
 pub use hadamard::HadamardResponse;
 pub use harmony::Harmony;

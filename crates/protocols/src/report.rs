@@ -243,6 +243,25 @@ impl LdpFrequencyProtocol for AnyProtocol {
         }
     }
 
+    fn accumulate_all(&self, reports: &[Report], counts: &mut [u64]) {
+        // HR gets the FWHT batch kernel; the other protocols' batch
+        // accumulation is the plain loop either way, so the default
+        // suffices (and keeps per-report mismatch checking).
+        if let AnyProtocol::Hr(x) = self {
+            x.accumulate_columns(
+                reports.iter().map(|r| match r {
+                    Report::Hr(c) => *c,
+                    other => self.report_mismatch(other),
+                }),
+                counts,
+            );
+        } else {
+            for r in reports {
+                self.accumulate(r, counts);
+            }
+        }
+    }
+
     fn batch_aggregate<R: Rng + ?Sized>(
         &self,
         item_counts: &[u64],

@@ -51,6 +51,21 @@ pub trait LdpFrequencyProtocol {
     /// Panics if `counts.len() != d`.
     fn accumulate(&self, report: &Self::Report, counts: &mut [u64]);
 
+    /// Adds a whole slice of reports' support indicators into `counts` —
+    /// bitwise identical to looping [`Self::accumulate`], but protocols
+    /// with a transform-domain aggregation override it (HR folds the
+    /// batch through one fast Walsh–Hadamard transform, `O(n + K log K)`
+    /// instead of `O(n·d)`). Consumes no randomness, so swapping a
+    /// per-report loop for this call never perturbs an RNG stream.
+    ///
+    /// # Panics
+    /// Panics if `counts.len() != d`.
+    fn accumulate_all(&self, reports: &[Self::Report], counts: &mut [u64]) {
+        for r in reports {
+            self.accumulate(r, counts);
+        }
+    }
+
     /// Ψ + Φ for a whole population at once: samples the aggregate
     /// support-count vector of `item_counts[v]` genuine users holding each
     /// item `v`, exactly distributed as running [`Self::perturb`] +

@@ -94,12 +94,14 @@ impl ExperimentConfig {
     }
 
     /// Number of malicious users for `n` genuine ones:
-    /// `m = round(β/(1−β)·n)` (so that β = m/(n+m)).
+    /// `m = round(β/(1−β)·n)` (so that β = m/(n+m)), via the canonical
+    /// [`ldp_common::population::malicious_count`]. Zero without an
+    /// attack — β alone does not poison.
     pub fn malicious_count(&self, genuine: usize) -> usize {
         if self.attack.is_none() || exactly_zero(self.beta) {
             return 0;
         }
-        ((self.beta / (1.0 - self.beta)) * genuine as f64).round() as usize
+        ldp_common::population::malicious_count(self.beta, genuine)
     }
 
     /// Human-readable cell label, e.g. `"MGA-GRR"` (the paper's x-axis

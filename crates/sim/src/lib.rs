@@ -45,7 +45,7 @@ pub mod table;
 pub use config::{AggregationMode, ExperimentConfig, PipelineOptions, DEFAULT_SEED};
 pub use ldprecover::{ArmKind, ArmSet, DefenseArm};
 pub use metrics::{frequency_gain, top_k_recall, Stats};
-pub use pipeline::{TrialAggregates, TrialResult};
+pub use pipeline::{TrialAggregates, TrialArena, TrialResult};
 pub use runner::{run_eta_sweep, run_experiment, ArmStats, ExperimentResult};
 pub use scenario::{run_scenario, RunScale, ScaleSpec, Scenario, ScenarioReport};
 pub use stream::{shard_epoch_delta, EpochPoint, ShardDelta, StreamEngine, StreamSpec};

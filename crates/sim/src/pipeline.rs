@@ -4,12 +4,52 @@
 //! re-runs only [`apply_recoveries`] on a shared [`TrialAggregates`], while
 //! β and ε sweeps re-aggregate (the perturbation itself changes).
 
-use ldp_common::Result;
-use ldp_protocols::{AnyProtocol, CountAccumulator, LdpFrequencyProtocol, PureParams, Report};
+use ldp_common::{Domain, Result};
+use ldp_protocols::{
+    AnyProtocol, CountAccumulator, LdpFrequencyProtocol, ProtocolScratch, PureParams, Report,
+};
 use ldprecover::{top_k_increase, ArmContext, ArmOutcome, ArmOutput};
 use rand::Rng;
 
 use crate::config::{ExperimentConfig, PipelineOptions};
+
+/// Per-user reports are perturbed and folded in chunks of this size, so
+/// the accumulator's batch kernel (HR's FWHT) amortizes over thousands of
+/// reports while the chunk buffer stays cache-resident. Perturbation
+/// order — and hence every RNG draw — is identical to the report-at-a-time
+/// loop.
+const REPORT_CHUNK: usize = 4096;
+
+/// Reusable per-worker scratch for trial execution: the genuine and
+/// malicious count accumulators, the per-user report chunk buffer, and
+/// the protocol transform workspace. One arena per worker thread
+/// ([`crate::runner::map_trials_with`]) amortizes every per-trial
+/// allocation that is not part of the returned results.
+///
+/// Threading an arena through [`run_trial_with`] never changes results:
+/// all buffers are fully reset per trial and no kernel consumes
+/// randomness (`arena_reuse_is_bitwise_invisible` pins this).
+#[derive(Debug, Default)]
+pub struct TrialArena {
+    genuine_acc: Option<CountAccumulator>,
+    malicious_acc: Option<CountAccumulator>,
+    report_chunk: Vec<Report>,
+    scratch: ProtocolScratch,
+}
+
+impl TrialArena {
+    /// A fresh, empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Resets the accumulator slot for `domain`, building it on first use.
+fn reuse_acc(slot: &mut Option<CountAccumulator>, domain: Domain) -> &mut CountAccumulator {
+    let acc = slot.get_or_insert_with(|| CountAccumulator::new(domain));
+    acc.reset(domain);
+    acc
+}
 
 /// The expensive half of a trial: everything up to the frequency estimates.
 #[derive(Debug, Clone)]
@@ -148,20 +188,38 @@ pub fn run_aggregation<R: Rng>(
     options: &PipelineOptions,
     rng: &mut R,
 ) -> Result<TrialAggregates> {
+    run_aggregation_with(config, options, rng, &mut TrialArena::new())
+}
+
+/// [`run_aggregation`] with a caller-owned [`TrialArena`]: bitwise
+/// identical results, but accumulators, chunk buffers, and transform
+/// scratch are reused across calls instead of reallocated per trial.
+///
+/// # Errors
+/// Same contract as [`run_aggregation`].
+pub fn run_aggregation_with<R: Rng>(
+    config: &ExperimentConfig,
+    options: &PipelineOptions,
+    rng: &mut R,
+    arena: &mut TrialArena,
+) -> Result<TrialAggregates> {
     config.validate()?;
     if options.aggregation.use_batched(options.needs_reports())? {
-        run_aggregation_batched(config, rng)
+        run_aggregation_batched(config, rng, arena)
     } else {
-        run_aggregation_per_user(config, options, rng)
+        run_aggregation_per_user(config, options, rng, arena)
     }
 }
 
 /// The per-user aggregation path: materialized dataset, one report per
-/// genuine user, optional report retention.
+/// genuine user, optional report retention. Reports are perturbed in
+/// order but folded in [`REPORT_CHUNK`]-sized batches so HR's FWHT
+/// kernel carries the accumulation.
 fn run_aggregation_per_user<R: Rng>(
     config: &ExperimentConfig,
     options: &PipelineOptions,
     rng: &mut R,
+    arena: &mut TrialArena,
 ) -> Result<TrialAggregates> {
     let dataset = config.dataset.generate(config.scale, rng)?;
     let domain = dataset.domain();
@@ -172,25 +230,36 @@ fn run_aggregation_per_user<R: Rng>(
     let mut reports: Option<Vec<Report>> =
         options.needs_reports().then(|| Vec::with_capacity(n + m));
 
-    // Genuine users run Ψ.
-    let mut genuine_acc = CountAccumulator::new(domain);
+    // Genuine users run Ψ, chunked: perturbation order (hence the RNG
+    // stream) is exactly the one-report-at-a-time loop's.
+    let genuine_acc = reuse_acc(&mut arena.genuine_acc, domain);
+    let chunk = &mut arena.report_chunk;
+    chunk.clear();
     for &item in dataset.items() {
-        let report = protocol.perturb(item as usize, rng);
-        genuine_acc.add(&protocol, &report);
-        if let Some(buf) = reports.as_mut() {
-            buf.push(report);
+        chunk.push(protocol.perturb(item as usize, rng));
+        if chunk.len() == REPORT_CHUNK {
+            genuine_acc.add_batch(&protocol, chunk);
+            match reports.as_mut() {
+                Some(buf) => buf.append(chunk),
+                None => chunk.clear(),
+            }
         }
+    }
+    genuine_acc.add_batch(&protocol, chunk);
+    match reports.as_mut() {
+        Some(buf) => buf.append(chunk),
+        None => chunk.clear(),
     }
 
     finish_aggregation(
         config,
         protocol,
         dataset.true_frequencies(),
-        genuine_acc,
         reports,
         n,
         m,
         rng,
+        arena,
     )
 }
 
@@ -201,6 +270,7 @@ fn run_aggregation_per_user<R: Rng>(
 fn run_aggregation_batched<R: Rng>(
     config: &ExperimentConfig,
     rng: &mut R,
+    arena: &mut TrialArena,
 ) -> Result<TrialAggregates> {
     let population = config.dataset.generate_counts(config.scale, rng)?;
     let domain = population.domain();
@@ -211,53 +281,58 @@ fn run_aggregation_batched<R: Rng>(
     // Batched mode never retains reports, so only counts matter; protocols
     // without a count sampler fall back to the shared grouped loop.
     let genuine_counts = protocol
-        .batch_aggregate(population.counts(), rng)
+        .batch_aggregate_with(population.counts(), rng, &mut arena.scratch)
         .unwrap_or_else(|| {
             ldp_protocols::batch::grouped_support_counts(&protocol, population.counts(), rng)
         });
-    let genuine_acc = CountAccumulator::from_parts(genuine_counts, n);
+    arena.genuine_acc = Some(CountAccumulator::from_parts(genuine_counts, n));
 
     finish_aggregation(
         config,
         protocol,
         population.true_frequencies(),
-        genuine_acc,
         None,
         n,
         m,
         rng,
+        arena,
     )
 }
 
 /// Shared tail of both aggregation paths: craft + fold in the malicious
-/// reports, debias everything, assemble the [`TrialAggregates`].
+/// reports, debias everything, assemble the [`TrialAggregates`]. The
+/// genuine accumulator (already filled, in `arena`) becomes the poisoned
+/// accumulator in place.
 #[allow(clippy::too_many_arguments)]
 fn finish_aggregation<R: Rng>(
     config: &ExperimentConfig,
     protocol: AnyProtocol,
     true_freqs: Vec<f64>,
-    genuine_acc: CountAccumulator,
     mut reports: Option<Vec<Report>>,
     n: usize,
     m: usize,
     rng: &mut R,
+    arena: &mut TrialArena,
 ) -> Result<TrialAggregates> {
     let domain = protocol.domain();
     let params = protocol.params();
-    let genuine_freqs = genuine_acc.frequencies(params)?;
+    let poisoned_acc = arena
+        .genuine_acc
+        .as_mut()
+        .expect("aggregation filled the genuine accumulator");
+    let genuine_freqs = poisoned_acc.frequencies(params)?;
 
     // Malicious users bypass Ψ (or, for IPA attacks, run it on adversarial
     // inputs — the attack decides).
-    let mut poisoned_acc = genuine_acc;
     let (malicious_true_freqs, attack_targets) = if m > 0 {
         let attack_kind = config
             .attack
             .expect("validated: beta > 0 implies an attack");
         let attack = attack_kind.instantiate(domain, rng);
         let crafted = attack.craft(&protocol, m, rng);
-        let mut malicious_acc = CountAccumulator::new(domain);
-        malicious_acc.add_all(&protocol, &crafted);
-        poisoned_acc.merge(&malicious_acc);
+        let malicious_acc = reuse_acc(&mut arena.malicious_acc, domain);
+        malicious_acc.add_batch(&protocol, &crafted);
+        poisoned_acc.merge(malicious_acc);
         let targets = attack.targets().map(<[usize]>::to_vec);
         if let Some(buf) = reports.as_mut() {
             buf.extend(crafted);
@@ -361,7 +436,22 @@ pub fn run_trial<R: Rng>(
     options: &PipelineOptions,
     rng: &mut R,
 ) -> Result<TrialResult> {
-    let aggregates = run_aggregation(config, options, rng)?;
+    run_trial_with(config, options, rng, &mut TrialArena::new())
+}
+
+/// [`run_trial`] with a caller-owned [`TrialArena`] — the per-worker form
+/// the experiment runner threads through
+/// [`crate::runner::map_trials_with`].
+///
+/// # Errors
+/// Propagates both halves.
+pub fn run_trial_with<R: Rng>(
+    config: &ExperimentConfig,
+    options: &PipelineOptions,
+    rng: &mut R,
+    arena: &mut TrialArena,
+) -> Result<TrialResult> {
+    let aggregates = run_aggregation_with(config, options, rng, arena)?;
     apply_recoveries(&aggregates, config.eta, options, rng)
 }
 
@@ -522,6 +612,41 @@ mod tests {
         let agg = run_aggregation(&config, &options, &mut rng).unwrap();
         let reports = agg.reports.as_ref().expect("per-user path retains reports");
         assert_eq!(reports.len(), agg.genuine_count + agg.malicious_count);
+    }
+
+    #[test]
+    fn arena_reuse_is_bitwise_invisible() {
+        // One arena threaded across heterogeneous trials (different
+        // protocols, attacks, aggregation modes — so every buffer is
+        // dirty from the previous trial) must give exactly the results of
+        // fresh arenas.
+        let mut arena = TrialArena::new();
+        let cases = [
+            (ProtocolKind::Grr, Some(AttackKind::Adaptive), false),
+            (ProtocolKind::Hr, Some(AttackKind::Adaptive), false),
+            (ProtocolKind::Hr, None, true),
+            (ProtocolKind::Oue, Some(AttackKind::Mga { r: 10 }), true),
+            (ProtocolKind::Hr, Some(AttackKind::Adaptive), true),
+        ];
+        for (seed, &(kind, attack, per_user)) in cases.iter().enumerate() {
+            let mut config = small_config(attack);
+            config.protocol = kind;
+            let options = if per_user {
+                PipelineOptions {
+                    aggregation: crate::config::AggregationMode::PerUser,
+                    ..PipelineOptions::recovery_only()
+                }
+            } else {
+                PipelineOptions::recovery_only()
+            };
+            let mut rng_a = rng_from_seed(700 + seed as u64);
+            let mut rng_b = rng_from_seed(700 + seed as u64);
+            let reused = run_trial_with(&config, &options, &mut rng_a, &mut arena).unwrap();
+            let fresh = run_trial(&config, &options, &mut rng_b).unwrap();
+            assert_eq!(reused.poisoned, fresh.poisoned, "case {seed}");
+            assert_eq!(reused.genuine, fresh.genuine, "case {seed}");
+            assert_eq!(reused.recovered(), fresh.recovered(), "case {seed}");
+        }
     }
 
     #[test]

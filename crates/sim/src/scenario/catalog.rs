@@ -790,7 +790,7 @@ fn kv_extension() -> Scenario {
             let n = ((KV_BASE_USERS as f64) * ctx.base_fraction())
                 .round()
                 .max(1.0) as usize;
-            let m = ((beta / (1.0 - beta)) * n as f64).round() as usize;
+            let m = ldp_common::population::malicious_count(beta, n);
             let domain = Domain::new(KV_DOMAIN)?;
             let kv = KvProtocol::new(KV_EPSILON, domain)?;
             let weights = zipf_weights(KV_DOMAIN, 1.0);

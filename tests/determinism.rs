@@ -116,3 +116,54 @@ fn different_master_seeds_give_different_results() {
         "distinct seeds must perturb the aggregation"
     );
 }
+
+#[test]
+fn malicious_count_agrees_across_every_engine() {
+    // The formula-drift regression: `m = round(β/(1−β)·n)` used to be
+    // written out three times (offline config, streaming spec, scenario
+    // catalog's kv cell). All call sites now route through
+    // `ldp_common::population::malicious_count`; this pins the agreement
+    // for every β both scenario grids sweep, at several population sizes,
+    // so a future rounding tweak in one engine cannot silently fork the
+    // others.
+    use ldp_sim::scenario::catalog::{BETA_GRID_FINE, BETA_GRID_WIDE};
+    use ldp_sim::StreamSpec;
+
+    let betas: Vec<f64> = BETA_GRID_WIDE
+        .iter()
+        .chain(&BETA_GRID_FINE)
+        .copied()
+        .collect();
+    for &beta in &betas {
+        for n in [1usize, 997, 7_798, 200_000, 1_000_000] {
+            let canonical = ldp_common::population::malicious_count(beta, n);
+
+            let mut config = ExperimentConfig::paper_default(
+                DatasetKind::Ipums,
+                ProtocolKind::Grr,
+                Some(AttackKind::Adaptive),
+            );
+            config.beta = beta;
+            assert_eq!(
+                config.malicious_count(n),
+                canonical,
+                "offline config forked at beta={beta}, n={n}"
+            );
+
+            let spec = StreamSpec::from_experiment(&config, 2, 3, 1_000);
+            assert_eq!(
+                spec.malicious_count(n),
+                canonical,
+                "stream spec forked at beta={beta}, n={n}"
+            );
+        }
+    }
+    // Without an attack both engines report zero regardless of β.
+    let mut clean = ExperimentConfig::paper_default(DatasetKind::Ipums, ProtocolKind::Grr, None);
+    clean.beta = 0.0;
+    assert_eq!(clean.malicious_count(10_000), 0);
+    assert_eq!(
+        StreamSpec::from_experiment(&clean, 1, 1, 100).malicious_count(10_000),
+        0
+    );
+}

@@ -1,0 +1,93 @@
+//! End-to-end bit-exactness pins for the kernelized aggregation paths.
+//!
+//! The digests below were captured from the pre-kernel pipeline (per-user
+//! loop with per-report scatters, branchy samplers, no trial arena) and
+//! must stay bitwise identical: the FWHT per-user path, the FWHT batched
+//! readoff, the chunked report loop, and the trial arena are all pure
+//! reorganizations that neither consume extra randomness nor change a
+//! single count. The `tail` words additionally pin the RNG stream
+//! position after aggregation — a path that silently drew one extra
+//! uniform would pass a frequency check but fail the tail.
+
+use ldp_attacks::AttackKind;
+use ldp_common::hash::xxh64;
+use ldp_common::rng::rng_from_seed;
+use ldp_datasets::DatasetKind;
+use ldp_protocols::ProtocolKind;
+use ldp_sim::config::{AggregationMode, ExperimentConfig, PipelineOptions};
+use ldp_sim::pipeline::run_aggregation;
+use rand::Rng;
+
+/// xxh64 over the poisoned-then-genuine frequency estimates, bit-exact.
+fn freq_digest(poisoned: &[f64], genuine: &[f64]) -> u64 {
+    let bits: Vec<u8> = poisoned
+        .iter()
+        .chain(genuine)
+        .flat_map(|f| f.to_bits().to_le_bytes())
+        .collect();
+    xxh64(&bits, 0)
+}
+
+fn scaled_config(kind: ProtocolKind) -> ExperimentConfig {
+    let mut config =
+        ExperimentConfig::paper_default(DatasetKind::Ipums, kind, Some(AttackKind::Adaptive));
+    config.scale = 0.02; // n = 7798 genuine, m = 410 malicious
+    config
+}
+
+#[test]
+fn per_user_aggregation_matches_pre_kernel_digests() {
+    for (kind, expect_digest, expect_tail) in [
+        (
+            ProtocolKind::Hr,
+            0x2782_e302_a502_b794u64,
+            0xeb05_2688_fac1_b7f0u64,
+        ),
+        (
+            ProtocolKind::Grr,
+            0x91c3_03c6_84d5_466a,
+            0xa26f_7318_bb5c_039d,
+        ),
+    ] {
+        let config = scaled_config(kind);
+        let options = PipelineOptions {
+            aggregation: AggregationMode::PerUser,
+            ..PipelineOptions::recovery_only()
+        };
+        let mut rng = rng_from_seed(0xFEED);
+        let agg = run_aggregation(&config, &options, &mut rng).unwrap();
+        assert_eq!(agg.genuine_count, 7798, "{kind}");
+        assert_eq!(agg.malicious_count, 410, "{kind}");
+        assert_eq!(
+            freq_digest(&agg.poisoned_freqs, &agg.genuine_freqs),
+            expect_digest,
+            "{kind}: estimates drifted from the pre-kernel pipeline"
+        );
+        assert_eq!(
+            rng.gen::<u64>(),
+            expect_tail,
+            "{kind}: RNG stream perturbed by the kernelized path"
+        );
+    }
+}
+
+#[test]
+fn batched_hr_aggregation_matches_pre_kernel_digest() {
+    let config = scaled_config(ProtocolKind::Hr);
+    let options = PipelineOptions {
+        aggregation: AggregationMode::Batched,
+        ..PipelineOptions::recovery_only()
+    };
+    let mut rng = rng_from_seed(0xFEED);
+    let agg = run_aggregation(&config, &options, &mut rng).unwrap();
+    assert_eq!(
+        freq_digest(&agg.poisoned_freqs, &agg.genuine_freqs),
+        0x7c9e_8a6c_3f83_9956,
+        "batched HR estimates drifted from the pre-kernel sampler"
+    );
+    assert_eq!(
+        rng.gen::<u64>(),
+        0xf24f_17a6_12fc_1b52,
+        "batched HR RNG stream perturbed"
+    );
+}

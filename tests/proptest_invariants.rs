@@ -1,5 +1,6 @@
 //! Property-based invariants on the core data structures and solvers.
 
+use ldp_common::kernels::{fwht_i64, parity};
 use ldp_common::sampling::AliasTable;
 use ldp_common::vecmath::is_probability_vector;
 use ldp_common::BitVec;
@@ -8,6 +9,45 @@ use proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The O(k log k) butterfly equals the O(k²) Sylvester matrix product
+    /// `H·x` with `H[w][y] = (−1)^popcount(w & y)`, at random orders and
+    /// random (including negative) entries — complementing the exhaustive
+    /// small-order check in `ldp_common::kernels`.
+    #[test]
+    fn fwht_matches_naive_at_random_orders(
+        log_k in 0u32..=10,
+        seed_vals in prop::collection::vec(-1_000_000i64..1_000_000, 1024),
+    ) {
+        let k = 1usize << log_k;
+        let data: Vec<i64> = seed_vals[..k].to_vec();
+        let naive: Vec<i64> = (0..k as u32)
+            .map(|w| {
+                (0..k as u32)
+                    .map(|y| if parity(w, y) == 0 { data[y as usize] } else { -data[y as usize] })
+                    .sum()
+            })
+            .collect();
+        let mut fast = data;
+        fwht_i64(&mut fast);
+        prop_assert_eq!(fast, naive);
+    }
+
+    /// H is k·I times its own inverse: applying the butterfly twice
+    /// returns the input scaled by the order.
+    #[test]
+    fn fwht_is_a_scaled_involution(
+        log_k in 0u32..=10,
+        seed_vals in prop::collection::vec(-1_000_000i64..1_000_000, 1024),
+    ) {
+        let k = 1usize << log_k;
+        let data: Vec<i64> = seed_vals[..k].to_vec();
+        let mut twice = data.clone();
+        fwht_i64(&mut twice);
+        fwht_i64(&mut twice);
+        let scaled: Vec<i64> = data.iter().map(|&x| x * k as i64).collect();
+        prop_assert_eq!(twice, scaled);
+    }
 
     /// Algorithm 1's output is always a probability vector, whatever the
     /// estimate looks like.

@@ -1,0 +1,75 @@
+//! Draw-for-draw RNG-stream pins for the branchless sampler kernels.
+//!
+//! The vectors below were captured from the pre-kernel (branchy) samplers
+//! and are asserted bit-for-bit against the current implementation: the
+//! branchless inverse-CDF scan in `sample_binomial` must produce the
+//! *identical* draw from the identical uniform, and must consume exactly
+//! one uniform per call so every downstream draw in the stream (pinned by
+//! the `tail` words) is unperturbed. `sample_multinomial` rides on the
+//! binomial, so its pins cover the conditional-binomial decomposition too.
+
+use ldp_common::rng::rng_from_seed;
+use ldp_common::sampling::{sample_binomial, sample_multinomial};
+use rand::Rng;
+
+/// Captured from the pre-kernel sampler: 16 draws per `(seed, n, p)` cell
+/// followed by the next raw `u64` of the stream.
+#[test]
+fn branchless_binomial_keeps_captured_draws() {
+    #[rustfmt::skip]
+    let cells: &[(u64, u64, f64, [u64; 16], u64)] = &[
+        // Small-mean cells exercise the bottom-up scan that went branchless.
+        (0xB1A5, 40, 0.1,
+         [2, 5, 6, 4, 7, 7, 7, 2, 5, 6, 2, 3, 4, 2, 4, 2],
+         0x7cc5_dcfd_52c4_f358),
+        (0xB1A5, 1_000, 0.004,
+         [2, 5, 6, 4, 7, 8, 7, 2, 5, 6, 2, 3, 3, 2, 4, 2],
+         0x7cc5_dcfd_52c4_f358),
+        // Large-mean cells exercise the zig-zag regime (kept branchy).
+        (0xB1A5, 100_000, 0.37,
+         [36962, 36862, 36770, 36883, 36728, 36697, 37256, 36973,
+          36812, 36780, 37032, 37048, 37086, 36961, 37123, 37028],
+         0x7cc5_dcfd_52c4_f358),
+        (0xB1A5, 1_000_000, 0.5,
+         [499875, 499547, 499246, 500384, 500891, 499008, 499163, 499911,
+          499384, 500722, 500105, 499843, 499720, 499872, 500402, 499910],
+         0x7cc5_dcfd_52c4_f358),
+        // p > 1/2 goes through the complement reflection.
+        (0xB1A5, 2_000, 0.93,
+         [1857, 1870, 1877, 1851, 1880, 1837, 1879, 1862, 1874, 1876,
+          1862, 1856, 1866, 1857, 1869, 1862],
+         0x7cc5_dcfd_52c4_f358),
+        // Tiny n: the scan's n-cap path.
+        (0xB1A5, 17, 0.5,
+         [7, 9, 11, 9, 11, 12, 11, 6, 10, 11, 6, 7, 8, 7, 9, 6],
+         0x7cc5_dcfd_52c4_f358),
+        // Near-zero mean: draws hug 0, the scan exits in its first chunk.
+        (0xC0DE, 1_000_000, 0.000_001,
+         [1, 1, 0, 2, 4, 0, 2, 1, 0, 0, 0, 0, 0, 1, 2, 0],
+         0x86cd_c6c9_2e05_8545),
+    ];
+
+    for &(seed, n, p, ref expect, tail) in cells {
+        let mut rng = rng_from_seed(seed);
+        let draws: Vec<u64> = (0..16).map(|_| sample_binomial(n, p, &mut rng)).collect();
+        assert_eq!(draws.as_slice(), expect, "seed={seed:#x}, n={n}, p={p}");
+        assert_eq!(
+            rng.gen::<u64>(),
+            tail,
+            "RNG stream perturbed after n={n}, p={p}"
+        );
+    }
+}
+
+/// Captured from the pre-kernel sampler: two multinomial draws (one large,
+/// one tiny, sharing a stream) plus the next raw `u64`.
+#[test]
+fn branchless_multinomial_keeps_captured_draws() {
+    let weights = [0.0, 3.0, 1.0, 0.0, 6.0, 2.5];
+    let mut rng = rng_from_seed(0xD00D);
+    let a = sample_multinomial(1_000_000, &weights, &mut rng).unwrap();
+    let b = sample_multinomial(37, &weights, &mut rng).unwrap();
+    assert_eq!(a, [0, 240_317, 79_404, 0, 480_026, 200_253]);
+    assert_eq!(b, [0, 6, 2, 0, 23, 6]);
+    assert_eq!(rng.gen::<u64>(), 0xf392_bac6_af24_5b3e);
+}
