@@ -60,6 +60,7 @@ smoke_tests! {
     ablations_pipeline_runs_one_tiny_trial => "ablations",
     kv_extension_pipeline_runs_one_tiny_trial => "kv_extension",
     stream_online_pipeline_runs_one_tiny_trial => "stream_online",
+    stream_windowed_pipeline_runs_one_tiny_trial => "stream_windowed",
     defense_arms_pipeline_runs_one_tiny_trial => "defense_arms",
 }
 
@@ -71,7 +72,7 @@ fn repro_covers_every_figure_exactly_once() {
         assert!(seen.insert(id), "duplicate figure id {id}");
         catalog::scenario(id).unwrap();
     }
-    assert_eq!(seen.len(), 13);
+    assert_eq!(seen.len(), 14);
 }
 
 #[test]

@@ -336,6 +336,59 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json> {
     }
 }
 
+/// Per-process monotone counter distinguishing concurrent [`write_atomic`]
+/// temp files without reaching for wall-clock or ambient entropy (both
+/// banned by the workspace determinism contract, lint rule D02).
+static ATOMIC_WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Crash-atomic file write: the contents land in a temp file *in the
+/// target's directory* (staying on the same filesystem so the final
+/// `rename` is atomic), are flushed and fsynced, and only then renamed
+/// over `path`. A reader — e.g. `ldp stream --resume` — therefore sees
+/// either the previous complete file or the new complete file, never a
+/// torn prefix.
+///
+/// # Errors
+/// [`LdpError::Io`]-style invalid-input errors for any underlying I/O
+/// failure; the temp file is removed on a failed write or rename.
+pub fn write_atomic(path: &std::path::Path, contents: &str) -> Result<()> {
+    use std::io::Write as _;
+
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let stem = path
+        .file_name()
+        .ok_or_else(|| LdpError::invalid(format!("write_atomic: no file name in {path:?}")))?
+        .to_string_lossy()
+        .into_owned();
+    let seq = ATOMIC_WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp = dir.join(format!(".{stem}.tmp-{}-{seq}", std::process::id()));
+
+    let write_all = |tmp: &std::path::Path| -> std::io::Result<()> {
+        let mut file = std::fs::File::create(tmp)?;
+        file.write_all(contents.as_bytes())?;
+        file.sync_all()?;
+        Ok(())
+    };
+    if let Err(e) = write_all(&tmp) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(LdpError::invalid(format!(
+            "write_atomic: staging {}: {e}",
+            tmp.display()
+        )));
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(LdpError::invalid(format!(
+            "write_atomic: rename into {}: {e}",
+            path.display()
+        )));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -450,5 +503,50 @@ mod tests {
         assert_eq!(arr[0], Json::Num(1.0));
         assert_eq!(arr[1], Json::Num(-25.0));
         assert_eq!(arr[2], Json::Str("A\n".into()));
+    }
+
+    /// Torn-write scenario: a crash mid-write may leave a partial *temp*
+    /// file behind, but the destination path only ever holds a complete
+    /// old or complete new payload — the atomicity contract `--resume`
+    /// depends on.
+    #[test]
+    fn write_atomic_never_exposes_a_torn_file() {
+        let dir = std::env::temp_dir().join(format!("ldp-json-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("checkpoint.json");
+        let old = "{\n  \"epoch\": 1\n}\n";
+        let new = "{\n  \"epoch\": 2\n}\n";
+
+        write_atomic(&target, old).unwrap();
+        assert_eq!(std::fs::read_to_string(&target).unwrap(), old);
+
+        // Simulate a crash mid-write: a truncated staging file appears in
+        // the target directory (exactly what write_atomic stages before
+        // its rename) and is never renamed into place.
+        let torn = dir.join(".checkpoint.json.tmp-crashed");
+        std::fs::write(&torn, &new[..5]).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&target).unwrap(),
+            old,
+            "a partial staging write must leave the old checkpoint intact"
+        );
+
+        // A completed atomic write replaces the payload wholesale.
+        write_atomic(&target, new).unwrap();
+        assert_eq!(std::fs::read_to_string(&target).unwrap(), new);
+
+        // No staging residue from the successful writes.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp-") && !n.ends_with("crashed"))
+            .collect();
+        assert!(leftovers.is_empty(), "staging residue: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_atomic_rejects_pathless_targets() {
+        assert!(write_atomic(std::path::Path::new("/"), "x").is_err());
     }
 }

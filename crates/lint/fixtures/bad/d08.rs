@@ -1,0 +1,13 @@
+// Fixture: D08 — one RNG drawn from in two argument positions of a
+// single call. Argument evaluation order is defined (left-to-right)
+// today, but any refactor that reorders, splits, or lifts the arguments
+// silently reshuffles the consumed stream — and every downstream draw.
+use rand::Rng;
+
+pub fn poisoned_pair(rng: &mut impl Rng) -> (u64, u64) {
+    pair(draw(rng.random_range(0..10)), draw(rng.random_range(0..10))) //~ D08
+}
+
+pub fn nested_draws(rng: &mut impl Rng) -> u64 {
+    combine(sample(3, &mut rng), sample(7, &mut rng)) //~ D08
+}

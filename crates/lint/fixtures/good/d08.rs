@@ -1,0 +1,29 @@
+// Fixture: D08 twin — RNG consumption order made explicit with
+// sequential `let` bindings, or decorrelated entirely with independent
+// derived streams; either way no call observes argument evaluation
+// order.
+use ldp_common::rng::{derive_seed2, rng_from_seed};
+use rand::Rng;
+
+pub fn ordered_pair(rng: &mut impl Rng) -> (u64, u64) {
+    let first = rng.random_range(0..10);
+    let second = rng.random_range(0..10);
+    pair(draw(first), draw(second))
+}
+
+pub fn independent_streams(master: u64) -> u64 {
+    let mut a_rng = rng_from_seed(derive_seed2(master, 0, 0));
+    let mut b_rng = rng_from_seed(derive_seed2(master, 1, 0));
+    combine(sample(3, &mut a_rng), sample(7, &mut b_rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_be_sloppy_about_order() {
+        let mut rng = rng_from_seed(7);
+        let _ = pair(draw(rng.random_range(0..10)), draw(rng.random_range(0..10)));
+    }
+}

@@ -21,6 +21,8 @@ pub enum RuleId {
     D04,
     /// Seed literals only in tests/benches/examples.
     D05,
+    /// No single RNG drawn from in two argument positions of one call.
+    D08,
     /// Every crate root carries `#![forbid(unsafe_code)]`.
     H01,
     /// No `println!`/`eprintln!` outside the CLI, benches, and tests.
@@ -29,12 +31,13 @@ pub enum RuleId {
 
 impl RuleId {
     /// Every rule, in catalog order.
-    pub const ALL: [RuleId; 7] = [
+    pub const ALL: [RuleId; 8] = [
         RuleId::D01,
         RuleId::D02,
         RuleId::D03,
         RuleId::D04,
         RuleId::D05,
+        RuleId::D08,
         RuleId::H01,
         RuleId::H02,
     ];
@@ -47,6 +50,7 @@ impl RuleId {
             RuleId::D03 => "D03",
             RuleId::D04 => "D04",
             RuleId::D05 => "D05",
+            RuleId::D08 => "D08",
             RuleId::H01 => "H01",
             RuleId::H02 => "H02",
         }
@@ -60,6 +64,7 @@ impl RuleId {
             RuleId::D03 => "no ==/!= on float-typed operands",
             RuleId::D04 => "no unwrap()/bare expect(\"\") in non-test library code",
             RuleId::D05 => "rng_from_seed(<literal>) only in tests/benches/examples",
+            RuleId::D08 => "no single RNG drawn from in two argument positions of one call",
             RuleId::H01 => "crate roots must carry #![forbid(unsafe_code)]",
             RuleId::H02 => "no println!/eprintln! outside the CLI, benches, and tests",
         }
@@ -260,6 +265,7 @@ pub fn lint_file(rel_path: &str, src: &str) -> Vec<Finding> {
         rule_d03(&class, &toks, &mut emit);
         rule_d04(&class, &toks, &mut emit);
         rule_d05(&class, &toks, &mut emit);
+        rule_d08(&class, &toks, &mut emit);
         rule_h01(&class, &toks, &mut emit, rel_path);
         rule_h02(&class, &toks, &mut emit);
     }
@@ -544,6 +550,114 @@ fn rule_d05(class: &FileClass, toks: &[Tok], emit: &mut impl FnMut(&Tok, RuleId,
     }
 }
 
+/// D08 — RNG argument ordering. One RNG drawn from in two (or more)
+/// argument positions of a single call, e.g.
+/// `combine(sample(a, &mut rng), sample(b, &mut rng))`, makes the
+/// consumed stream depend on argument evaluation order — defined today,
+/// but silently reshuffled by any refactor that reorders, splits, or
+/// lifts the arguments, which perturbs every downstream draw.
+///
+/// Heuristic (the lexer has no types): an RNG use is `&mut <ident>` or a
+/// `<ident>.method(` receiver where the identifier contains `rng`. Each
+/// use is attributed to every enclosing parenthesized group at that
+/// group's current top-level argument index (commas inside nested
+/// `()`/`[]`/`{}` don't count); a group fires when one name lands in ≥ 2
+/// distinct argument slots. Nested duplicates inside a *single* argument
+/// therefore flag at the inner call only. The fix is sequential `let`
+/// bindings (explicit order) or independent streams via `derive_seed2`.
+fn rule_d08(class: &FileClass, toks: &[Tok], emit: &mut impl FnMut(&Tok, RuleId, String)) {
+    if !class.library() {
+        return;
+    }
+    /// One delimiter on the nesting stack; only `(` groups track args.
+    struct Group {
+        paren: bool,
+        arg: usize,
+        /// `(rng name, argument slot, token index of the use)`.
+        uses: Vec<(String, usize, usize)>,
+    }
+    let looks_like_rng =
+        |t: &Tok| t.kind == TokKind::Ident && t.text.to_ascii_lowercase().contains("rng");
+    let mut stack: Vec<Group> = Vec::new();
+    for (k, t) in toks.iter().enumerate() {
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            stack.push(Group {
+                paren: t.is_punct("("),
+                arg: 0,
+                uses: Vec::new(),
+            });
+            continue;
+        }
+        if t.is_punct(",") {
+            if let Some(g) = stack.last_mut().filter(|g| g.paren) {
+                g.arg += 1;
+            }
+            continue;
+        }
+        if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            let Some(group) = stack.pop() else { continue };
+            if !group.paren {
+                continue;
+            }
+            // Each distinct name fires at most once per group.
+            let mut names: Vec<&str> = group.uses.iter().map(|(n, _, _)| n.as_str()).collect();
+            names.sort_unstable();
+            names.dedup();
+            for name in names {
+                let mut slots: Vec<usize> = group
+                    .uses
+                    .iter()
+                    .filter(|(n, _, _)| n == name)
+                    .map(|(_, slot, _)| *slot)
+                    .collect();
+                slots.sort_unstable();
+                slots.dedup();
+                if slots.len() >= 2 {
+                    let first = group
+                        .uses
+                        .iter()
+                        .find(|(n, _, _)| n == name)
+                        .map(|&(_, _, idx)| idx)
+                        .unwrap_or(k);
+                    emit(
+                        &toks[first],
+                        RuleId::D08,
+                        format!(
+                            "`{name}` is drawn from in {} argument positions of one call — \
+                             the consumed RNG stream then depends on argument evaluation \
+                             order; bind the draws to sequential `let`s or derive independent \
+                             streams via derive_seed2",
+                            slots.len()
+                        ),
+                    );
+                }
+            }
+            continue;
+        }
+        if t.in_test {
+            continue;
+        }
+        // `&mut rng` or `rng.method(` — attribute to every open paren group.
+        let is_mut_borrow = t.is_punct("&")
+            && toks.get(k + 1).is_some_and(|t| t.is_ident("mut"))
+            && toks.get(k + 2).is_some_and(&looks_like_rng);
+        let is_receiver = looks_like_rng(t)
+            && toks.get(k + 1).is_some_and(|t| t.is_punct("."))
+            && toks.get(k + 2).is_some_and(|t| t.kind == TokKind::Ident)
+            && toks.get(k + 3).is_some_and(|t| t.is_punct("("));
+        let name = if is_mut_borrow {
+            toks[k + 2].text.clone()
+        } else if is_receiver {
+            t.text.clone()
+        } else {
+            continue;
+        };
+        for g in stack.iter_mut().filter(|g| g.paren) {
+            g.uses.push((name.clone(), g.arg, k));
+        }
+    }
+}
+
 /// H01 — crate roots must carry `#![forbid(unsafe_code)]`.
 fn rule_h01(
     class: &FileClass,
@@ -738,6 +852,62 @@ mod tests {
             "pub fn f(master: u64) { let _ = rng_from_seed(derive_seed2(master, 1, 2)); }\n"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn rng_in_two_argument_slots_fires() {
+        // Two nested draws in distinct argument positions: the outer call
+        // observes evaluation order.
+        let src = "pub fn f(rng: &mut R) -> u64 {\n\
+                       combine(sample(a, &mut rng), sample(b, &mut rng))\n\
+                   }\n";
+        assert_eq!(rules_on(LIB, src), [(2, "D08")]);
+        // Receiver-position draws count too.
+        let src = "pub fn f(rng: &mut R) -> (u64, u64) {\n\
+                       pair(rng.next_u64(), rng.next_u64())\n\
+                   }\n";
+        assert_eq!(rules_on(LIB, src), [(2, "D08")]);
+        // Binary targets and tests are exempt.
+        assert!(rules_on(
+            "crates/sim/src/bin/ldp.rs",
+            "pub fn f(rng: &mut R) { g(h(&mut rng), h(&mut rng)); }\n"
+        )
+        .is_empty());
+        assert!(rules_on(LIB, "#[test]\nfn t() { g(h(&mut rng), h(&mut rng)); }\n").is_empty());
+    }
+
+    #[test]
+    fn rng_duplicates_inside_one_argument_flag_the_inner_call_only() {
+        // Both draws sit in argument 0 of the outer call, so only the
+        // inner group (where they occupy two slots) fires.
+        let src = "pub fn f(rng: &mut R) -> u64 {\n\
+                       outer(inner(&mut rng, &mut rng))\n\
+                   }\n";
+        assert_eq!(rules_on(LIB, src), [(2, "D08")]);
+    }
+
+    #[test]
+    fn sequential_and_distinct_rng_use_is_clean() {
+        // Sequential lets make the order explicit.
+        let ordered = "pub fn f(rng: &mut R) -> u64 {\n\
+                           let x = sample(a, &mut rng);\n\
+                           let y = sample(b, &mut rng);\n\
+                           combine(x, y)\n\
+                       }\n";
+        assert!(rules_on(LIB, ordered).is_empty());
+        // Two *different* RNGs in one call are fine.
+        let distinct = "pub fn f(a_rng: &mut R, b_rng: &mut R) -> u64 {\n\
+                            combine(sample(&mut a_rng), sample(&mut b_rng))\n\
+                        }\n";
+        assert!(rules_on(LIB, distinct).is_empty());
+        // Commas inside nested braces don't split argument slots.
+        let braced = "pub fn f(rng: &mut R) -> S {\n\
+                          build(S { a: 1, b: 2 }, &mut rng)\n\
+                      }\n";
+        assert!(rules_on(LIB, braced).is_empty());
+        // Non-RNG identifiers are outside the rule's scope.
+        let vecs = "pub fn f(v: &mut Vec<u32>) { g(fill(&mut v), fill(&mut v)); }\n";
+        assert!(rules_on(LIB, vecs).is_empty());
     }
 
     #[test]

@@ -17,11 +17,14 @@
 //! scale preset or an explicit fraction.
 
 use ldp_attacks::AttackKind;
+use ldp_common::json::write_atomic;
 use ldp_common::{Json, LdpError, Result};
 use ldp_datasets::{DatasetKind, ScalePreset};
 use ldp_protocols::ProtocolKind;
 use ldp_sim::scenario::{catalog, run_scenario, RunScale, ScaleSpec};
-use ldp_sim::stream::{StreamEngine, StreamSpec};
+use ldp_sim::stream::coordinator::{self, CoordinatorConfig, WorkerLauncher};
+use ldp_sim::stream::worker::{run_worker, FaultPlan};
+use ldp_sim::stream::{StreamEngine, StreamSpec, WindowMode};
 use ldp_sim::table::{fmt_mean, fmt_stat};
 use ldp_sim::{
     run_experiment, AggregationMode, ExperimentConfig, PipelineOptions, Table, DEFAULT_SEED,
@@ -175,7 +178,7 @@ ldp repro — reproduce the paper's figures from the scenario catalog
 options:
   --figure ID|all               which figure (fig3..fig10, table1,
                                 ablations, kv_extension, stream_online,
-                                defense_arms)                  [all]
+                                stream_windowed, defense_arms) [all]
   --scale small|paper|F         scale preset or fraction       [small]
   --trials N                    trials per cell    [preset default: 5/10]
   --seed N                      master seed              [0x1db05eed]
@@ -295,8 +298,10 @@ ldp stream — sharded streaming ingestion with epoch-based online recovery
 Synthetic genuine+malicious traffic is fanned across shards (each with its
 own derived RNG stream), merged at every epoch boundary, and re-recovered,
 producing a recovery-accuracy-vs-reports-seen trajectory. With
---checkpoint the full engine state is written after every epoch; --resume
-continues a suspended run bit-identically (same bytes as uninterrupted).
+--checkpoint the full engine state is written (atomically) after every
+epoch; --resume continues a suspended run bit-identically (same bytes as
+uninterrupted). With --workers N the shards are computed by N separate
+worker processes with failover replay — still byte-identical.
 
 options:
   --dataset ipums|fire          workload                [ipums]
@@ -312,9 +317,20 @@ options:
   --epochs N                    stream length           [8]
   --users-per-epoch N           genuine users per epoch [5000]
   --seed N                      master seed             [0x1db05eed]
+  --window cumulative|sliding:N|decay:L
+                                recovery window over epochs: all epochs,
+                                the last N, or exponential decay with
+                                factor L in (0,1)       [cumulative]
+  --workers N                   distribute shards over N worker processes
+                                (byte-identical to the in-process engine)
+  --worker-timeout-ms N         per-work-unit reply timeout before a
+                                worker is killed and replayed   [10000]
+  --inject-fault K[@U]          test-only: worker 0's first process
+                                misbehaves on its U-th unit; K is
+                                worker-crash|stall|corrupt-frame
   --checkpoint PATH             write the engine state after every epoch
-  --resume PATH                 restore from a checkpoint (spec flags
-                                then come from the checkpoint, not the CLI)
+  --resume PATH                 restore from a checkpoint (spec flags, if
+                                repeated, must match the checkpoint spec)
   --suspend-after N             stop once N epochs are done (for --resume)
   --arms a,b,c                  also evaluate these count-only defense arms
                                 on the final merged state (recover,
@@ -326,8 +342,12 @@ options:
 /// Parsed `ldp stream` options.
 struct StreamArgs {
     spec: StreamSpec,
-    /// Whether any spec-shaping flag was given (rejected with --resume).
-    spec_flags_used: bool,
+    /// The spec-shaping flags that were explicitly given — with --resume
+    /// each is diffed field-by-field against the checkpoint's spec.
+    spec_flags: Vec<&'static str>,
+    workers: Option<usize>,
+    worker_timeout_ms: u64,
+    inject_fault: Option<String>,
     checkpoint: Option<std::path::PathBuf>,
     resume: Option<std::path::PathBuf>,
     suspend_after: Option<usize>,
@@ -348,13 +368,17 @@ fn parse_stream_args<I: Iterator<Item = String>>(mut iter: I) -> Result<StreamAr
         epochs: 8,
         users_per_epoch: 5000,
         seed: DEFAULT_SEED,
+        window: WindowMode::Cumulative,
     };
     let mut attack_name = "aa".to_string();
     let mut targets = 10usize;
     let mut attackers = 5usize;
     let mut args = StreamArgs {
         spec,
-        spec_flags_used: false,
+        spec_flags: Vec::new(),
+        workers: None,
+        worker_timeout_ms: 10_000,
+        inject_fault: None,
         checkpoint: None,
         resume: None,
         suspend_after: None,
@@ -367,67 +391,168 @@ fn parse_stream_args<I: Iterator<Item = String>>(mut iter: I) -> Result<StreamAr
             iter.next()
                 .ok_or_else(|| LdpError::invalid(format!("{name} requires a value")))
         };
-        let mut spec_flag = true;
+        // Spec-shaping flags record their name for the --resume diff.
+        let mut spec_flag: Option<&'static str> = None;
         match flag.as_str() {
-            "--dataset" => spec.dataset = DatasetKind::parse(&value("--dataset")?)?,
-            "--protocol" => spec.protocol = ProtocolKind::parse(&value("--protocol")?)?,
-            "--attack" => attack_name = value("--attack")?.to_ascii_lowercase(),
-            "--targets" => targets = parse_num(&value("--targets")?, "--targets")?,
-            "--attackers" => attackers = parse_num(&value("--attackers")?, "--attackers")?,
-            "--beta" => spec.beta = parse_f64(&value("--beta")?, "--beta")?,
-            "--eta" => spec.eta = parse_f64(&value("--eta")?, "--eta")?,
-            "--epsilon" => spec.epsilon = parse_f64(&value("--epsilon")?, "--epsilon")?,
-            "--shards" => spec.shards = parse_num(&value("--shards")?, "--shards")?,
-            "--epochs" => spec.epochs = parse_num(&value("--epochs")?, "--epochs")?,
+            "--dataset" => {
+                spec.dataset = DatasetKind::parse(&value("--dataset")?)?;
+                spec_flag = Some("--dataset");
+            }
+            "--protocol" => {
+                spec.protocol = ProtocolKind::parse(&value("--protocol")?)?;
+                spec_flag = Some("--protocol");
+            }
+            "--attack" => {
+                attack_name = value("--attack")?.to_ascii_lowercase();
+                spec_flag = Some("--attack");
+            }
+            "--targets" => {
+                targets = parse_num(&value("--targets")?, "--targets")?;
+                spec_flag = Some("--attack");
+            }
+            "--attackers" => {
+                attackers = parse_num(&value("--attackers")?, "--attackers")?;
+                spec_flag = Some("--attack");
+            }
+            "--beta" => {
+                spec.beta = parse_f64(&value("--beta")?, "--beta")?;
+                spec_flag = Some("--beta");
+            }
+            "--eta" => {
+                spec.eta = parse_f64(&value("--eta")?, "--eta")?;
+                spec_flag = Some("--eta");
+            }
+            "--epsilon" => {
+                spec.epsilon = parse_f64(&value("--epsilon")?, "--epsilon")?;
+                spec_flag = Some("--epsilon");
+            }
+            "--shards" => {
+                spec.shards = parse_num(&value("--shards")?, "--shards")?;
+                spec_flag = Some("--shards");
+            }
+            "--epochs" => {
+                spec.epochs = parse_num(&value("--epochs")?, "--epochs")?;
+                spec_flag = Some("--epochs");
+            }
             "--users-per-epoch" => {
                 spec.users_per_epoch =
                     parse_num(&value("--users-per-epoch")?, "--users-per-epoch")?;
+                spec_flag = Some("--users-per-epoch");
             }
-            "--seed" => spec.seed = parse_num(&value("--seed")?, "--seed")? as u64,
-            "--checkpoint" => {
-                args.checkpoint = Some(value("--checkpoint")?.into());
-                spec_flag = false;
+            "--seed" => {
+                spec.seed = parse_num(&value("--seed")?, "--seed")? as u64;
+                spec_flag = Some("--seed");
             }
-            "--resume" => {
-                args.resume = Some(value("--resume")?.into());
-                spec_flag = false;
+            "--window" => {
+                spec.window = WindowMode::parse(&value("--window")?)?;
+                spec_flag = Some("--window");
             }
+            "--workers" => {
+                let n = parse_num(&value("--workers")?, "--workers")?;
+                if n == 0 {
+                    return Err(LdpError::invalid("--workers must be ≥ 1"));
+                }
+                args.workers = Some(n);
+            }
+            "--worker-timeout-ms" => {
+                args.worker_timeout_ms =
+                    parse_num(&value("--worker-timeout-ms")?, "--worker-timeout-ms")? as u64;
+            }
+            "--inject-fault" => {
+                let fault = value("--inject-fault")?;
+                FaultPlan::parse(&fault)?; // validate eagerly; workers re-parse
+                args.inject_fault = Some(fault);
+            }
+            "--checkpoint" => args.checkpoint = Some(value("--checkpoint")?.into()),
+            "--resume" => args.resume = Some(value("--resume")?.into()),
             "--suspend-after" => {
                 args.suspend_after =
                     Some(parse_num(&value("--suspend-after")?, "--suspend-after")?);
-                spec_flag = false;
             }
-            "--arms" => {
-                args.arms = Some(ArmSet::parse(&value("--arms")?)?);
-                spec_flag = false;
-            }
-            "--json" => {
-                args.json = Some(value("--json")?.into());
-                spec_flag = false;
-            }
-            "--csv" => {
-                args.csv = true;
-                spec_flag = false;
-            }
+            "--arms" => args.arms = Some(ArmSet::parse(&value("--arms")?)?),
+            "--json" => args.json = Some(value("--json")?.into()),
+            "--csv" => args.csv = true,
             "--help" | "-h" => {
                 println!("{STREAM_USAGE}");
                 std::process::exit(0);
             }
             other => return Err(LdpError::invalid(format!("unknown flag '{other}'"))),
         }
-        args.spec_flags_used |= spec_flag;
+        if let Some(name) = spec_flag {
+            if !args.spec_flags.contains(&name) {
+                args.spec_flags.push(name);
+            }
+        }
     }
     spec.attack = resolve_attack(&attack_name, targets, attackers)?;
     if spec.attack.is_none() {
         spec.beta = 0.0;
     }
     args.spec = spec;
-    if args.resume.is_some() && args.spec_flags_used {
+    if args.inject_fault.is_some() && args.workers.is_none() {
         return Err(LdpError::invalid(
-            "--resume restores the spec from the checkpoint; spec flags are not allowed",
+            "--inject-fault targets worker processes; it requires --workers",
         ));
     }
     Ok(args)
+}
+
+/// The CLI surface form of an attack spec, for --resume diff messages.
+fn attack_cli_form(attack: Option<AttackKind>) -> String {
+    match attack {
+        None => "none".into(),
+        Some(AttackKind::Manip { h }) => format!("manip (targets {h})"),
+        Some(AttackKind::Mga { r }) => format!("mga (targets {r})"),
+        Some(AttackKind::MgaSampled { r }) => format!("mga-sampled (targets {r})"),
+        Some(AttackKind::Adaptive) => "aa".into(),
+        Some(AttackKind::AdaptiveCamouflaged) => "aa-camo".into(),
+        Some(AttackKind::MgaIpa { r }) => format!("mga-ipa (targets {r})"),
+        Some(AttackKind::MultiAdaptive { attackers }) => format!("multi (attackers {attackers})"),
+    }
+}
+
+/// Field-by-field diff of the explicitly given spec flags against a
+/// checkpoint's restored spec. Empty when every given flag agrees — such
+/// a resume is allowed; any disagreement makes `ldp stream` fail fast
+/// with one line per conflicting field.
+///
+/// Values are compared via their rendered forms; f64's Display is
+/// shortest-roundtrip, so equal strings means bit-equal floats.
+fn resume_spec_conflicts(
+    flags: &[&'static str],
+    cli: &StreamSpec,
+    checkpoint: &StreamSpec,
+) -> Vec<String> {
+    let mut lines = Vec::new();
+    for &flag in flags {
+        let (given, stored) = match flag {
+            "--dataset" => (cli.dataset.to_string(), checkpoint.dataset.to_string()),
+            "--protocol" => (cli.protocol.to_string(), checkpoint.protocol.to_string()),
+            "--attack" => (
+                attack_cli_form(cli.attack),
+                attack_cli_form(checkpoint.attack),
+            ),
+            "--beta" => (cli.beta.to_string(), checkpoint.beta.to_string()),
+            "--eta" => (cli.eta.to_string(), checkpoint.eta.to_string()),
+            "--epsilon" => (cli.epsilon.to_string(), checkpoint.epsilon.to_string()),
+            "--shards" => (cli.shards.to_string(), checkpoint.shards.to_string()),
+            "--epochs" => (cli.epochs.to_string(), checkpoint.epochs.to_string()),
+            "--users-per-epoch" => (
+                cli.users_per_epoch.to_string(),
+                checkpoint.users_per_epoch.to_string(),
+            ),
+            "--seed" => (
+                format!("{:#x}", cli.seed),
+                format!("{:#x}", checkpoint.seed),
+            ),
+            "--window" => (cli.window.name(), checkpoint.window.name()),
+            other => (format!("unknown spec flag {other}"), String::new()),
+        };
+        if given != stored {
+            lines.push(format!("  {flag}: flag {given} != checkpoint {stored}"));
+        }
+    }
+    lines
 }
 
 fn stream_main<I: Iterator<Item = String>>(iter: I) -> Result<()> {
@@ -441,22 +566,53 @@ fn stream_main<I: Iterator<Item = String>>(iter: I) -> Result<()> {
     let mut engine = match &args.resume {
         Some(path) => {
             let text = std::fs::read_to_string(path)?;
-            StreamEngine::from_checkpoint(&Json::parse(&text)?)?
+            let engine = StreamEngine::from_checkpoint(&Json::parse(&text)?)?;
+            let conflicts = resume_spec_conflicts(&args.spec_flags, &args.spec, engine.spec());
+            if !conflicts.is_empty() {
+                return Err(LdpError::invalid(format!(
+                    "--resume {}: the checkpoint's spec disagrees with the given spec flags:\n\
+                     {}\n(drop the conflicting flags, or start a fresh run without --resume)",
+                    path.display(),
+                    conflicts.join("\n")
+                )));
+            }
+            engine
         }
         None => StreamEngine::new(args.spec)?,
     };
     let horizon = args
         .suspend_after
         .map_or(engine.spec().epochs, |e| e.min(engine.spec().epochs));
+    let checkpoint_after = |engine: &StreamEngine| -> Result<()> {
+        if let Some(path) = &args.checkpoint {
+            write_atomic(path, &engine.to_checkpoint().render())?;
+        }
+        Ok(())
+    };
     // Dump the starting state too, so the checkpoint file exists (and the
     // resume hint below holds) even if no epoch runs before suspension.
-    if let Some(path) = &args.checkpoint {
-        std::fs::write(path, engine.to_checkpoint().render())?;
-    }
-    while engine.epochs_done() < horizon {
-        engine.step()?;
-        if let Some(path) = &args.checkpoint {
-            std::fs::write(path, engine.to_checkpoint().render())?;
+    checkpoint_after(&engine)?;
+    match args.workers {
+        Some(workers) => {
+            let program = std::env::current_exe().map_err(|e| {
+                LdpError::invalid(format!("locating the ldp binary for workers: {e}"))
+            })?;
+            let mut launcher = WorkerLauncher::for_binary(program);
+            if let Some(fault) = &args.inject_fault {
+                launcher.first_spawn_extra_args = vec!["--inject-fault".into(), fault.clone()];
+            }
+            let config = CoordinatorConfig {
+                workers,
+                timeout: std::time::Duration::from_millis(args.worker_timeout_ms),
+                ..CoordinatorConfig::default()
+            };
+            coordinator::drive_with(&mut engine, horizon, &launcher, &config, &checkpoint_after)?;
+        }
+        None => {
+            while engine.epochs_done() < horizon {
+                engine.step()?;
+                checkpoint_after(&engine)?;
+            }
         }
     }
 
@@ -575,10 +731,35 @@ fn stream_main<I: Iterator<Item = String>>(iter: I) -> Result<()> {
                 .collect();
             fields.push(("arms".into(), Json::Obj(arms_json)));
         }
-        std::fs::write(path, report.render())?;
+        write_atomic(path, &report.render())?;
         eprintln!("wrote {}", path.display());
     }
     Ok(())
+}
+
+/// The hidden `ldp stream-worker` subcommand: serve length-prefixed work
+/// frames on stdio until shutdown/EOF. Spawned by the stream
+/// coordinator; not part of the user-facing CLI surface.
+fn stream_worker_main<I: Iterator<Item = String>>(mut iter: I) -> Result<()> {
+    let mut fault = None;
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--inject-fault" => {
+                let spec = iter
+                    .next()
+                    .ok_or_else(|| LdpError::invalid("--inject-fault requires a value"))?;
+                fault = Some(FaultPlan::parse(&spec)?);
+            }
+            other => {
+                return Err(LdpError::invalid(format!(
+                    "unknown stream-worker flag '{other}'"
+                )))
+            }
+        }
+    }
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    run_worker(&mut stdin.lock(), &mut stdout.lock(), fault)
 }
 
 fn main() -> Result<()> {
@@ -590,6 +771,10 @@ fn main() -> Result<()> {
     if raw.peek().map(String::as_str) == Some("stream") {
         raw.next();
         return stream_main(raw);
+    }
+    if raw.peek().map(String::as_str) == Some("stream-worker") {
+        raw.next();
+        return stream_worker_main(raw);
     }
     let args = parse_args(raw)?;
     let mut config = ExperimentConfig::paper_default(args.dataset, args.protocol, args.attack);
@@ -795,7 +980,11 @@ mod tests {
         assert_eq!(a.spec.users_per_epoch, 5000);
         assert_eq!(a.spec.attack, Some(AttackKind::Adaptive));
         assert_eq!(a.spec.seed, DEFAULT_SEED);
+        assert_eq!(a.spec.window, WindowMode::Cumulative);
+        assert!(a.workers.is_none(), "in-process engine by default");
+        assert_eq!(a.worker_timeout_ms, 10_000);
         assert!(a.checkpoint.is_none() && a.resume.is_none());
+        assert!(a.spec_flags.is_empty(), "no spec flags recorded");
         assert!(a.spec.validate().is_ok());
     }
 
@@ -834,6 +1023,17 @@ mod tests {
         );
         assert_eq!(a.suspend_after, Some(2));
         assert!(a.csv);
+        // Spec flags are recorded once each; --targets folds into --attack.
+        assert_eq!(
+            a.spec_flags,
+            [
+                "--protocol",
+                "--attack",
+                "--shards",
+                "--epochs",
+                "--users-per-epoch"
+            ]
+        );
         // `none` zeroes beta, like the cell runner.
         let clean = parse_stream(&["--attack", "none"]).unwrap();
         assert!(clean.spec.attack.is_none());
@@ -841,13 +1041,87 @@ mod tests {
     }
 
     #[test]
-    fn stream_resume_rejects_spec_flags() {
-        let ok = parse_stream(&["--resume", "c.json", "--json", "out.json"]).unwrap();
+    fn stream_worker_flags_parse() {
+        let a = parse_stream(&[
+            "--workers",
+            "4",
+            "--worker-timeout-ms",
+            "2500",
+            "--inject-fault",
+            "corrupt-frame@1",
+            "--window",
+            "sliding:3",
+        ])
+        .unwrap();
+        assert_eq!(a.workers, Some(4));
+        assert_eq!(a.worker_timeout_ms, 2500);
+        assert_eq!(a.inject_fault.as_deref(), Some("corrupt-frame@1"));
+        assert_eq!(a.spec.window, WindowMode::Sliding(3));
+        assert_eq!(
+            a.spec_flags,
+            ["--window"],
+            "worker knobs are not spec flags"
+        );
+        // Rejections: zero workers, malformed faults, faults without
+        // workers, malformed windows.
+        assert!(parse_stream(&["--workers", "0"]).is_err());
+        assert!(parse_stream(&["--workers", "2", "--inject-fault", "explode"]).is_err());
+        assert!(parse_stream(&["--inject-fault", "stall"]).is_err());
+        assert!(parse_stream(&["--window", "sliding:0"]).is_err());
+        assert!(parse_stream(&["--window", "decay:1.5"]).is_err());
+    }
+
+    #[test]
+    fn stream_resume_diffs_spec_flags_against_the_checkpoint() {
+        // Parsing no longer rejects spec flags next to --resume; the
+        // conflict check happens against the restored spec instead.
+        let ok = parse_stream(&["--resume", "c.json", "--shards", "2"]).unwrap();
         assert!(ok.resume.is_some());
-        assert!(parse_stream(&["--resume", "c.json", "--shards", "2"]).is_err());
-        assert!(parse_stream(&["--resume", "c.json", "--protocol", "oue"]).is_err());
+        assert_eq!(ok.spec_flags, ["--shards"]);
         assert!(parse_stream(&["--frobnicate"]).is_err());
         assert!(parse_stream(&["--shards"]).is_err());
+
+        let cli = parse_stream(&[
+            "--shards",
+            "2",
+            "--protocol",
+            "oue",
+            "--eta",
+            "0.2",
+            "--seed",
+            "9",
+        ])
+        .unwrap();
+        let mut checkpoint = cli.spec;
+        // Matching flags produce no conflicts: resuming is allowed.
+        assert!(resume_spec_conflicts(&cli.spec_flags, &cli.spec, &checkpoint).is_empty());
+        // Each mismatching field yields one labeled diff line.
+        checkpoint.shards = 4;
+        checkpoint.protocol = ProtocolKind::Grr;
+        let lines = resume_spec_conflicts(&cli.spec_flags, &cli.spec, &checkpoint);
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert_eq!(lines[0], "  --shards: flag 2 != checkpoint 4");
+        assert_eq!(lines[1], "  --protocol: flag OUE != checkpoint GRR");
+        // Fields never given on the CLI are not diffed, even if different.
+        checkpoint.epochs = 99;
+        assert_eq!(
+            resume_spec_conflicts(&cli.spec_flags, &cli.spec, &checkpoint).len(),
+            2
+        );
+        // Attack and window diffs render their CLI surface forms.
+        let cli =
+            parse_stream(&["--attack", "mga", "--targets", "7", "--window", "decay:0.5"]).unwrap();
+        let mut checkpoint = cli.spec;
+        checkpoint.attack = Some(AttackKind::Mga { r: 9 });
+        checkpoint.window = WindowMode::Sliding(4);
+        let lines = resume_spec_conflicts(&cli.spec_flags, &cli.spec, &checkpoint);
+        assert_eq!(
+            lines,
+            [
+                "  --attack: flag mga (targets 7) != checkpoint mga (targets 9)",
+                "  --window: flag decay:0.5 != checkpoint sliding:4",
+            ]
+        );
     }
 
     #[test]

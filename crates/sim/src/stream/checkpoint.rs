@@ -21,7 +21,8 @@ use ldp_common::{Json, LdpError, Result};
 use ldp_datasets::DatasetKind;
 use ldp_protocols::{CountAccumulator, ProtocolKind};
 
-use super::{EpochPoint, StreamEngine, StreamSpec};
+use super::window::{EpochAggregate, WindowMode, WindowState};
+use super::{EpochPoint, ShardDelta, StreamEngine, StreamSpec};
 
 /// Format tag guarding against feeding scenario reports (or arbitrary
 /// JSON) to the restore path.
@@ -32,12 +33,12 @@ const VERSION: f64 = 1.0;
 /// Largest integer a JSON number can carry exactly.
 const MAX_SAFE_INT: f64 = 9_007_199_254_740_992.0; // 2^53
 
-fn field<'a>(json: &'a Json, key: &str) -> Result<&'a Json> {
+pub(crate) fn field<'a>(json: &'a Json, key: &str) -> Result<&'a Json> {
     json.get(key)
         .ok_or_else(|| LdpError::invalid(format!("checkpoint: missing '{key}'")))
 }
 
-fn usize_field(json: &Json, key: &str) -> Result<usize> {
+pub(crate) fn usize_field(json: &Json, key: &str) -> Result<usize> {
     let v = field(json, key)?
         .as_f64()
         .ok_or_else(|| LdpError::invalid(format!("checkpoint: '{key}' not a number")))?;
@@ -49,19 +50,19 @@ fn usize_field(json: &Json, key: &str) -> Result<usize> {
     Ok(v as usize)
 }
 
-fn f64_field(json: &Json, key: &str) -> Result<f64> {
+pub(crate) fn f64_field(json: &Json, key: &str) -> Result<f64> {
     field(json, key)?
         .as_f64()
         .ok_or_else(|| LdpError::invalid(format!("checkpoint: '{key}' not a number")))
 }
 
-fn str_field<'a>(json: &'a Json, key: &str) -> Result<&'a str> {
+pub(crate) fn str_field<'a>(json: &'a Json, key: &str) -> Result<&'a str> {
     field(json, key)?
         .as_str()
         .ok_or_else(|| LdpError::invalid(format!("checkpoint: '{key}' not a string")))
 }
 
-fn counts_field(json: &Json, key: &str, len: usize) -> Result<Vec<u64>> {
+pub(crate) fn counts_field(json: &Json, key: &str, len: usize) -> Result<Vec<u64>> {
     let arr = field(json, key)?
         .as_array()
         .ok_or_else(|| LdpError::invalid(format!("checkpoint: '{key}' not an array")))?;
@@ -145,9 +146,12 @@ pub fn attack_from_json(json: &Json) -> Result<Option<AttackKind>> {
     Ok(Some(attack))
 }
 
-/// Serializes a stream spec.
+/// Serializes a stream spec. The `window` member is only emitted for
+/// non-cumulative modes, so cumulative checkpoints/reports stay
+/// byte-identical to the pre-window (PR 4) schema and old checkpoints
+/// keep restoring.
 pub fn spec_to_json(spec: &StreamSpec) -> Json {
-    Json::Obj(vec![
+    let mut members = vec![
         ("dataset".into(), Json::Str(spec.dataset.name().into())),
         ("protocol".into(), Json::Str(spec.protocol.name().into())),
         ("attack".into(), attack_to_json(spec.attack)),
@@ -162,7 +166,11 @@ pub fn spec_to_json(spec: &StreamSpec) -> Json {
         ),
         // Full-width u64: decimal string, not a (lossy) JSON number.
         ("seed".into(), Json::Str(spec.seed.to_string())),
-    ])
+    ];
+    if !spec.window.is_cumulative() {
+        members.push(("window".into(), Json::Str(spec.window.name())));
+    }
+    Json::Obj(members)
 }
 
 /// Parses a stream spec serialized by [`spec_to_json`], then validates it.
@@ -186,6 +194,10 @@ pub fn spec_from_json(json: &Json) -> Result<StreamSpec> {
         epochs: usize_field(json, "epochs")?,
         users_per_epoch: usize_field(json, "users_per_epoch")?,
         seed,
+        window: match json.get("window") {
+            None => WindowMode::Cumulative,
+            Some(_) => WindowMode::parse(str_field(json, "window")?)?,
+        },
     };
     spec.validate()?;
     Ok(spec)
@@ -213,6 +225,189 @@ fn accumulator_from_json(json: &Json, len: usize) -> Result<CountAccumulator> {
     Ok(CountAccumulator::from_parts(counts, reports))
 }
 
+/// Serializes a shard delta — the payload format of the multi-process
+/// wire protocol ([`super::transport`]), deliberately identical in shape
+/// to the checkpoint's accumulator members so a delta on the wire is a
+/// checkpoint fragment.
+pub fn delta_to_json(delta: &ShardDelta) -> Json {
+    let counts = |v: &[u64]| Json::Arr(v.iter().map(|&c| Json::Num(c as f64)).collect());
+    Json::Obj(vec![
+        ("population".into(), counts(&delta.population)),
+        ("genuine_counts".into(), counts(&delta.genuine_counts)),
+        (
+            "genuine_users".into(),
+            Json::Num(delta.genuine_users as f64),
+        ),
+        ("malicious_counts".into(), counts(&delta.malicious_counts)),
+        (
+            "malicious_users".into(),
+            Json::Num(delta.malicious_users as f64),
+        ),
+    ])
+}
+
+/// Parses a shard delta serialized by [`delta_to_json`], re-validating
+/// shapes against the domain size.
+///
+/// # Errors
+/// [`LdpError::InvalidParameter`] for malformed fields or wrong-length
+/// count vectors.
+pub fn delta_from_json(json: &Json, domain_size: usize) -> Result<ShardDelta> {
+    Ok(ShardDelta {
+        population: counts_field(json, "population", domain_size)?,
+        genuine_counts: counts_field(json, "genuine_counts", domain_size)?,
+        genuine_users: usize_field(json, "genuine_users")?,
+        malicious_counts: counts_field(json, "malicious_counts", domain_size)?,
+        malicious_users: usize_field(json, "malicious_users")?,
+    })
+}
+
+fn floats_field(json: &Json, key: &str, len: usize) -> Result<Vec<f64>> {
+    let arr = field(json, key)?
+        .as_array()
+        .ok_or_else(|| LdpError::invalid(format!("checkpoint: '{key}' not an array")))?;
+    if arr.len() != len {
+        return Err(LdpError::invalid(format!(
+            "checkpoint: '{key}' has {} entries, domain needs {len}",
+            arr.len()
+        )));
+    }
+    arr.iter()
+        .map(|v| {
+            let x = v.as_f64().ok_or_else(|| {
+                LdpError::invalid(format!("checkpoint: '{key}' entry not a number"))
+            })?;
+            if !(x.is_finite() && x >= 0.0) {
+                return Err(LdpError::invalid(format!(
+                    "checkpoint: '{key}' entry {x} is not a non-negative mass"
+                )));
+            }
+            Ok(x)
+        })
+        .collect()
+}
+
+fn nonneg_f64_field(json: &Json, key: &str) -> Result<f64> {
+    let x = f64_field(json, key)?;
+    if !(x.is_finite() && x >= 0.0) {
+        return Err(LdpError::invalid(format!(
+            "checkpoint: '{key}' = {x} is not a non-negative mass"
+        )));
+    }
+    Ok(x)
+}
+
+fn epoch_aggregate_to_json(epoch: &EpochAggregate) -> Json {
+    let counts = |v: &[u64]| Json::Arr(v.iter().map(|&c| Json::Num(c as f64)).collect());
+    Json::Obj(vec![
+        ("truth".into(), counts(&epoch.truth)),
+        ("genuine_counts".into(), counts(&epoch.genuine_counts)),
+        (
+            "genuine_reports".into(),
+            Json::Num(epoch.genuine_reports as f64),
+        ),
+        ("malicious_counts".into(), counts(&epoch.malicious_counts)),
+        (
+            "malicious_reports".into(),
+            Json::Num(epoch.malicious_reports as f64),
+        ),
+    ])
+}
+
+fn epoch_aggregate_from_json(json: &Json, d: usize) -> Result<EpochAggregate> {
+    Ok(EpochAggregate {
+        truth: counts_field(json, "truth", d)?,
+        genuine_counts: counts_field(json, "genuine_counts", d)?,
+        genuine_reports: usize_field(json, "genuine_reports")?,
+        malicious_counts: counts_field(json, "malicious_counts", d)?,
+        malicious_reports: usize_field(json, "malicious_reports")?,
+    })
+}
+
+/// Serializes the windowed state (`None` for cumulative mode, which
+/// keeps no window state — and no checkpoint member).
+fn window_state_to_json(state: &WindowState) -> Option<Json> {
+    let floats = |v: &[f64]| Json::Arr(v.iter().map(|&x| Json::Num(x)).collect());
+    match state {
+        WindowState::Cumulative => None,
+        WindowState::Sliding { history } => Some(Json::Obj(vec![
+            ("kind".into(), Json::Str("sliding".into())),
+            (
+                "epochs".into(),
+                Json::Arr(history.iter().map(epoch_aggregate_to_json).collect()),
+            ),
+        ])),
+        WindowState::Decay {
+            truth,
+            genuine_counts,
+            genuine_reports,
+            malicious_counts,
+            malicious_reports,
+        } => Some(Json::Obj(vec![
+            ("kind".into(), Json::Str("decay".into())),
+            ("truth".into(), floats(truth)),
+            ("genuine_counts".into(), floats(genuine_counts)),
+            ("genuine_reports".into(), Json::Num(*genuine_reports)),
+            ("malicious_counts".into(), floats(malicious_counts)),
+            ("malicious_reports".into(), Json::Num(*malicious_reports)),
+        ])),
+    }
+}
+
+fn window_state_from_json(
+    json: Option<&Json>,
+    mode: WindowMode,
+    d: usize,
+    next_epoch: usize,
+) -> Result<WindowState> {
+    match (mode, json) {
+        (WindowMode::Cumulative, None) => Ok(WindowState::Cumulative),
+        (WindowMode::Cumulative, Some(_)) => Err(LdpError::invalid(
+            "checkpoint: window_state present but the spec is cumulative",
+        )),
+        (_, None) => Err(LdpError::invalid(format!(
+            "checkpoint: spec window '{}' but no window_state",
+            mode.name()
+        ))),
+        (WindowMode::Sliding(span), Some(json)) => {
+            if str_field(json, "kind")? != "sliding" {
+                return Err(LdpError::invalid(
+                    "checkpoint: window_state kind disagrees with the spec window",
+                ));
+            }
+            let epochs = field(json, "epochs")?
+                .as_array()
+                .ok_or_else(|| LdpError::invalid("checkpoint: 'epochs' not an array"))?;
+            if epochs.len() > span.min(next_epoch) {
+                return Err(LdpError::invalid(format!(
+                    "checkpoint: sliding window holds {} epochs, at most {} possible",
+                    epochs.len(),
+                    span.min(next_epoch)
+                )));
+            }
+            let history = epochs
+                .iter()
+                .map(|e| epoch_aggregate_from_json(e, d))
+                .collect::<Result<_>>()?;
+            Ok(WindowState::Sliding { history })
+        }
+        (WindowMode::Decay(_), Some(json)) => {
+            if str_field(json, "kind")? != "decay" {
+                return Err(LdpError::invalid(
+                    "checkpoint: window_state kind disagrees with the spec window",
+                ));
+            }
+            Ok(WindowState::Decay {
+                truth: floats_field(json, "truth", d)?,
+                genuine_counts: floats_field(json, "genuine_counts", d)?,
+                genuine_reports: nonneg_f64_field(json, "genuine_reports")?,
+                malicious_counts: floats_field(json, "malicious_counts", d)?,
+                malicious_reports: nonneg_f64_field(json, "malicious_reports")?,
+            })
+        }
+    }
+}
+
 /// Serializes one trajectory point — shared by the checkpoint and by
 /// [`StreamEngine::report`] so the two emits can never drift apart.
 pub(super) fn point_to_json(p: &EpochPoint) -> Json {
@@ -234,7 +429,7 @@ impl StreamEngine {
     /// Serializes the full resumable state.
     pub fn to_checkpoint(&self) -> Json {
         let trajectory = self.trajectory.iter().map(point_to_json).collect();
-        Json::Obj(vec![
+        let mut members = vec![
             ("format".into(), Json::Str(FORMAT.into())),
             ("version".into(), Json::Num(VERSION)),
             ("spec".into(), spec_to_json(&self.spec)),
@@ -251,7 +446,11 @@ impl StreamEngine {
             ("genuine".into(), accumulator_to_json(&self.genuine)),
             ("malicious".into(), accumulator_to_json(&self.malicious)),
             ("trajectory".into(), Json::Arr(trajectory)),
-        ])
+        ];
+        if let Some(window_state) = window_state_to_json(&self.window) {
+            members.push(("window_state".into(), window_state));
+        }
+        Json::Obj(members)
     }
 
     /// Restores an engine from a checkpoint, re-validating everything.
@@ -331,6 +530,8 @@ impl StreamEngine {
             ));
         }
 
+        let window = window_state_from_json(json.get("window_state"), spec.window, d, next_epoch)?;
+
         let protocol = spec.protocol.build(spec.epsilon, spec.domain())?;
         Ok(StreamEngine {
             spec,
@@ -339,6 +540,7 @@ impl StreamEngine {
             true_counts,
             genuine,
             malicious,
+            window,
             trajectory,
         })
     }
@@ -394,6 +596,110 @@ mod tests {
             let restored = StreamEngine::from_checkpoint(&json).unwrap();
             assert_eq!(restored, engine, "after {steps} steps");
         }
+    }
+
+    #[test]
+    fn cumulative_checkpoints_omit_window_members_for_compatibility() {
+        // PR 4 checkpoints carried no window members; cumulative engines
+        // must keep emitting that exact shape so old artifacts and new
+        // ones stay interchangeable.
+        let engine = StreamEngine::new(tiny_spec()).unwrap();
+        let checkpoint = engine.to_checkpoint();
+        assert!(checkpoint.get("window_state").is_none());
+        assert!(
+            spec_to_json(&tiny_spec()).get("window").is_none(),
+            "cumulative specs omit the window member"
+        );
+        // And a windowed spec round-trips through its named member.
+        let mut windowed = tiny_spec();
+        windowed.window = WindowMode::Decay(0.75);
+        let json = Json::parse(&spec_to_json(&windowed).render()).unwrap();
+        assert_eq!(json.get("window"), Some(&Json::Str("decay:0.75".into())));
+        assert_eq!(spec_from_json(&json).unwrap(), windowed);
+    }
+
+    #[test]
+    fn windowed_engines_roundtrip_and_resume_bit_identically() {
+        for window in [WindowMode::Sliding(1), WindowMode::Decay(0.625)] {
+            let mut spec = tiny_spec();
+            spec.window = window;
+            // Run one epoch, checkpoint, restore, run the second epoch on
+            // both; a resumed run must be indistinguishable.
+            let mut engine = StreamEngine::new(spec).unwrap();
+            engine.step().unwrap();
+            let json = Json::parse(&engine.to_checkpoint().render()).unwrap();
+            let mut restored = StreamEngine::from_checkpoint(&json).unwrap();
+            assert_eq!(restored, engine, "{window:?} state roundtrips");
+            engine.step().unwrap();
+            restored.step().unwrap();
+            assert_eq!(restored, engine, "{window:?} resume is bit-identical");
+            assert_eq!(
+                restored.report().unwrap().render(),
+                engine.report().unwrap().render()
+            );
+        }
+    }
+
+    #[test]
+    fn window_state_and_mode_must_agree_on_restore() {
+        let mut sliding_spec = tiny_spec();
+        sliding_spec.window = WindowMode::Sliding(2);
+        let mut sliding = StreamEngine::new(sliding_spec).unwrap();
+        sliding.step().unwrap();
+        let windowed_json = Json::parse(&sliding.to_checkpoint().render()).unwrap();
+
+        let mut cumulative = StreamEngine::new(tiny_spec()).unwrap();
+        cumulative.step().unwrap();
+        let cumulative_json = Json::parse(&cumulative.to_checkpoint().render()).unwrap();
+
+        let transplant = |base: &Json, window_state: Option<&Json>, spec_window: Option<&str>| {
+            let Json::Obj(members) = base else {
+                unreachable!()
+            };
+            let mut members: Vec<(String, Json)> = members
+                .iter()
+                .filter(|(k, _)| k != "window_state")
+                .cloned()
+                .collect();
+            if let Some(state) = window_state {
+                members.push(("window_state".into(), state.clone()));
+            }
+            if let Some(mode) = spec_window {
+                for (key, value) in &mut members {
+                    if key == "spec" {
+                        let Json::Obj(spec_members) = value else {
+                            unreachable!()
+                        };
+                        spec_members.retain(|(k, _)| k != "window");
+                        spec_members.push(("window".into(), Json::Str(mode.into())));
+                    }
+                }
+            }
+            Json::Obj(members)
+        };
+
+        // A windowed spec without its state is torn.
+        assert!(
+            StreamEngine::from_checkpoint(&transplant(&windowed_json, None, None)).is_err(),
+            "sliding spec requires window_state"
+        );
+        // A cumulative spec carrying window state is just as corrupt.
+        let state = windowed_json.get("window_state").unwrap();
+        assert!(
+            StreamEngine::from_checkpoint(&transplant(&cumulative_json, Some(state), None))
+                .is_err(),
+            "cumulative spec must not carry window_state"
+        );
+        // Sliding state under a decay spec is a kind mismatch.
+        assert!(
+            StreamEngine::from_checkpoint(&transplant(
+                &windowed_json,
+                Some(state),
+                Some("decay:0.5")
+            ))
+            .is_err(),
+            "window kind must match the spec's mode"
+        );
     }
 
     #[test]

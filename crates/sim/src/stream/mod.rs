@@ -53,6 +53,12 @@
 //!    statistically, never bitwise.
 
 pub mod checkpoint;
+pub mod coordinator;
+pub mod transport;
+pub mod window;
+pub mod worker;
+
+pub use window::{EpochAggregate, WindowAggregate, WindowMode, WindowState};
 
 use ldp_attacks::AttackKind;
 use ldp_common::float::exactly_zero;
@@ -112,6 +118,8 @@ pub struct StreamSpec {
     pub users_per_epoch: usize,
     /// Master seed; every `(shard, epoch)` cell derives its own stream.
     pub seed: u64,
+    /// Which state the epoch-boundary recovery reads (see [`window`]).
+    pub window: WindowMode,
 }
 
 impl StreamSpec {
@@ -135,6 +143,7 @@ impl StreamSpec {
             epochs,
             users_per_epoch,
             seed: config.seed,
+            window: WindowMode::Cumulative,
         }
     }
 
@@ -174,6 +183,7 @@ impl StreamSpec {
                 self.users_per_epoch, self.shards
             )));
         }
+        self.window.validate()?;
         Ok(())
     }
 
@@ -320,6 +330,7 @@ pub struct StreamEngine {
     true_counts: Vec<u64>,
     genuine: CountAccumulator,
     malicious: CountAccumulator,
+    window: WindowState,
     trajectory: Vec<EpochPoint>,
 }
 
@@ -333,6 +344,7 @@ impl PartialEq for StreamEngine {
             && self.true_counts == other.true_counts
             && self.genuine == other.genuine
             && self.malicious == other.malicious
+            && self.window == other.window
             && self.trajectory == other.trajectory
     }
 }
@@ -353,6 +365,7 @@ impl StreamEngine {
             true_counts: vec![0; domain.size()],
             genuine: CountAccumulator::new(domain),
             malicious: CountAccumulator::new(domain),
+            window: WindowState::new(spec.window, domain.size()),
             trajectory: Vec::new(),
         })
     }
@@ -417,7 +430,65 @@ impl StreamEngine {
         let deltas = map_trials(spec.shards, thread_count(spec.shards), |shard| {
             shard_epoch_delta(&spec, shard, epoch)
         })?;
-        for delta in &deltas {
+        let tagged: Vec<(usize, ShardDelta)> = deltas.into_iter().enumerate().collect();
+        self.apply_epoch_deltas(epoch, &tagged)
+    }
+
+    /// Folds one complete epoch of shard deltas — however they were
+    /// computed, in whatever order they arrived — into the engine and
+    /// runs boundary recovery. This is the merge half of [`Self::step`],
+    /// shared with the multi-process [`coordinator`]: because the fold is
+    /// exact element-wise `u64` addition (the [`CountAccumulator`] merge
+    /// monoid), any arrival order produces bit-identical state.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] when the stream is complete,
+    /// `epoch` is not the next epoch, or `deltas` is not exactly one
+    /// delta per shard; otherwise propagates recovery failures.
+    pub fn apply_epoch_deltas(
+        &mut self,
+        epoch: usize,
+        deltas: &[(usize, ShardDelta)],
+    ) -> Result<EpochPoint> {
+        if self.is_complete() {
+            return Err(LdpError::invalid(format!(
+                "stream is complete ({} epochs)",
+                self.spec.epochs
+            )));
+        }
+        if epoch != self.next_epoch {
+            return Err(LdpError::invalid(format!(
+                "epoch {epoch} out of order (engine expects {})",
+                self.next_epoch
+            )));
+        }
+        let domain_size = self.spec.domain().size();
+        let mut seen = vec![false; self.spec.shards];
+        for (shard, delta) in deltas {
+            if *shard >= self.spec.shards || seen[*shard] {
+                return Err(LdpError::invalid(format!(
+                    "epoch {epoch}: shard {shard} is out of range or duplicated"
+                )));
+            }
+            if delta.population.len() != domain_size
+                || delta.genuine_counts.len() != domain_size
+                || delta.malicious_counts.len() != domain_size
+            {
+                return Err(LdpError::invalid(format!(
+                    "epoch {epoch}: shard {shard} delta does not match domain size {domain_size}"
+                )));
+            }
+            seen[*shard] = true;
+        }
+        if deltas.len() != self.spec.shards {
+            return Err(LdpError::invalid(format!(
+                "epoch {epoch}: got {} deltas for {} shards",
+                deltas.len(),
+                self.spec.shards
+            )));
+        }
+
+        for (_, delta) in deltas {
             for (slot, &c) in self.true_counts.iter_mut().zip(&delta.population) {
                 *slot += c;
             }
@@ -430,6 +501,11 @@ impl StreamEngine {
                 delta.malicious_users,
             ));
         }
+        let epoch_agg = EpochAggregate::from_deltas(
+            domain_size,
+            &deltas.iter().map(|(_, d)| d).collect::<Vec<_>>(),
+        );
+        self.window.absorb(self.spec.window, epoch_agg)?;
         self.next_epoch += 1;
 
         let snapshot = self.recovery_snapshot()?;
@@ -460,42 +536,85 @@ impl StreamEngine {
     /// Debiases and recovers the current merged state (on demand; pure in
     /// the accumulated counts). Recovery runs the `recover` defense arm
     /// on a count-only [`ArmContext`] — exactly debias-then-recover, the
-    /// historical `recover_from_counts` path bit for bit.
+    /// historical `recover_from_counts` path bit for bit. In a windowed
+    /// mode ([`WindowMode::Sliding`] / [`WindowMode::Decay`]) every
+    /// vector is computed over the windowed state instead of the
+    /// cumulative one; the debias map is linear in `(count, reports)`,
+    /// so the float-count path is the exact windowed estimator.
     ///
     /// # Errors
-    /// [`LdpError::EmptyInput`] before the first epoch; otherwise
-    /// propagates estimation / recovery failures.
+    /// [`LdpError::EmptyInput`] before the first epoch (or when the
+    /// window holds no genuine mass); otherwise propagates estimation /
+    /// recovery failures.
     pub fn recovery_snapshot(&self) -> Result<RecoverySnapshot> {
-        let params = self.protocol.params();
-        let total: u64 = self.true_counts.iter().sum();
-        if total == 0 {
-            return Err(LdpError::EmptyInput("stream state (no epochs ingested)"));
-        }
-        let truth: Vec<f64> = self
-            .true_counts
-            .iter()
-            .map(|&c| c as f64 / total as f64)
-            .collect();
-        let genuine_estimate = self.genuine.frequencies(params)?;
-        let poisoned = self.poisoned();
-        let poisoned_estimate = poisoned.frequencies(params)?;
-        let ctx = ArmContext::new(&poisoned_estimate, params, self.spec.eta);
-        // The recover arm is deterministic; the RNG stream is inert.
-        let mut rng = rng_from_seed(derive_seed2(self.spec.seed, ARM_SNAPSHOT_SALT, 0));
-        let recovered = match RecoverArm.run(&ctx, &mut rng)? {
-            ArmOutcome::Outputs(mut outputs) => outputs.swap_remove(0).1.frequencies,
-            ArmOutcome::Degenerate { reason } => {
-                return Err(LdpError::invalid(format!(
-                    "the recover arm cannot degenerate, but reported: {reason}"
-                )))
-            }
-        };
+        let (truth, genuine_estimate, poisoned_estimate) = self.current_estimates()?;
+        let recovered = self.recover_estimate(&poisoned_estimate)?;
         Ok(RecoverySnapshot {
             truth,
             genuine_estimate,
             poisoned_estimate,
             recovered,
         })
+    }
+
+    /// `(truth, genuine_estimate, poisoned_estimate)` of the state the
+    /// snapshot reads — cumulative integer path, or the windowed float
+    /// path when the spec runs a window.
+    fn current_estimates(&self) -> Result<(Vec<f64>, Vec<f64>, Vec<f64>)> {
+        let params = self.protocol.params();
+        let Some(agg) = self.window.aggregate(self.spec.domain().size()) else {
+            let total: u64 = self.true_counts.iter().sum();
+            if total == 0 {
+                return Err(LdpError::EmptyInput("stream state (no epochs ingested)"));
+            }
+            let truth: Vec<f64> = self
+                .true_counts
+                .iter()
+                .map(|&c| c as f64 / total as f64)
+                .collect();
+            let genuine_estimate = self.genuine.frequencies(params)?;
+            let poisoned = self.poisoned();
+            let poisoned_estimate = poisoned.frequencies(params)?;
+            return Ok((truth, genuine_estimate, poisoned_estimate));
+        };
+        let total: f64 = agg.truth.iter().sum();
+        if total <= 0.0 || total.is_nan() {
+            return Err(LdpError::EmptyInput("windowed stream state (empty window)"));
+        }
+        let truth: Vec<f64> = agg.truth.iter().map(|&c| c / total).collect();
+        let genuine_estimate = debias_window(params, &agg.genuine_counts, agg.genuine_reports)?;
+        let poisoned_counts: Vec<f64> = agg
+            .genuine_counts
+            .iter()
+            .zip(&agg.malicious_counts)
+            .map(|(&g, &m)| g + m)
+            .collect();
+        let poisoned_estimate = debias_window(
+            params,
+            &poisoned_counts,
+            agg.genuine_reports + agg.malicious_reports,
+        )?;
+        Ok((truth, genuine_estimate, poisoned_estimate))
+    }
+
+    /// Runs the recover arm on a poisoned estimate (deterministic; the
+    /// RNG stream handed to the arm is inert).
+    fn recover_estimate(&self, poisoned_estimate: &[f64]) -> Result<Vec<f64>> {
+        let params = self.protocol.params();
+        let ctx = ArmContext::new(poisoned_estimate, params, self.spec.eta);
+        let mut rng = rng_from_seed(derive_seed2(self.spec.seed, ARM_SNAPSHOT_SALT, 0));
+        match RecoverArm.run(&ctx, &mut rng)? {
+            ArmOutcome::Outputs(mut outputs) => Ok(outputs.swap_remove(0).1.frequencies),
+            ArmOutcome::Degenerate { reason } => Err(LdpError::invalid(format!(
+                "the recover arm cannot degenerate, but reported: {reason}"
+            ))),
+        }
+    }
+
+    /// The engine's windowed state (cumulative mode keeps none) — read
+    /// by the checkpoint layer.
+    pub fn window_state(&self) -> &WindowState {
+        &self.window
     }
 
     /// Runs an arbitrary *count-only* arm set on the current merged state
@@ -531,14 +650,9 @@ impl StreamEngine {
             }
         }
         let params = self.protocol.params();
-        if self.true_counts.iter().sum::<u64>() == 0 {
-            return Err(LdpError::EmptyInput("stream state (no epochs ingested)"));
-        }
-        let poisoned = self.poisoned();
-        let poisoned_estimate = poisoned.frequencies(params)?;
+        let (_truth, genuine_estimate, poisoned_estimate) = self.current_estimates()?;
         let targets: Option<Vec<usize>> =
             if arms.needs_targets() && self.malicious.report_count() > 0 {
-                let genuine_estimate = self.genuine.frequencies(params)?;
                 top_k_increase(&poisoned_estimate, &genuine_estimate, STREAM_STAR_TOP_K).ok()
             } else {
                 None
@@ -605,6 +719,24 @@ impl StreamEngine {
     }
 }
 
+/// Debiases windowed float support counts into frequency estimates —
+/// the [`PureParams::debias_frequencies`](ldp_protocols) map with the
+/// integer counts generalized to window mass (exact for sliding windows,
+/// the precise geometric mixture for decay).
+fn debias_window(
+    params: ldp_protocols::PureParams,
+    counts: &[f64],
+    reports: f64,
+) -> Result<Vec<f64>> {
+    if !(reports.is_finite() && reports > 0.0) {
+        return Err(LdpError::EmptyInput("windowed reports (no report mass)"));
+    }
+    Ok(counts
+        .iter()
+        .map(|&c| params.debias_count(c, reports) / reports)
+        .collect())
+}
+
 #[cfg(test)]
 pub(crate) mod tests_support {
     use super::*;
@@ -622,6 +754,7 @@ pub(crate) mod tests_support {
             epochs: 2,
             users_per_epoch: 400,
             seed: 0xFEED,
+            window: WindowMode::Cumulative,
         }
     }
 }
@@ -809,5 +942,125 @@ mod tests {
             b.report().unwrap().render(),
             "identical state must emit identical bytes"
         );
+    }
+
+    #[test]
+    fn out_of_order_delta_application_is_bit_identical() {
+        // The distributed coordinator folds deltas in arrival order; the
+        // merge monoid promises any permutation lands on the same bits.
+        let spec = tiny_spec();
+        let mut stepped = StreamEngine::new(spec).unwrap();
+        stepped.run_to_completion().unwrap();
+
+        let mut reordered = StreamEngine::new(spec).unwrap();
+        for epoch in 0..spec.epochs {
+            let mut tagged: Vec<(usize, ShardDelta)> = (0..spec.shards)
+                .map(|s| (s, shard_epoch_delta(&spec, s, epoch).unwrap()))
+                .collect();
+            tagged.reverse();
+            if epoch % 2 == 1 {
+                tagged.swap(0, 1); // a second, different permutation
+            }
+            reordered.apply_epoch_deltas(epoch, &tagged).unwrap();
+        }
+        assert_eq!(stepped, reordered, "merged state is order-independent");
+        assert_eq!(
+            stepped.report().unwrap().render(),
+            reordered.report().unwrap().render(),
+            "and so are the emitted bytes"
+        );
+    }
+
+    #[test]
+    fn apply_epoch_deltas_rejects_malformed_batches() {
+        let spec = tiny_spec();
+        let deltas: Vec<(usize, ShardDelta)> = (0..spec.shards)
+            .map(|s| (s, shard_epoch_delta(&spec, s, 0).unwrap()))
+            .collect();
+        // Wrong epoch cursor.
+        let mut engine = StreamEngine::new(spec).unwrap();
+        assert!(engine.apply_epoch_deltas(1, &deltas).is_err());
+        // Missing shard.
+        assert!(engine.apply_epoch_deltas(0, &deltas[..2]).is_err());
+        // Duplicated shard.
+        let mut dup = deltas.clone();
+        dup[1] = dup[0].clone();
+        assert!(engine.apply_epoch_deltas(0, &dup).is_err());
+        // Out-of-range shard index.
+        let mut oob = deltas.clone();
+        oob[2].0 = spec.shards + 1;
+        assert!(engine.apply_epoch_deltas(0, &oob).is_err());
+        // Domain-size mismatch in a delta vector.
+        let mut torn = deltas.clone();
+        torn[0].1.genuine_counts.pop();
+        assert!(engine.apply_epoch_deltas(0, &torn).is_err());
+        // The engine did not advance through any of the rejections.
+        assert_eq!(engine.epochs_done(), 0);
+        assert!(engine.apply_epoch_deltas(0, &deltas).is_ok());
+        assert_eq!(engine.epochs_done(), 1);
+    }
+
+    #[test]
+    fn sliding_window_spanning_the_stream_matches_cumulative() {
+        // A sliding window at least as long as the stream holds exactly
+        // the cumulative counts (integer sums represented exactly in
+        // f64), so the windowed float path must land on the same bits.
+        let cumulative_spec = tiny_spec();
+        let mut windowed_spec = cumulative_spec;
+        windowed_spec.window = WindowMode::Sliding(cumulative_spec.epochs);
+        let mut cumulative = StreamEngine::new(cumulative_spec).unwrap();
+        let mut windowed = StreamEngine::new(windowed_spec).unwrap();
+        cumulative.run_to_completion().unwrap();
+        windowed.run_to_completion().unwrap();
+        let a = cumulative.recovery_snapshot().unwrap();
+        let b = windowed.recovery_snapshot().unwrap();
+        assert_eq!(a.truth, b.truth);
+        assert_eq!(a.genuine_estimate, b.genuine_estimate);
+        assert_eq!(a.poisoned_estimate, b.poisoned_estimate);
+        assert_eq!(a.recovered, b.recovered);
+        assert_eq!(cumulative.trajectory(), windowed.trajectory());
+    }
+
+    #[test]
+    fn short_windows_forget_and_decay_discounts_old_epochs() {
+        // sliding:1 reads only the newest epoch: its final snapshot is
+        // the fresh single-epoch engine's, while the cumulative engine
+        // (double the reports) disagrees.
+        let mut spec = tiny_spec();
+        spec.window = WindowMode::Sliding(1);
+        let mut sliding = StreamEngine::new(spec).unwrap();
+        sliding.run_to_completion().unwrap();
+        let windowed = sliding.recovery_snapshot().unwrap();
+        let mut cumulative_spec = spec;
+        cumulative_spec.window = WindowMode::Cumulative;
+        let mut cumulative = StreamEngine::new(cumulative_spec).unwrap();
+        cumulative.run_to_completion().unwrap();
+        assert_ne!(
+            windowed.genuine_estimate,
+            cumulative.recovery_snapshot().unwrap().genuine_estimate,
+            "a 1-epoch window must not see epoch 0"
+        );
+        assert!(ldp_common::vecmath::is_probability_vector(
+            &windowed.recovered,
+            1e-9
+        ));
+
+        // Decay absorbs every epoch but discounts the old one.
+        let mut decay_spec = spec;
+        decay_spec.window = WindowMode::Decay(0.5);
+        let mut decayed = StreamEngine::new(decay_spec).unwrap();
+        decayed.run_to_completion().unwrap();
+        let WindowState::Decay {
+            genuine_reports, ..
+        } = decayed.window_state()
+        else {
+            panic!("decay spec keeps decay state");
+        };
+        // Epoch reports are 400 genuine each: 0.5·400 + 400 = 600.
+        assert_eq!(*genuine_reports, 600.0);
+        assert!(ldp_common::vecmath::is_probability_vector(
+            &decayed.recovery_snapshot().unwrap().recovered,
+            1e-9
+        ));
     }
 }

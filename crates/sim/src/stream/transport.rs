@@ -1,0 +1,298 @@
+//! Length-prefixed JSON framing — the wire protocol between the
+//! streaming [`coordinator`](super::coordinator) and its shard worker
+//! processes ([`worker`](super::worker)).
+//!
+//! A frame is a 4-byte big-endian payload length followed by that many
+//! bytes of UTF-8 JSON. The payloads are the checkpoint-format values
+//! from [`super::checkpoint`] — a shard delta on the wire is
+//! byte-for-byte a checkpoint fragment, so the protocol inherits the
+//! checkpoint layer's strict validation and shortest-roundtrip float
+//! encoding (the property that makes multi-process runs bit-identical
+//! to in-process ones).
+//!
+//! The reader is deliberately paranoid: a clean EOF *between* frames is
+//! an orderly end-of-stream (`Ok(None)`), but EOF inside a prefix or
+//! payload, an oversized length, or an unparsable payload are hard
+//! errors — the coordinator treats any of them as a worker failure and
+//! triggers failover replay.
+
+use std::io::{Read, Write};
+
+use ldp_common::{Json, LdpError, Result};
+
+use super::checkpoint::{self, str_field, usize_field};
+use super::{ShardDelta, StreamSpec};
+
+/// Hard ceiling on a frame payload (bytes). Generous for any real delta
+/// (a 2¹⁰-item domain delta is a few tens of KiB) while bounding the
+/// allocation a corrupt length prefix can demand.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Writes one frame: 4-byte big-endian length, then the rendered JSON.
+///
+/// # Errors
+/// [`LdpError::InvalidParameter`] on oversized payloads or I/O failure.
+pub fn write_frame(writer: &mut impl Write, payload: &Json) -> Result<()> {
+    let body = payload.render();
+    write_raw_frame(writer, body.as_bytes())
+}
+
+/// Writes raw bytes under a length prefix — the escape hatch the fault
+/// harness uses to put deliberately unparsable payloads on the wire.
+///
+/// # Errors
+/// [`LdpError::InvalidParameter`] on oversized payloads or I/O failure.
+pub fn write_raw_frame(writer: &mut impl Write, body: &[u8]) -> Result<()> {
+    if body.len() > MAX_FRAME_LEN {
+        return Err(LdpError::invalid(format!(
+            "frame payload of {} bytes exceeds the {MAX_FRAME_LEN}-byte ceiling",
+            body.len()
+        )));
+    }
+    let io = |e: std::io::Error| LdpError::invalid(format!("frame write: {e}"));
+    writer
+        .write_all(&(body.len() as u32).to_be_bytes())
+        .map_err(io)?;
+    writer.write_all(body).map_err(io)?;
+    writer.flush().map_err(io)?;
+    Ok(())
+}
+
+/// Reads one frame. `Ok(None)` on a clean EOF at a frame boundary;
+/// everything else — truncated prefix or payload, oversized length,
+/// non-UTF-8 or non-JSON payload — is an error.
+///
+/// # Errors
+/// [`LdpError::InvalidParameter`] for every torn or malformed frame.
+pub fn read_frame(reader: &mut impl Read) -> Result<Option<Json>> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0;
+    while got < prefix.len() {
+        match reader.read(&mut prefix[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(LdpError::invalid(format!(
+                    "frame read: EOF inside the length prefix ({got}/4 bytes)"
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(LdpError::invalid(format!("frame read: {e}"))),
+        }
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(LdpError::invalid(format!(
+            "frame read: length prefix {len} exceeds the {MAX_FRAME_LEN}-byte ceiling"
+        )));
+    }
+    let mut body = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match reader.read(&mut body[filled..]) {
+            Ok(0) => {
+                return Err(LdpError::invalid(format!(
+                    "frame read: EOF inside the payload ({filled}/{len} bytes)"
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(LdpError::invalid(format!("frame read: {e}"))),
+        }
+    }
+    let text = std::str::from_utf8(&body)
+        .map_err(|e| LdpError::invalid(format!("frame read: payload not UTF-8: {e}")))?;
+    Json::parse(text).map(Some)
+}
+
+/// Coordinator → worker message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkerRequest {
+    /// Compute the delta of one `(shard, epoch)` cell of `spec`.
+    Work {
+        /// The full stream spec (the work unit is a pure function of it).
+        spec: StreamSpec,
+        /// Shard index.
+        shard: usize,
+        /// Epoch index.
+        epoch: usize,
+    },
+    /// Orderly end of the worker's stream.
+    Shutdown,
+}
+
+impl WorkerRequest {
+    /// Serializes to the wire form.
+    pub fn to_json(&self) -> Json {
+        match self {
+            WorkerRequest::Work { spec, shard, epoch } => Json::Obj(vec![
+                ("type".into(), Json::Str("work".into())),
+                ("spec".into(), checkpoint::spec_to_json(spec)),
+                ("shard".into(), Json::Num(*shard as f64)),
+                ("epoch".into(), Json::Num(*epoch as f64)),
+            ]),
+            WorkerRequest::Shutdown => {
+                Json::Obj(vec![("type".into(), Json::Str("shutdown".into()))])
+            }
+        }
+    }
+
+    /// Parses the wire form, re-validating the embedded spec.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] for unknown types or malformed
+    /// members.
+    pub fn from_json(json: &Json) -> Result<Self> {
+        match str_field(json, "type")? {
+            "work" => Ok(WorkerRequest::Work {
+                spec: checkpoint::spec_from_json(checkpoint::field(json, "spec")?)?,
+                shard: usize_field(json, "shard")?,
+                epoch: usize_field(json, "epoch")?,
+            }),
+            "shutdown" => Ok(WorkerRequest::Shutdown),
+            other => Err(LdpError::invalid(format!(
+                "unknown worker request type '{other}'"
+            ))),
+        }
+    }
+}
+
+/// Worker → coordinator message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkerResponse {
+    /// A finished work unit's delta (checkpoint-format payload).
+    Delta {
+        /// Shard the delta belongs to.
+        shard: usize,
+        /// Epoch the delta belongs to.
+        epoch: usize,
+        /// The shard's epoch contribution.
+        delta: ShardDelta,
+    },
+    /// The work unit failed deterministically (e.g. a spec the worker
+    /// rejects); retrying would fail identically, so the coordinator
+    /// aborts instead of respawning.
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+impl WorkerResponse {
+    /// Serializes to the wire form.
+    pub fn to_json(&self) -> Json {
+        match self {
+            WorkerResponse::Delta {
+                shard,
+                epoch,
+                delta,
+            } => Json::Obj(vec![
+                ("type".into(), Json::Str("delta".into())),
+                ("shard".into(), Json::Num(*shard as f64)),
+                ("epoch".into(), Json::Num(*epoch as f64)),
+                ("delta".into(), checkpoint::delta_to_json(delta)),
+            ]),
+            WorkerResponse::Error { message } => Json::Obj(vec![
+                ("type".into(), Json::Str("error".into())),
+                ("message".into(), Json::Str(message.clone())),
+            ]),
+        }
+    }
+
+    /// Parses the wire form; delta shapes are validated against
+    /// `domain_size`.
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] for unknown types or malformed
+    /// members.
+    pub fn from_json(json: &Json, domain_size: usize) -> Result<Self> {
+        match str_field(json, "type")? {
+            "delta" => Ok(WorkerResponse::Delta {
+                shard: usize_field(json, "shard")?,
+                epoch: usize_field(json, "epoch")?,
+                delta: checkpoint::delta_from_json(checkpoint::field(json, "delta")?, domain_size)?,
+            }),
+            "error" => Ok(WorkerResponse::Error {
+                message: str_field(json, "message")?.to_string(),
+            }),
+            other => Err(LdpError::invalid(format!(
+                "unknown worker response type '{other}'"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::shard_epoch_delta;
+    use crate::stream::tests_support::tiny_spec;
+
+    #[test]
+    fn frames_roundtrip_and_eof_between_frames_is_clean() {
+        let mut wire = Vec::new();
+        let a = WorkerRequest::Shutdown.to_json();
+        let b = WorkerRequest::Work {
+            spec: tiny_spec(),
+            shard: 1,
+            epoch: 0,
+        }
+        .to_json();
+        write_frame(&mut wire, &a).unwrap();
+        write_frame(&mut wire, &b).unwrap();
+        let mut reader = wire.as_slice();
+        assert_eq!(read_frame(&mut reader).unwrap(), Some(a));
+        assert_eq!(read_frame(&mut reader).unwrap(), Some(b));
+        assert_eq!(read_frame(&mut reader).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn torn_and_oversized_frames_are_rejected() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Json::Num(1.0)).unwrap();
+        for cut in 1..wire.len() {
+            let mut reader = &wire[..cut];
+            assert!(read_frame(&mut reader).is_err(), "cut at {cut}");
+        }
+        let mut oversized = ((MAX_FRAME_LEN + 1) as u32).to_be_bytes().to_vec();
+        oversized.extend_from_slice(b"x");
+        assert!(read_frame(&mut oversized.as_slice()).is_err());
+        let mut garbage = 4u32.to_be_bytes().to_vec();
+        garbage.extend_from_slice(&[0xff, 0xfe, 0x00, 0x01]);
+        assert!(read_frame(&mut garbage.as_slice()).is_err(), "non-UTF-8");
+    }
+
+    #[test]
+    fn requests_and_responses_roundtrip_the_wire() {
+        let spec = tiny_spec();
+        let delta = shard_epoch_delta(&spec, 0, 0).unwrap();
+        let messages = [
+            WorkerRequest::Work {
+                spec,
+                shard: 2,
+                epoch: 1,
+            },
+            WorkerRequest::Shutdown,
+        ];
+        for msg in &messages {
+            let reparsed = Json::parse(&msg.to_json().render()).unwrap();
+            assert_eq!(&WorkerRequest::from_json(&reparsed).unwrap(), msg);
+        }
+        let d = spec.domain().size();
+        for msg in [
+            WorkerResponse::Delta {
+                shard: 2,
+                epoch: 1,
+                delta,
+            },
+            WorkerResponse::Error {
+                message: "boom".into(),
+            },
+        ] {
+            let reparsed = Json::parse(&msg.to_json().render()).unwrap();
+            assert_eq!(WorkerResponse::from_json(&reparsed, d).unwrap(), msg);
+        }
+        assert!(WorkerRequest::from_json(&Json::Num(3.0)).is_err());
+        assert!(WorkerResponse::from_json(&Json::Num(3.0), d).is_err());
+    }
+}

@@ -1,0 +1,295 @@
+//! The shard worker's request loop — the body of the hidden
+//! `ldp stream-worker` subcommand.
+//!
+//! A worker is deliberately stateless between work units: every
+//! [`WorkerRequest::Work`] carries the full spec, and the unit's output
+//! is a pure function of `(spec, shard, epoch)` via the derived RNG
+//! stream layout. That purity is what makes coordinator-side failover
+//! trivial — killing a worker loses nothing that a replay of its
+//! assigned units cannot reproduce bit-for-bit.
+//!
+//! The fault-injection harness lives here too: a [`FaultPlan`] makes the
+//! worker misbehave on one specific work unit (crash before replying,
+//! stall past the coordinator's timeout, or emit a deliberately
+//! unparsable frame), so CI exercises every failover path
+//! deterministically.
+
+use std::io::{Read, Write};
+
+use ldp_common::{LdpError, Result};
+
+use super::shard_epoch_delta;
+use super::transport::{self, WorkerRequest, WorkerResponse};
+
+/// How long a stalled worker sleeps — far past any sane coordinator
+/// timeout, so the coordinator's kill-and-replay path is what ends the
+/// wait, not the stall.
+const STALL_MS: u64 = 30_000;
+
+/// The misbehavior kinds the harness can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Exit without replying (the process dies mid-epoch).
+    WorkerCrash,
+    /// Sleep past the coordinator's reply timeout before answering.
+    Stall,
+    /// Reply with a length-prefixed frame whose payload is not JSON.
+    CorruptFrame,
+}
+
+/// One injected fault: `kind` fires on the `at_unit`-th work unit this
+/// worker process receives (0-based), exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// What goes wrong.
+    pub kind: FaultKind,
+    /// Which work unit it happens on.
+    pub at_unit: usize,
+}
+
+impl FaultPlan {
+    /// Parses the CLI surface form: `worker-crash`, `stall`,
+    /// `corrupt-frame`, each optionally suffixed `@<unit>` (default
+    /// unit 0, the first work unit).
+    ///
+    /// # Errors
+    /// [`LdpError::InvalidParameter`] on unknown kinds or a malformed
+    /// unit suffix.
+    pub fn parse(text: &str) -> Result<Self> {
+        let (kind_text, at_unit) = match text.split_once('@') {
+            None => (text, 0),
+            Some((k, unit)) => (
+                k,
+                unit.parse()
+                    .map_err(|_| LdpError::invalid(format!("fault unit index: {unit:?}")))?,
+            ),
+        };
+        let kind = match kind_text {
+            "worker-crash" => FaultKind::WorkerCrash,
+            "stall" => FaultKind::Stall,
+            "corrupt-frame" => FaultKind::CorruptFrame,
+            other => {
+                return Err(LdpError::invalid(format!(
+                    "unknown fault {other:?} (expected worker-crash | stall | corrupt-frame, \
+                     optionally @<unit>)"
+                )))
+            }
+        };
+        Ok(FaultPlan { kind, at_unit })
+    }
+}
+
+/// Serves work requests until a shutdown frame or a clean EOF.
+///
+/// Each [`WorkerRequest::Work`] is answered with one response frame: a
+/// checkpoint-format delta, or a [`WorkerResponse::Error`] when the unit
+/// fails deterministically (so the coordinator aborts instead of
+/// retrying a hopeless unit).
+///
+/// # Errors
+/// [`LdpError::InvalidParameter`] on torn/malformed input frames, I/O
+/// failure, or an injected crash — the CLI turns any of these into a
+/// nonzero exit, which the coordinator observes as worker death.
+pub fn run_worker(
+    input: &mut impl Read,
+    output: &mut impl Write,
+    fault: Option<FaultPlan>,
+) -> Result<()> {
+    let mut units_seen = 0usize;
+    loop {
+        let Some(frame) = transport::read_frame(input)? else {
+            return Ok(());
+        };
+        match WorkerRequest::from_json(&frame)? {
+            WorkerRequest::Shutdown => return Ok(()),
+            WorkerRequest::Work { spec, shard, epoch } => {
+                let unit = units_seen;
+                units_seen += 1;
+                if let Some(plan) = fault.filter(|p| p.at_unit == unit) {
+                    match plan.kind {
+                        FaultKind::WorkerCrash => {
+                            return Err(LdpError::invalid(
+                                "injected fault: worker-crash (dying without a reply)",
+                            ));
+                        }
+                        FaultKind::Stall => {
+                            std::thread::sleep(std::time::Duration::from_millis(STALL_MS));
+                        }
+                        FaultKind::CorruptFrame => {
+                            transport::write_raw_frame(output, b"this is not json {{{")?;
+                            continue;
+                        }
+                    }
+                }
+                let response = match shard_epoch_delta(&spec, shard, epoch) {
+                    Ok(delta) => WorkerResponse::Delta {
+                        shard,
+                        epoch,
+                        delta,
+                    },
+                    Err(e) => WorkerResponse::Error {
+                        message: e.to_string(),
+                    },
+                };
+                transport::write_frame(output, &response.to_json())?;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::tests_support::tiny_spec;
+
+    fn wire_with(requests: &[WorkerRequest]) -> Vec<u8> {
+        let mut wire = Vec::new();
+        for r in requests {
+            transport::write_frame(&mut wire, &r.to_json()).unwrap();
+        }
+        wire
+    }
+
+    #[test]
+    fn fault_plans_parse_their_surface_forms() {
+        assert_eq!(
+            FaultPlan::parse("worker-crash").unwrap(),
+            FaultPlan {
+                kind: FaultKind::WorkerCrash,
+                at_unit: 0
+            }
+        );
+        assert_eq!(
+            FaultPlan::parse("corrupt-frame@3").unwrap(),
+            FaultPlan {
+                kind: FaultKind::CorruptFrame,
+                at_unit: 3
+            }
+        );
+        for bad in ["", "crash", "stall@x", "worker-crash@-1"] {
+            assert!(FaultPlan::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn worker_answers_work_units_and_honors_shutdown() {
+        let spec = tiny_spec();
+        let wire = wire_with(&[
+            WorkerRequest::Work {
+                spec,
+                shard: 0,
+                epoch: 0,
+            },
+            WorkerRequest::Shutdown,
+            // Anything after shutdown must never be read.
+            WorkerRequest::Work {
+                spec,
+                shard: 1,
+                epoch: 0,
+            },
+        ]);
+        let mut out = Vec::new();
+        run_worker(&mut wire.as_slice(), &mut out, None).unwrap();
+        let mut reader = out.as_slice();
+        let reply = transport::read_frame(&mut reader).unwrap().unwrap();
+        let parsed = WorkerResponse::from_json(&reply, spec.domain().size()).unwrap();
+        let expected = crate::stream::shard_epoch_delta(&spec, 0, 0).unwrap();
+        assert_eq!(
+            parsed,
+            WorkerResponse::Delta {
+                shard: 0,
+                epoch: 0,
+                delta: expected
+            },
+            "the wire reply is the bit-exact in-process delta"
+        );
+        assert_eq!(
+            transport::read_frame(&mut reader).unwrap(),
+            None,
+            "exactly one reply; nothing served past shutdown"
+        );
+    }
+
+    #[test]
+    fn worker_reports_deterministic_failures_as_error_frames() {
+        let spec = tiny_spec();
+        let wire = wire_with(&[WorkerRequest::Work {
+            spec,
+            shard: spec.shards + 10, // out of range: deterministic failure
+            epoch: 0,
+        }]);
+        let mut out = Vec::new();
+        run_worker(&mut wire.as_slice(), &mut out, None).unwrap();
+        let reply = transport::read_frame(&mut out.as_slice()).unwrap().unwrap();
+        match WorkerResponse::from_json(&reply, spec.domain().size()).unwrap() {
+            WorkerResponse::Error { message } => {
+                assert!(message.contains("out of range"), "{message}");
+            }
+            other => panic!("expected an error frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_crash_kills_the_loop_before_the_reply() {
+        let spec = tiny_spec();
+        let wire = wire_with(&[WorkerRequest::Work {
+            spec,
+            shard: 0,
+            epoch: 0,
+        }]);
+        let mut out = Vec::new();
+        let err = run_worker(
+            &mut wire.as_slice(),
+            &mut out,
+            Some(FaultPlan {
+                kind: FaultKind::WorkerCrash,
+                at_unit: 0,
+            }),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("worker-crash"));
+        assert!(out.is_empty(), "no reply frame before the crash");
+    }
+
+    #[test]
+    fn injected_corrupt_frame_is_unparsable_then_service_resumes() {
+        let spec = tiny_spec();
+        let wire = wire_with(&[
+            WorkerRequest::Work {
+                spec,
+                shard: 0,
+                epoch: 0,
+            },
+            WorkerRequest::Work {
+                spec,
+                shard: 1,
+                epoch: 0,
+            },
+        ]);
+        let mut out = Vec::new();
+        run_worker(
+            &mut wire.as_slice(),
+            &mut out,
+            Some(FaultPlan {
+                kind: FaultKind::CorruptFrame,
+                at_unit: 0,
+            }),
+        )
+        .unwrap();
+        let mut reader = out.as_slice();
+        assert!(
+            transport::read_frame(&mut reader).is_err(),
+            "first reply is garbage under a valid length prefix"
+        );
+        // The corrupt frame is length-delimited, so skipping it by hand
+        // exposes the healthy second reply (a real coordinator instead
+        // kills the worker and replays).
+        let skip = 4 + u32::from_be_bytes([out[0], out[1], out[2], out[3]]) as usize;
+        let mut rest = &out[skip..];
+        let reply = transport::read_frame(&mut rest).unwrap().unwrap();
+        assert!(matches!(
+            WorkerResponse::from_json(&reply, spec.domain().size()).unwrap(),
+            WorkerResponse::Delta { shard: 1, .. }
+        ));
+    }
+}

@@ -190,10 +190,55 @@ fn output_flags_into_missing_directories_fail_before_any_work() {
 
 #[test]
 #[ignore = "spawns the CLI binary; run with --ignored"]
-fn ldp_stream_rejects_spec_flags_with_resume() {
-    let output = Command::new(env!("CARGO_BIN_EXE_ldp"))
-        .args(["stream", "--resume", "c.json", "--shards", "2"])
+fn ldp_stream_resume_diffs_conflicting_spec_flags() {
+    // Spec flags alongside --resume are legal when they agree with the
+    // checkpoint; a disagreement fails fast with a field-by-field diff
+    // instead of silently running the wrong experiment.
+    let dir = std::env::temp_dir().join("ldprecover-resume-diff-smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("c.json");
+    let _ = std::fs::remove_file(&ckpt);
+    let made = Command::new(env!("CARGO_BIN_EXE_ldp"))
+        .args([
+            "stream",
+            "--shards",
+            "4",
+            "--epochs",
+            "4",
+            "--suspend-after",
+            "2",
+        ])
+        .arg("--checkpoint")
+        .arg(&ckpt)
         .output()
-        .expect("spawn ldp stream");
-    assert!(!output.status.success());
+        .expect("spawn ldp stream (checkpoint)");
+    assert!(made.status.success());
+
+    // Conflicting --shards: fail fast, name the field, show both values.
+    let conflicted = Command::new(env!("CARGO_BIN_EXE_ldp"))
+        .args(["stream", "--resume"])
+        .arg(&ckpt)
+        .args(["--shards", "2"])
+        .output()
+        .expect("spawn ldp stream (conflict)");
+    assert!(!conflicted.status.success());
+    let stderr = String::from_utf8_lossy(&conflicted.stderr);
+    assert!(
+        stderr.contains("disagrees with the given spec flags")
+            && stderr.contains("--shards: flag 2 != checkpoint 4"),
+        "expected a field-by-field diff, got:\n{stderr}"
+    );
+
+    // Matching flags restate the checkpoint's spec and proceed.
+    let agreed = Command::new(env!("CARGO_BIN_EXE_ldp"))
+        .args(["stream", "--resume"])
+        .arg(&ckpt)
+        .args(["--shards", "4", "--epochs", "4"])
+        .output()
+        .expect("spawn ldp stream (agree)");
+    assert!(
+        agreed.status.success(),
+        "matching spec flags must be accepted:\n{}",
+        String::from_utf8_lossy(&agreed.stderr)
+    );
 }

@@ -1,0 +1,201 @@
+//! Multi-process streaming smoke tests — run in plain `cargo test`.
+//!
+//! These spawn the real `ldp` binary: a coordinator with `--workers 4`
+//! driving shard-worker child processes over the stdio frame protocol,
+//! including one run with an injected worker crash mid-epoch. The
+//! contract under test is the tentpole guarantee: a multi-process run —
+//! even one that loses a worker and replays its shards on a respawned
+//! process — emits **byte-identical** stdout and JSON to the plain
+//! in-process engine.
+//!
+//! The specs here are deliberately tiny (8 shards × 3 epochs, 80 users
+//! per epoch) so the whole file stays CI-cheap; the full five-protocol
+//! matrix lives in the `--ignored` test at the bottom.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// Runs `ldp stream` with the base spec plus `extra` args, writing the
+/// JSON report to `json_name` under a per-test temp dir; asserts success.
+fn run_stream(dir: &Path, base: &[&str], extra: &[&str], json_name: &str) -> (Output, Vec<u8>) {
+    let json_path = dir.join(json_name);
+    let _ = std::fs::remove_file(&json_path);
+    let output = Command::new(env!("CARGO_BIN_EXE_ldp"))
+        .arg("stream")
+        .args(base)
+        .args(extra)
+        .arg("--json")
+        .arg(&json_path)
+        .output()
+        .expect("spawn ldp stream");
+    assert!(
+        output.status.success(),
+        "ldp stream {base:?} {extra:?} exited with {:?}\nstderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let json = std::fs::read(&json_path).expect("json report written");
+    (output, json)
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn four_workers_with_an_injected_crash_match_in_process_byte_for_byte() {
+    let dir = temp_dir("ldprecover-mp-smoke");
+    let base = [
+        "--protocol",
+        "grr",
+        "--attack",
+        "mga",
+        "--targets",
+        "5",
+        "--shards",
+        "8",
+        "--epochs",
+        "3",
+        "--users-per-epoch",
+        "80",
+    ];
+
+    // Reference: the in-process engine.
+    let (in_process, json_ref) = run_stream(&dir, &base, &[], "inproc.json");
+
+    // Coordinator + 4 healthy worker processes.
+    let (healthy, json_healthy) = run_stream(&dir, &base, &["--workers", "4"], "mp.json");
+    assert_eq!(
+        in_process.stdout, healthy.stdout,
+        "multi-process stdout must be byte-identical to in-process"
+    );
+    assert_eq!(
+        json_ref, json_healthy,
+        "multi-process JSON report must be byte-identical to in-process"
+    );
+
+    // Coordinator + 4 workers, worker 0 killed mid-epoch on its second
+    // work unit; its shards must be reassigned to a respawned process and
+    // replayed with no trace in the output.
+    let (crashed, json_crashed) = run_stream(
+        &dir,
+        &base,
+        &["--workers", "4", "--inject-fault", "worker-crash@1"],
+        "mp-crash.json",
+    );
+    assert_eq!(
+        in_process.stdout, crashed.stdout,
+        "failover replay must reproduce the in-process stdout byte-for-byte"
+    );
+    assert_eq!(
+        json_ref, json_crashed,
+        "failover replay must reproduce the in-process JSON byte-for-byte"
+    );
+}
+
+#[test]
+fn corrupt_frames_and_stalls_fail_over_to_bit_identical_replay() {
+    let dir = temp_dir("ldprecover-mp-faults");
+    let base = [
+        "--protocol",
+        "oue",
+        "--shards",
+        "4",
+        "--epochs",
+        "2",
+        "--users-per-epoch",
+        "40",
+    ];
+    let (reference, json_ref) = run_stream(&dir, &base, &[], "ref.json");
+
+    // A worker that answers with an unparsable frame is treated as failed
+    // and its unit replays on a fresh process.
+    let (corrupt, json_corrupt) = run_stream(
+        &dir,
+        &base,
+        &["--workers", "2", "--inject-fault", "corrupt-frame@0"],
+        "corrupt.json",
+    );
+    assert_eq!(reference.stdout, corrupt.stdout);
+    assert_eq!(json_ref, json_corrupt);
+
+    // A stalled worker trips the per-unit timeout (tightened from the
+    // 10s default so the test stays fast), is killed, and replays.
+    let (stalled, json_stalled) = run_stream(
+        &dir,
+        &base,
+        &[
+            "--workers",
+            "2",
+            "--worker-timeout-ms",
+            "500",
+            "--inject-fault",
+            "stall@0",
+        ],
+        "stall.json",
+    );
+    assert_eq!(reference.stdout, stalled.stdout);
+    assert_eq!(json_ref, json_stalled);
+}
+
+#[test]
+fn windowed_multiprocess_runs_match_in_process() {
+    // --window flows through the wire-protocol spec unchanged, so the
+    // windowed recovery path must also be byte-identical across engines.
+    let dir = temp_dir("ldprecover-mp-window");
+    for window in ["sliding:2", "decay:0.75"] {
+        let base = [
+            "--protocol",
+            "olh",
+            "--shards",
+            "4",
+            "--epochs",
+            "3",
+            "--users-per-epoch",
+            "40",
+            "--window",
+            window,
+        ];
+        let name_in = format!("w-in-{}.json", window.replace(':', "-"));
+        let name_mp = format!("w-mp-{}.json", window.replace(':', "-"));
+        let (in_process, json_ref) = run_stream(&dir, &base, &[], &name_in);
+        let (multi, json_mp) = run_stream(&dir, &base, &["--workers", "3"], &name_mp);
+        assert_eq!(in_process.stdout, multi.stdout, "window {window}");
+        assert_eq!(json_ref, json_mp, "window {window}");
+    }
+}
+
+#[test]
+#[ignore = "full five-protocol matrix with crash injection; run with --ignored"]
+fn all_five_protocols_survive_crash_failover_byte_for_byte() {
+    let dir = temp_dir("ldprecover-mp-matrix");
+    for protocol in ["grr", "oue", "olh", "sue", "hr"] {
+        let base = [
+            "--protocol",
+            protocol,
+            "--attack",
+            "mga",
+            "--targets",
+            "5",
+            "--shards",
+            "8",
+            "--epochs",
+            "4",
+            "--users-per-epoch",
+            "160",
+        ];
+        let name_in = format!("{protocol}-in.json");
+        let name_mp = format!("{protocol}-mp.json");
+        let (in_process, json_ref) = run_stream(&dir, &base, &[], &name_in);
+        let (multi, json_mp) = run_stream(
+            &dir,
+            &base,
+            &["--workers", "4", "--inject-fault", "worker-crash@1"],
+            &name_mp,
+        );
+        assert_eq!(in_process.stdout, multi.stdout, "protocol {protocol}");
+        assert_eq!(json_ref, json_mp, "protocol {protocol}");
+    }
+}

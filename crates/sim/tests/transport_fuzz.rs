@@ -1,0 +1,229 @@
+//! Wire-protocol fuzzing for the coordinator ↔ worker transport
+//! (`ldp_sim::stream::transport`).
+//!
+//! The distributed streaming mode is only as trustworthy as its framing:
+//! every payload must round-trip bit-for-bit (that is what makes
+//! multi-process runs byte-identical to in-process ones), and every torn,
+//! oversized, or corrupt frame must surface as a typed error the
+//! coordinator can fail over from — never as a panic or a silent
+//! misparse. These properties drive random payloads, random cut points,
+//! and random garbage through the reader to gate exactly that.
+
+use ldp_attacks::AttackKind;
+use ldp_common::Json;
+use ldp_datasets::DatasetKind;
+use ldp_protocols::ProtocolKind;
+use ldp_sim::stream::transport::{
+    read_frame, write_frame, write_raw_frame, WorkerRequest, WorkerResponse, MAX_FRAME_LEN,
+};
+use ldp_sim::stream::{ShardDelta, StreamSpec, WindowMode};
+use proptest::prelude::*;
+
+/// Strings exercising escaping-relevant characters alongside plain text.
+fn string_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        any::<u64>().prop_map(|x| format!("s{x:x}")),
+        any::<u32>().prop_map(|x| format!("q\"uo\\te {x}")),
+        any::<u32>().prop_map(|x| format!("nl\n\ttab {x}")),
+    ]
+}
+
+/// Arbitrary JSON values: finite numbers only (the renderer maps
+/// non-finite floats to `null`, which would not round-trip as `Num`).
+fn json_strategy() -> BoxedStrategy<Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        (-1.0e12f64..1.0e12).prop_map(Json::Num),
+        string_strategy().prop_map(Json::Str),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        let key = (0u32..1000).prop_map(|k| format!("k{k}"));
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Json::Arr),
+            prop::collection::vec((key, inner), 0..4).prop_map(|pairs| {
+                // Objects must not repeat keys for the round-trip to be
+                // well-defined; keep the first occurrence of each.
+                let mut seen = std::collections::HashSet::new();
+                Json::Obj(
+                    pairs
+                        .into_iter()
+                        .filter(|(k, _)| seen.insert(k.clone()))
+                        .collect(),
+                )
+            }),
+        ]
+    })
+}
+
+/// Valid stream specs with randomized shape, seed, ε, and window mode —
+/// `WorkerRequest::from_json` re-validates the embedded spec, so every
+/// generated spec must pass `StreamSpec::validate`.
+fn spec_strategy() -> impl Strategy<Value = StreamSpec> {
+    (
+        1usize..5,
+        1usize..4,
+        any::<u64>(),
+        0.1f64..4.0,
+        prop_oneof![
+            Just(WindowMode::Cumulative),
+            (1usize..4).prop_map(WindowMode::Sliding),
+            (0.1f64..0.95).prop_map(WindowMode::Decay),
+        ],
+    )
+        .prop_map(|(shards, epochs, seed, epsilon, window)| StreamSpec {
+            dataset: DatasetKind::Ipums,
+            protocol: ProtocolKind::Grr,
+            epsilon,
+            attack: Some(AttackKind::Adaptive),
+            beta: 0.05,
+            eta: 0.2,
+            shards,
+            epochs,
+            users_per_epoch: shards * 40,
+            seed,
+            window,
+        })
+}
+
+/// Shard deltas over a `domain_size`-item domain. Counts stay below the
+/// checkpoint layer's 2^53 safe-integer ceiling so the f64 wire encoding
+/// is exact.
+fn delta_strategy(domain_size: usize) -> impl Strategy<Value = ShardDelta> {
+    (
+        prop::collection::vec(0u64..(1 << 40), domain_size),
+        prop::collection::vec(0u64..(1 << 40), domain_size),
+        0usize..100_000,
+        prop::collection::vec(0u64..(1 << 40), domain_size),
+        0usize..100_000,
+    )
+        .prop_map(
+            |(population, genuine_counts, genuine_users, malicious_counts, malicious_users)| {
+                ShardDelta {
+                    population,
+                    genuine_counts,
+                    genuine_users,
+                    malicious_counts,
+                    malicious_users,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A sequence of frames reads back payload-for-payload, and EOF at
+    /// the frame boundary is a clean `Ok(None)`.
+    #[test]
+    fn frames_roundtrip_in_sequence(payloads in prop::collection::vec(json_strategy(), 0..5)) {
+        let mut wire = Vec::new();
+        for p in &payloads {
+            write_frame(&mut wire, p).expect("write");
+        }
+        let mut reader = wire.as_slice();
+        for p in &payloads {
+            prop_assert_eq!(read_frame(&mut reader).expect("read"), Some(p.clone()));
+        }
+        prop_assert_eq!(read_frame(&mut reader).expect("eof"), None);
+    }
+
+    /// Cutting a frame at ANY interior byte — inside the prefix or inside
+    /// the payload — is a hard error, never a short read.
+    #[test]
+    fn truncated_frames_are_rejected_at_every_cut(
+        payload in json_strategy(),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).expect("write");
+        let cut = 1 + cut.index(wire.len() - 1);
+        let mut reader = &wire[..cut];
+        prop_assert!(read_frame(&mut reader).is_err(), "cut at {}/{}", cut, wire.len());
+    }
+
+    /// A length prefix above `MAX_FRAME_LEN` is rejected before any
+    /// allocation, regardless of what follows it.
+    #[test]
+    fn oversized_length_prefixes_are_rejected(
+        excess in 1usize..(1 << 16),
+        tail in prop::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let mut wire = ((MAX_FRAME_LEN + excess) as u32).to_be_bytes().to_vec();
+        wire.extend_from_slice(&tail);
+        prop_assert!(read_frame(&mut wire.as_slice()).is_err());
+    }
+
+    /// A correctly framed but non-UTF-8 payload (what `corrupt-frame`
+    /// fault injection puts on the wire) is a parse error, not a panic —
+    /// and it does not poison the reader for frames already consumed.
+    #[test]
+    fn corrupt_payloads_after_a_valid_frame_are_errors(
+        good in json_strategy(),
+        mut body in prop::collection::vec(any::<u8>(), 0..64),
+        at in any::<prop::sample::Index>(),
+    ) {
+        let at = at.index(body.len() + 1);
+        body.insert(at, 0xFF); // 0xFF is never valid UTF-8
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &good).expect("write good");
+        write_raw_frame(&mut wire, &body).expect("write corrupt");
+        let mut reader = wire.as_slice();
+        prop_assert_eq!(read_frame(&mut reader).expect("good frame"), Some(good));
+        prop_assert!(read_frame(&mut reader).is_err(), "corrupt frame must error");
+    }
+
+    /// The reader is total on arbitrary byte streams: whatever garbage
+    /// arrives, it returns `Ok`/`Err` — it never panics and never loops.
+    #[test]
+    fn arbitrary_garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let mut reader = bytes.as_slice();
+        for _ in 0..bytes.len() + 1 {
+            match read_frame(&mut reader) {
+                Ok(Some(_)) => {}          // bytes happened to frame valid JSON
+                Ok(None) | Err(_) => break, // clean EOF or detected corruption
+            }
+        }
+    }
+
+    /// Work requests round-trip the wire across random specs — including
+    /// the full render → parse cycle, so seeds, ε, and window parameters
+    /// survive bit-for-bit.
+    #[test]
+    fn work_requests_roundtrip_the_wire(
+        spec in spec_strategy(),
+        shard in 0usize..4,
+        epoch in 0usize..3,
+    ) {
+        let msg = WorkerRequest::Work {
+            shard: shard % spec.shards,
+            epoch: epoch % spec.epochs,
+            spec,
+        };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &msg.to_json()).expect("write");
+        let frame = read_frame(&mut wire.as_slice()).expect("read").expect("one frame");
+        prop_assert_eq!(WorkerRequest::from_json(&frame).expect("parse"), msg);
+    }
+
+    /// Delta responses round-trip the wire for random count vectors, and
+    /// the parser enforces the expected domain size.
+    #[test]
+    fn delta_responses_roundtrip_the_wire(
+        (domain_size, delta) in (1usize..24).prop_flat_map(|d| (Just(d), delta_strategy(d))),
+        shard in 0usize..8,
+        epoch in 0usize..8,
+    ) {
+        let msg = WorkerResponse::Delta { shard, epoch, delta };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &msg.to_json()).expect("write");
+        let frame = read_frame(&mut wire.as_slice()).expect("read").expect("one frame");
+        prop_assert_eq!(
+            WorkerResponse::from_json(&frame, domain_size).expect("parse"),
+            msg.clone()
+        );
+        // The same frame against the wrong domain size must be rejected.
+        prop_assert!(WorkerResponse::from_json(&frame, domain_size + 1).is_err());
+    }
+}

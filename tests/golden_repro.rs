@@ -82,13 +82,14 @@ golden_tests! {
     ablations_matches_golden => "ablations",
     kv_extension_matches_golden => "kv_extension",
     stream_online_matches_golden => "stream_online",
+    stream_windowed_matches_golden => "stream_windowed",
     defense_arms_matches_golden => "defense_arms",
 }
 
 #[test]
 fn every_catalog_figure_has_a_golden_test() {
     // Adding a figure to the catalog without gating it here should fail.
-    assert_eq!(catalog::FIGURE_IDS.len(), 13);
+    assert_eq!(catalog::FIGURE_IDS.len(), 14);
     for id in catalog::FIGURE_IDS {
         assert!(
             std::env::var_os("LDP_BLESS_GOLDENS").is_some() || golden_path(id).exists(),

@@ -13,7 +13,7 @@ use ldp_attacks::AttackKind;
 use ldp_common::Json;
 use ldp_datasets::DatasetKind;
 use ldp_protocols::ProtocolKind;
-use ldp_sim::stream::{StreamEngine, StreamSpec};
+use ldp_sim::stream::{StreamEngine, StreamSpec, WindowMode};
 use proptest::prelude::*;
 
 fn spec(protocol: ProtocolKind, shards: usize, epochs: usize) -> StreamSpec {
@@ -28,6 +28,7 @@ fn spec(protocol: ProtocolKind, shards: usize, epochs: usize) -> StreamSpec {
         epochs,
         users_per_epoch: 400,
         seed: 0xC0FFEE,
+        window: WindowMode::Cumulative,
     }
 }
 
@@ -109,8 +110,15 @@ proptest! {
         run_epochs in 0usize..3,
         attacked in 0u8..2,
         seed in 0u64..u64::MAX,
+        window_pick in 0usize..4,
     ) {
         let protocol = ProtocolKind::EXTENDED[protocol_pick];
+        let window = [
+            WindowMode::Cumulative,
+            WindowMode::Sliding(1),
+            WindowMode::Sliding(2),
+            WindowMode::Decay(0.75),
+        ][window_pick];
         let spec = StreamSpec {
             dataset: DatasetKind::Ipums,
             protocol,
@@ -122,6 +130,7 @@ proptest! {
             epochs,
             users_per_epoch: users.max(shards),
             seed,
+            window,
         };
         let mut engine = StreamEngine::new(spec).unwrap();
         for _ in 0..run_epochs.min(epochs) {

@@ -5,8 +5,12 @@
 //! implements the subset of proptest that the workspace's test suites use:
 //!
 //! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
-//! * [`Strategy`] implementations for numeric ranges and
+//! * [`Strategy`] implementations for numeric ranges, tuples, and
 //!   [`collection::vec`],
+//! * the combinators [`Strategy::prop_map`], [`Strategy::prop_flat_map`],
+//!   [`Strategy::prop_recursive`], [`Strategy::boxed`], and the
+//!   [`prop_oneof!`] union macro,
+//! * [`sample::Index`] for cut points / element picks sized at use,
 //! * the [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] /
 //!   [`prop_assume!`] assertion macros,
 //! * [`ProptestConfig::with_cases`].
@@ -25,17 +29,19 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 pub mod collection;
+pub mod sample;
 
 /// Re-exports used via `use proptest::prelude::*;`.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
-        ProptestConfig, Strategy, TestCaseError,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
     };
 
     /// Mirror of proptest's `prelude::prop` module path.
     pub mod prop {
         pub use crate::collection;
+        pub use crate::sample;
     }
 }
 
@@ -114,6 +120,181 @@ pub trait Strategy {
 
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (mirror of proptest's
+    /// `prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Derives a second strategy from each generated value and draws from
+    /// it (mirror of proptest's `prop_flat_map`) — the way to make one
+    /// input depend on another, e.g. an index into a generated vector.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy behind a cheaply clonable handle (mirror
+    /// of proptest's `boxed`; this stand-in uses `Rc`, so the handle is
+    /// not `Send` — irrelevant for the single-threaded case runner).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(std::rc::Rc::new(self))
+    }
+
+    /// Builds a recursive strategy: `self` generates the leaves, and
+    /// `recurse` wraps an inner strategy into the branch cases (mirror of
+    /// proptest's `prop_recursive`; `_desired_size` and
+    /// `_expected_branch_size` are accepted for signature compatibility
+    /// but unused — depth alone bounds the stand-in's recursion).
+    ///
+    /// Each of the `depth` layers unions the previous layer with its
+    /// wrapped form, so generated values stop at every depth ≤ `depth`,
+    /// not only at the maximum.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut strategy = self.boxed();
+        for _ in 0..depth {
+            strategy = Union::new(vec![strategy.clone(), recurse(strategy).boxed()]).boxed();
+        }
+        strategy
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy handle (mirror of proptest's
+/// `BoxedStrategy`, backed by `Rc` instead of `Arc`).
+pub struct BoxedStrategy<T>(std::rc::Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self(std::rc::Rc::clone(&self.0))
+    }
+}
+
+impl<T> core::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("BoxedStrategy(..)")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Uniform choice between alternative strategies of one value type — what
+/// the [`prop_oneof!`] macro builds.
+#[derive(Debug, Clone)]
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    /// Creates a union over `arms`; panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self(arms)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let arm = rng.rng().gen_range(0..self.0.len());
+        self.0[arm].generate(rng)
+    }
+}
+
+/// Uniformly picks one of the listed strategies each draw (mirror of
+/// proptest's `prop_oneof!`; weighted arms are not supported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                // One field per statement: tuple-constructor argument
+                // order is defined, but sequential lets keep the draw
+                // order explicit (the workspace's own D08 discipline).
+                $(let $name = self.$idx.generate(rng);)+
+                ($($name,)+)
+            }
+        }
+    )*};
+}
+impl_strategy_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
 }
 
 macro_rules! impl_strategy_range {
@@ -339,6 +520,61 @@ mod tests {
         fn assume_discards(x in 0usize..10) {
             prop_assume!(x != 3);
             prop_assert_ne!(x, 3);
+        }
+
+        #[test]
+        fn map_and_tuples_compose(
+            (a, b) in (0u32..10, 0u32..10),
+            doubled in (0u64..50).prop_map(|x| x * 2),
+        ) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert_eq!(doubled % 2, 0);
+        }
+
+        #[test]
+        fn flat_map_ties_an_index_to_its_vector(
+            (v, i) in prop::collection::vec(0u8..200, 1..9)
+                .prop_flat_map(|v| { let n = v.len(); (Just(v), 0usize..n) }),
+        ) {
+            prop_assert!(i < v.len());
+        }
+
+        #[test]
+        fn oneof_draws_only_listed_arms(x in prop_oneof![Just(1u8), Just(4u8), 7u8..9]) {
+            prop_assert!(matches!(x, 1 | 4 | 7 | 8), "got {}", x);
+        }
+
+        #[test]
+        fn sample_index_lands_in_bounds(idx in any::<prop::sample::Index>(), n in 1usize..40) {
+            prop_assert!(idx.index(n) < n);
+        }
+    }
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    enum Tree {
+        Leaf(u8),
+        Node(Vec<Tree>),
+    }
+
+    impl Tree {
+        fn depth(&self) -> u32 {
+            match self {
+                Tree::Leaf(_) => 0,
+                Tree::Node(kids) => 1 + kids.iter().map(Tree::depth).max().unwrap_or(0),
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn recursive_strategies_respect_the_depth_bound(
+            tree in (0u8..255).prop_map(Tree::Leaf).prop_recursive(3, 24, 4, |inner| {
+                prop::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            }),
+        ) {
+            prop_assert!(tree.depth() <= 3, "depth {}", tree.depth());
         }
     }
 

@@ -1,0 +1,26 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+use crate::{Arbitrary, TestRng};
+use rand::Rng;
+
+/// A collection index generated before the collection's size is known —
+/// resolve it with [`Index::index`] once the size is available (mirror of
+/// proptest's `prop::sample::Index`).
+#[derive(Debug, Clone, Copy)]
+pub struct Index(u64);
+
+impl Index {
+    /// Resolves the index against a collection of `size` elements,
+    /// returning a value in `0..size`. Panics if `size` is zero, exactly
+    /// like real proptest.
+    pub fn index(&self, size: usize) -> usize {
+        assert!(size > 0, "Index::index on an empty collection");
+        (self.0 % size as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Self(rng.rng().gen())
+    }
+}
