@@ -148,6 +148,21 @@ fn gate_suite(name: &str, emitted_path: &Path, blessed_path: &Path) -> Result<us
     Ok(failures)
 }
 
+/// Copies the emitted trajectory files into the blessed directory via
+/// write_atomic — an interrupted bless must not leave a half-copied
+/// trajectory the next gate run trusts. Returns the blessed paths.
+fn bless(names: &[String], emitted_dir: &Path, blessed_dir: &Path) -> Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(blessed_dir)?;
+    let mut written = Vec::with_capacity(names.len());
+    for name in names {
+        let contents = std::fs::read_to_string(emitted_dir.join(name))?;
+        let target = blessed_dir.join(name);
+        ldp_common::write_atomic(&target, &contents)?;
+        written.push(target);
+    }
+    Ok(written)
+}
+
 fn main() -> Result<()> {
     let emitted_dir = PathBuf::from(std::env::args().nth(1).ok_or_else(|| {
         LdpError::invalid("usage: bench_gate <dir with emitted BENCH_*.json files>")
@@ -162,10 +177,8 @@ fn main() -> Result<()> {
 
     let blessed = blessed_dir();
     if std::env::var("LDP_BLESS_BENCH").map(|v| v == "1") == Ok(true) {
-        std::fs::create_dir_all(&blessed)?;
-        for name in &names {
-            std::fs::copy(emitted_dir.join(name), blessed.join(name))?;
-            println!("blessed {}", blessed.join(name).display());
+        for name in bless(&names, &emitted_dir, &blessed)? {
+            println!("blessed {}", name.display());
         }
         return Ok(());
     }
@@ -202,6 +215,37 @@ fn main() -> Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bless_is_crash_atomic_and_replaces_stale_files() {
+        // Blessing goes through write_atomic, not fs::copy: after the
+        // call each blessed file is the complete emitted document, any
+        // stale previous bless is fully replaced, and no staging temp
+        // file survives (the crash window is confined to temp names the
+        // gate never reads).
+        let base = std::env::temp_dir().join("ldp_bench_gate_bless_atomic_test");
+        let _ = std::fs::remove_dir_all(&base);
+        let emitted = base.join("emitted");
+        let blessed = base.join("blessed");
+        std::fs::create_dir_all(&emitted).unwrap();
+        std::fs::create_dir_all(&blessed).unwrap();
+        let doc = r#"{"cases": [{"id": "a", "median_ns": 10.0, "score": 1.0}]}"#;
+        std::fs::write(emitted.join("BENCH_x.json"), doc).unwrap();
+        std::fs::write(blessed.join("BENCH_x.json"), "{\"stale\": true}").unwrap();
+        let written = bless(&["BENCH_x.json".to_string()], &emitted, &blessed).unwrap();
+        assert_eq!(written, [blessed.join("BENCH_x.json")]);
+        assert_eq!(std::fs::read_to_string(&written[0]).unwrap(), doc);
+        let leftovers: Vec<_> = std::fs::read_dir(&blessed)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp-"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "staging files left behind: {leftovers:?}"
+        );
+        let _ = std::fs::remove_dir_all(&base);
+    }
 
     #[test]
     fn check_score_accepts_positive_finite() {

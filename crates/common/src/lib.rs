@@ -45,4 +45,4 @@ pub mod vecmath;
 pub use bitvec::BitVec;
 pub use domain::Domain;
 pub use error::{LdpError, Result};
-pub use json::Json;
+pub use json::{write_atomic, Json};

@@ -1,0 +1,22 @@
+// Fixture: D09 — artifact writes bypassing ldp_common::write_atomic. A
+// crash between the open and the final flush leaves a torn half-file,
+// which checkpoint-resume and the golden gates then read as corrupt —
+// or worse, truncated-but-parseable.
+use std::fs;
+use std::fs::File;
+
+pub fn dump_report(path: &str, body: &str) -> std::io::Result<()> {
+    fs::write(path, body) //~ D09
+}
+
+pub fn open_artifact(path: &str) -> std::io::Result<File> {
+    File::create(path) //~ D09
+}
+
+pub fn snapshot(src: &str, dst: &str) -> std::io::Result<u64> {
+    fs::copy(src, dst) //~ D09
+}
+
+pub fn fresh_manifest(path: &str) -> std::io::Result<File> {
+    File::create_new(path) //~ D09
+}

@@ -1,0 +1,26 @@
+// Fixture: P01 — impurity reachable from a declared pure root. `entry`
+// is pure on its face; the taint hides one hop down (`scale` reads the
+// environment) and in a shared counter (`bump` bumps an
+// interior-mutable static). The pass reports each impurity site with
+// the full root → … → fn chain.
+//@ pure-roots: entry
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CALLS: AtomicU64 = AtomicU64::new(0);
+
+pub fn entry(cells: u64) -> u64 {
+    bump();
+    scale(cells)
+}
+
+fn bump() {
+    CALLS.fetch_add(1, Ordering::Relaxed); //~ P01
+}
+
+fn scale(cells: u64) -> u64 {
+    let knob = match std::env::var("LDP_SCALE") { //~ P01
+        Ok(v) => v.len() as u64,
+        Err(_) => 1,
+    };
+    cells * knob
+}

@@ -1,0 +1,14 @@
+// The impure tail of the bad/p01_cross unit: `scale` is reached from
+// the pure root `compute_delta` in lib.rs, and its helper reads the
+// environment.
+
+pub fn scale(cells: u64) -> u64 {
+    jitter() + cells
+}
+
+fn jitter() -> u64 {
+    match std::env::var("LDP_JITTER") { //~ P01
+        Ok(v) => v.len() as u64,
+        Err(_) => 0,
+    }
+}

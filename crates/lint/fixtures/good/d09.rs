@@ -1,0 +1,20 @@
+// Fixture: D09 twin — artifacts route through write_atomic (temp file
+// + rename, so readers only ever observe a complete file); plain reads
+// are not writes, and scratch files inside test regions are exempt.
+use ldp_common::write_atomic;
+
+pub fn dump_report(path: &std::path::Path, body: &str) -> ldp_common::Result<()> {
+    write_atomic(path, body)
+}
+
+pub fn load_report(path: &str) -> std::io::Result<String> {
+    std::fs::read_to_string(path)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_files_in_tests_are_fine() {
+        std::fs::write("/tmp/scratch.json", b"{}").expect("tmp writable");
+    }
+}

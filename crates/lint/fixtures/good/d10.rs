@@ -1,0 +1,8 @@
+// Fixture: D10 twin — parallel work flows through the audited fan-out
+// (map_trials owns worker topology and join order); the caller never
+// touches a thread handle itself.
+use ldp_sim::runner::map_trials;
+
+pub fn fan_out(n_trials: usize, threads: usize, master: u64) -> Vec<u64> {
+    map_trials(n_trials, threads, move |trial| master ^ trial as u64)
+}

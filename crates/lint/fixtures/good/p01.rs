@@ -1,0 +1,12 @@
+// Fixture: P01 twin — the whole call closure of the pure root is a
+// function of its arguments: the tuning knob arrives as a parameter
+// instead of an environment read, and nothing touches shared state.
+//@ pure-roots: entry
+
+pub fn entry(cells: u64, knob: u64) -> u64 {
+    scale(cells, knob)
+}
+
+fn scale(cells: u64, knob: u64) -> u64 {
+    cells * knob.max(1)
+}

@@ -1,0 +1,9 @@
+#![forbid(unsafe_code)]
+// Fixture: P01 cross-file twin — same two-file shape, but the whole
+// closure is a function of its arguments and every call resolves.
+//@ pure-roots: compute_delta
+pub mod util;
+
+pub fn compute_delta(cells: u64, knob: u64) -> u64 {
+    util::scale(cells, knob)
+}

@@ -1,0 +1,10 @@
+// The pure tail of the good/p01_cross unit: the tuning knob arrives as
+// a parameter, so the closure reads no ambient state.
+
+pub fn scale(cells: u64, knob: u64) -> u64 {
+    jitter(knob) + cells
+}
+
+fn jitter(knob: u64) -> u64 {
+    knob.rotate_left(1)
+}

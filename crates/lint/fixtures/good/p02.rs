@@ -1,0 +1,27 @@
+// Fixture: P02 twin — every draw has a defined position in exactly one
+// stream: sequential `let`s fix the consumption order, independent
+// streams come from derive_seed2 instead of clone(), and the trial
+// fan-out derives a per-trial stream *inside* the closure.
+use ldp_common::rng::{derive_seed2, rng_from_seed};
+
+pub fn ordered(rng: &mut R) -> u64 {
+    let a = rng.next_u64();
+    let b = rng.next_u64();
+    a ^ b
+}
+
+pub fn independent(master: u64) -> u64 {
+    let mut fresh = rng_from_seed(derive_seed2(master, 9, 0));
+    fresh.next_u64()
+}
+
+pub fn per_trial(master: u64) -> Vec<u64> {
+    map_trials(8, 2, move |trial| {
+        let mut trial_rng = rng_from_seed(derive_seed2(master, trial as u64, 0));
+        trial_rng.next_u64()
+    })
+}
+
+pub fn map_trials(n_trials: usize, threads: usize, run: fn(usize) -> u64) -> Vec<u64> {
+    Vec::new()
+}

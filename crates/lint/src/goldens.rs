@@ -84,8 +84,16 @@ pub fn render_manifest(root: &Path) -> Result<String, LintError> {
 /// [`LintError::Io`] on read or write failures.
 pub fn bless_goldens(root: &Path) -> Result<usize, LintError> {
     let manifest = render_manifest(root)?;
-    std::fs::write(root.join(GOLDEN_MANIFEST), &manifest)
+    // Local temp-file + rename (the lint crate deliberately cannot use
+    // ldp_common::write_atomic): a crash mid-bless must not leave a torn
+    // manifest that every later `--check-goldens` run trusts.
+    let tmp = root.join(format!(".{GOLDEN_MANIFEST}.tmp-{}", std::process::id()));
+    std::fs::write(&tmp, &manifest)
         .map_err(|e| LintError::Io(format!("{GOLDEN_MANIFEST}: {e}")))?;
+    if let Err(e) = std::fs::rename(&tmp, root.join(GOLDEN_MANIFEST)) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(LintError::Io(format!("{GOLDEN_MANIFEST}: {e}")));
+    }
     Ok(manifest.lines().count())
 }
 

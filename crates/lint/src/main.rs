@@ -1,14 +1,16 @@
 //! The `ldp-lint` binary: scans the workspace, prints findings as
-//! `path:line:col: [ID] message` (with the offending line), and — with
-//! `--check-waivers` — validates waiver freshness. See the library docs
-//! for the rule catalog.
+//! `path:line:col: [ID] message` (with the offending line) or as a
+//! SARIF 2.1.0 document (`--format sarif`), and — with `--check-waivers`
+//! — validates waiver and edge-waiver freshness. See the library docs
+//! for the rule catalog; `--explain <RULE>` prints one rule's full
+//! catalog entry with its bad/good fixture pair.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use ldp_lint::{
-    bless_goldens, check_goldens, check_waivers, discover_current_pr, lint_workspace, load_waivers,
-    RuleId, GOLDEN_MANIFEST,
+    bless_goldens, check_edge_waivers, check_goldens, check_waivers, discover_current_pr,
+    lint_workspace, load_config, render_sarif, RuleId, GOLDEN_MANIFEST,
 };
 
 const USAGE: &str = "\
@@ -19,9 +21,14 @@ USAGE: ldp-lint [OPTIONS]
 OPTIONS:
     --deny             exit non-zero when any unwaived finding remains
     --check-waivers    fail on stale or unused lint_waivers.toml entries
+                       (both [[waiver]] and [[edge_waiver]])
     --check-goldens    fail when a blessed golden/trajectory file drifted
                        from golden.manifest
     --bless-goldens    regenerate golden.manifest from the tree and exit
+    --format <FMT>     finding output: text (default) or sarif; sarif goes
+                       to stdout, diagnostics and the summary to stderr
+    --explain <RULE>   print a rule's full catalog entry (rationale plus
+                       the bad/good fixture pair) and exit
     --root <DIR>       workspace root (default: current directory)
     --waivers <FILE>   waiver file (default: <root>/lint_waivers.toml)
     --pr <N>           current PR number (default: derived from CHANGES.md)
@@ -29,11 +36,18 @@ OPTIONS:
     --help             print this help
 ";
 
+enum Format {
+    Text,
+    Sarif,
+}
+
 struct Args {
     deny: bool,
     check_waivers: bool,
     check_goldens: bool,
     bless_goldens: bool,
+    format: Format,
+    explain: Option<String>,
     root: PathBuf,
     waivers: Option<PathBuf>,
     pr: Option<u32>,
@@ -46,6 +60,8 @@ fn parse_args() -> Result<Args, String> {
         check_waivers: false,
         check_goldens: false,
         bless_goldens: false,
+        format: Format::Text,
+        explain: None,
         root: PathBuf::from("."),
         waivers: None,
         pr: None,
@@ -59,6 +75,17 @@ fn parse_args() -> Result<Args, String> {
             "--check-goldens" => args.check_goldens = true,
             "--bless-goldens" => args.bless_goldens = true,
             "--list-rules" => args.list_rules = true,
+            "--format" => {
+                let v = it.next().ok_or("--format needs a value (text|sarif)")?;
+                args.format = match v.as_str() {
+                    "text" => Format::Text,
+                    "sarif" => Format::Sarif,
+                    other => return Err(format!("--format: unknown format `{other}`")),
+                };
+            }
+            "--explain" => {
+                args.explain = Some(it.next().ok_or("--explain needs a rule id")?);
+            }
             "--root" => {
                 args.root = PathBuf::from(it.next().ok_or("--root needs a value")?);
             }
@@ -79,6 +106,17 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+fn explain(rule: RuleId) {
+    println!("[{}] {}", rule.id(), rule.summary());
+    println!();
+    println!("{}", rule.rationale());
+    println!();
+    println!("--- known-bad (fires the rule) ---");
+    print!("{}", rule.example_bad());
+    println!("--- known-good twin (lints clean) ---");
+    print!("{}", rule.example_good());
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -87,6 +125,18 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(id) = &args.explain {
+        return match RuleId::parse(id) {
+            Some(rule) => {
+                explain(rule);
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("ldp-lint: unknown rule `{id}` (try --list-rules)");
+                ExitCode::from(2)
+            }
+        };
+    }
     if args.list_rules {
         println!("ldp-lint rule catalog:");
         for rule in RuleId::ALL {
@@ -118,29 +168,51 @@ fn main() -> ExitCode {
         .waivers
         .clone()
         .unwrap_or_else(|| args.root.join("lint_waivers.toml"));
-    let waivers = match load_waivers(&waiver_path) {
-        Ok(w) => w,
+    let config = match load_config(&waiver_path) {
+        Ok(c) => c,
         Err(e) => {
             eprintln!("ldp-lint: {e}");
             return ExitCode::from(2);
         }
     };
-    let report = match lint_workspace(&args.root, &waivers) {
+    let report = match lint_workspace(&args.root, &config) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("ldp-lint: {e}");
             return ExitCode::from(2);
         }
     };
-    for finding in &report.findings {
-        println!("{}", finding.render());
+    // In SARIF mode stdout is the document; everything human-facing
+    // (findings as text, waiver errors, the summary) moves to stderr so
+    // `ldp-lint --format sarif > lint.sarif` stays parseable.
+    match args.format {
+        Format::Text => {
+            for finding in &report.findings {
+                println!("{}", finding.render());
+            }
+        }
+        Format::Sarif => {
+            print!("{}", render_sarif(&report.findings));
+            for finding in &report.findings {
+                eprintln!("{}", finding.render());
+            }
+        }
     }
+    let diag = |line: &str| match args.format {
+        Format::Text => println!("{line}"),
+        Format::Sarif => eprintln!("{line}"),
+    };
     let mut failed = false;
     if args.check_waivers {
         let current_pr = args.pr.or_else(|| discover_current_pr(&args.root));
-        let errors = check_waivers(&waivers, &report.suppressed, current_pr);
+        let mut errors = check_waivers(&config.waivers, &report.suppressed, current_pr);
+        errors.extend(check_edge_waivers(
+            &config.edge_waivers,
+            &report.edge_waivers_used,
+            current_pr,
+        ));
         for e in &errors {
-            println!("ldp-lint: {e}");
+            diag(&format!("ldp-lint: {e}"));
         }
         failed |= !errors.is_empty();
     }
@@ -148,7 +220,7 @@ fn main() -> ExitCode {
         match check_goldens(&args.root) {
             Ok(errors) => {
                 for e in &errors {
-                    println!("ldp-lint: {e}");
+                    diag(&format!("ldp-lint: {e}"));
                 }
                 failed |= !errors.is_empty();
             }
@@ -158,13 +230,14 @@ fn main() -> ExitCode {
             }
         }
     }
-    println!(
-        "ldp-lint: {} finding(s) ({} waived) across {} files, {} waiver(s) on file",
+    diag(&format!(
+        "ldp-lint: {} finding(s) ({} waived) across {} files, {} waiver(s) + {} edge waiver(s) on file",
         report.findings.len(),
         report.suppressed.len(),
         report.files_scanned,
-        waivers.len()
-    );
+        config.waivers.len(),
+        config.edge_waivers.len()
+    ));
     failed |= args.deny && !report.findings.is_empty();
     if failed {
         ExitCode::FAILURE

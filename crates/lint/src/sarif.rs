@@ -1,0 +1,142 @@
+//! Hand-rolled SARIF 2.1.0 emitter for `--format sarif`.
+//!
+//! SARIF (Static Analysis Results Interchange Format) is what CI-side
+//! annotators consume — `github/codeql-action/upload-sarif` turns each
+//! `result` into an inline PR annotation. The emitter is written by
+//! hand (same dependency-free ethos as the rest of the crate) and
+//! produces the minimal conforming document: one `run`, the full rule
+//! catalog under `tool.driver.rules`, and one `result` per finding with
+//! a `physicalLocation` region.
+//!
+//! The contract the `self_lint` suite locks: the SARIF document carries
+//! **exactly the finding multiset** of the text renderer — same
+//! (path, line, column, rule, message) tuples, nothing added, nothing
+//! dropped.
+
+use crate::rules::{Finding, RuleId};
+
+/// Renders findings as a SARIF 2.1.0 JSON document (pretty-printed,
+/// trailing newline).
+pub fn render_sarif(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/\
+         Schemata/sarif-schema-2.1.0.json\",\n",
+    );
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"ldp-lint\",\n");
+    out.push_str("          \"informationUri\": \"https://github.com/ldprecover-repro\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, rule) in RuleId::ALL.into_iter().enumerate() {
+        out.push_str("            {\n");
+        out.push_str(&format!("              \"id\": {},\n", quote(rule.id())));
+        out.push_str(&format!(
+            "              \"shortDescription\": {{ \"text\": {} }},\n",
+            quote(rule.summary())
+        ));
+        out.push_str(&format!(
+            "              \"fullDescription\": {{ \"text\": {} }}\n",
+            quote(rule.rationale())
+        ));
+        out.push_str(if i + 1 < RuleId::ALL.len() {
+            "            },\n"
+        } else {
+            "            }\n"
+        });
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str("        {\n");
+        out.push_str(&format!("          \"ruleId\": {},\n", quote(f.rule.id())));
+        out.push_str("          \"level\": \"error\",\n");
+        out.push_str(&format!(
+            "          \"message\": {{ \"text\": {} }},\n",
+            quote(&f.message)
+        ));
+        out.push_str("          \"locations\": [\n            {\n");
+        out.push_str("              \"physicalLocation\": {\n");
+        out.push_str(&format!(
+            "                \"artifactLocation\": {{ \"uri\": {} }},\n",
+            quote(&f.path)
+        ));
+        out.push_str(&format!(
+            "                \"region\": {{ \"startLine\": {}, \"startColumn\": {} }}\n",
+            f.line, f.col
+        ));
+        out.push_str("              }\n            }\n          ]\n");
+        out.push_str(if i + 1 < findings.len() {
+            "        },\n"
+        } else {
+            "        }\n"
+        });
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+/// JSON string quoting with the mandatory escapes (`"`, `\`, control
+/// characters as `\uXXXX`).
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(path: &str, line: u32, col: u32, rule: RuleId, message: &str) -> Finding {
+        Finding {
+            path: path.to_string(),
+            line,
+            col,
+            rule,
+            message: message.to_string(),
+            source_line: String::new(),
+        }
+    }
+
+    #[test]
+    fn document_carries_every_finding_and_the_rule_catalog() {
+        let findings = vec![
+            finding("crates/a/src/x.rs", 3, 7, RuleId::D01, "iterates a map"),
+            finding("src/lib.rs", 1, 1, RuleId::P01, "quote \" and \\ slash"),
+        ];
+        let doc = render_sarif(&findings);
+        assert!(doc.contains("\"version\": \"2.1.0\""));
+        for rule in RuleId::ALL {
+            assert!(
+                doc.contains(&format!("\"id\": \"{}\"", rule.id())),
+                "catalog is missing {}",
+                rule.id()
+            );
+        }
+        assert!(doc.contains("\"uri\": \"crates/a/src/x.rs\""));
+        assert!(doc.contains("\"startLine\": 3, \"startColumn\": 7"));
+        assert!(doc.contains("quote \\\" and \\\\ slash"), "escaping holds");
+    }
+
+    #[test]
+    fn empty_findings_still_render_a_valid_shell() {
+        let doc = render_sarif(&[]);
+        assert!(doc.contains("\"results\": [\n      ]"));
+        assert!(doc.ends_with("}\n"));
+    }
+}

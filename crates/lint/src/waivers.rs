@@ -1,4 +1,5 @@
-//! Hand-parsed `lint_waivers.toml`: per-file-per-rule suppressions.
+//! Hand-parsed `lint_waivers.toml`: per-file-per-rule suppressions,
+//! plus the cross-file pass configuration (pure roots, edge waivers).
 //!
 //! A waiver is a *debt note*, not an off switch: it must say **why** the
 //! finding is acceptable (non-empty `justification`) and **when** the
@@ -20,6 +21,25 @@
 //! justification = "iteration feeds a sort, so order cannot leak"
 //! expires_pr = 9
 //! ```
+//!
+//! The same file configures the P01 transitive-purity pass:
+//!
+//! ```toml
+//! # A function whose whole call closure must stay pure.
+//! [[pure_root]]
+//! name = "shard_epoch_delta"
+//!
+//! # Suppress P01 across ONE call-graph edge (caller → callee). Same
+//! # freshness contract as [[waiver]].
+//! [[edge_waiver]]
+//! caller = "run_experiment"
+//! callee = "crate::telemetry::emit"
+//! justification = "telemetry is fire-and-forget; output never feeds results"
+//! expires_pr = 14
+//! ```
+//!
+//! When the file declares no `[[pure_root]]` at all, the built-in
+//! default root list ([`crate::passes::DEFAULT_PURE_ROOTS`]) applies.
 
 use crate::rules::{Finding, RuleId};
 
@@ -36,75 +56,111 @@ pub struct Waiver {
     pub expires_pr: u32,
 }
 
-/// Parses the waiver file content. Returns all entries or the first
-/// error, as `(line number, message)`.
+/// One `[[edge_waiver]]` entry: suppress P01 across a single call-graph
+/// edge, with the same freshness contract as a [`Waiver`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeWaiver {
+    /// Caller pattern: bare fn name or `::`-qualified path suffix.
+    pub caller: String,
+    /// Callee pattern: bare name, path suffix, or the opaque display path.
+    pub callee: String,
+    /// Why the edge is safe to ignore — required, non-empty.
+    pub justification: String,
+    /// The PR number by which this edge waiver must be removed.
+    pub expires_pr: u32,
+}
+
+/// The fully parsed `lint_waivers.toml`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintConfig {
+    /// Per-file-per-rule suppressions.
+    pub waivers: Vec<Waiver>,
+    /// P01 pure-root fn names/paths; empty means "use the defaults".
+    pub pure_roots: Vec<String>,
+    /// P01 per-edge suppressions.
+    pub edge_waivers: Vec<EdgeWaiver>,
+}
+
+/// Parses just the `[[waiver]]` entries (the pre-P01 entry point, kept
+/// for callers that only care about suppressions).
 pub fn parse_waivers(content: &str) -> Result<Vec<Waiver>, (usize, String)> {
-    struct Partial {
-        header_line: usize,
-        path: Option<String>,
-        rule: Option<RuleId>,
-        justification: Option<String>,
-        expires_pr: Option<u32>,
-    }
-    let mut entries: Vec<Waiver> = Vec::new();
-    let mut current: Option<Partial> = None;
-    let finish = |p: Partial| -> Result<Waiver, (usize, String)> {
-        let at = p.header_line;
-        let path = p.path.ok_or((at, "waiver is missing `path`".to_string()))?;
-        let rule = p.rule.ok_or((at, "waiver is missing `rule`".to_string()))?;
-        let justification = p
-            .justification
-            .ok_or((at, "waiver is missing `justification`".to_string()))?;
-        let expires_pr = p
-            .expires_pr
-            .ok_or((at, "waiver is missing `expires_pr`".to_string()))?;
-        if justification.trim().is_empty() {
-            return Err((at, "waiver `justification` must be non-empty".to_string()));
-        }
-        if expires_pr == 0 {
-            return Err((at, "waiver `expires_pr` must be >= 1".to_string()));
-        }
-        if path.contains('\\') {
-            return Err((at, "waiver `path` must use forward slashes".to_string()));
-        }
-        Ok(Waiver {
-            path,
-            rule,
-            justification,
-            expires_pr,
-        })
-    };
+    parse_config(content).map(|c| c.waivers)
+}
+
+/// Which entry kind a `[[…]]` header opened.
+enum Section {
+    Waiver,
+    PureRoot,
+    EdgeWaiver,
+}
+
+#[derive(Default)]
+struct Partial {
+    header_line: usize,
+    path: Option<String>,
+    rule: Option<RuleId>,
+    name: Option<String>,
+    caller: Option<String>,
+    callee: Option<String>,
+    justification: Option<String>,
+    expires_pr: Option<u32>,
+}
+
+/// Parses the whole config file content. Returns all entries or the
+/// first error, as `(line number, message)`.
+pub fn parse_config(content: &str) -> Result<LintConfig, (usize, String)> {
+    let mut config = LintConfig::default();
+    let mut current: Option<(Section, Partial)> = None;
     for (idx, raw) in content.lines().enumerate() {
         let lineno = idx + 1;
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        if line == "[[waiver]]" {
-            if let Some(p) = current.take() {
-                entries.push(finish(p)?);
+        let header = match line {
+            "[[waiver]]" => Some(Section::Waiver),
+            "[[pure_root]]" => Some(Section::PureRoot),
+            "[[edge_waiver]]" => Some(Section::EdgeWaiver),
+            _ => None,
+        };
+        if let Some(section) = header {
+            if let Some((s, p)) = current.take() {
+                finish_entry(s, p, &mut config)?;
             }
-            current = Some(Partial {
-                header_line: lineno,
-                path: None,
-                rule: None,
-                justification: None,
-                expires_pr: None,
-            });
+            current = Some((
+                section,
+                Partial {
+                    header_line: lineno,
+                    ..Partial::default()
+                },
+            ));
             continue;
         }
-        let Some(p) = current.as_mut() else {
+        let Some((section, p)) = current.as_mut() else {
             return Err((
                 lineno,
-                format!("unexpected line outside a [[waiver]] entry: `{line}`"),
+                format!("unexpected line outside a [[…]] entry: `{line}`"),
             ));
         };
         let Some((key, value)) = line.split_once('=') else {
             return Err((lineno, format!("expected `key = value`, got `{line}`")));
         };
         let (key, value) = (key.trim(), value.trim());
+        let allowed = match section {
+            Section::Waiver => ["path", "rule", "justification", "expires_pr"].contains(&key),
+            Section::PureRoot => key == "name",
+            Section::EdgeWaiver => {
+                ["caller", "callee", "justification", "expires_pr"].contains(&key)
+            }
+        };
+        if !allowed {
+            return Err((lineno, format!("unknown key `{key}` for this entry kind")));
+        }
         match key {
             "path" => p.path = Some(parse_string(value).map_err(|e| (lineno, e))?),
+            "name" => p.name = Some(parse_string(value).map_err(|e| (lineno, e))?),
+            "caller" => p.caller = Some(parse_string(value).map_err(|e| (lineno, e))?),
+            "callee" => p.callee = Some(parse_string(value).map_err(|e| (lineno, e))?),
             "rule" => {
                 let s = parse_string(value).map_err(|e| (lineno, e))?;
                 let rule = RuleId::parse(&s).ok_or_else(|| {
@@ -128,13 +184,75 @@ pub fn parse_waivers(content: &str) -> Result<Vec<Waiver>, (usize, String)> {
                 })?;
                 p.expires_pr = Some(n);
             }
-            other => return Err((lineno, format!("unknown waiver key `{other}`"))),
+            _ => unreachable!("key allow-listed above"),
         }
     }
-    if let Some(p) = current.take() {
-        entries.push(finish(p)?);
+    if let Some((s, p)) = current.take() {
+        finish_entry(s, p, &mut config)?;
     }
-    Ok(entries)
+    Ok(config)
+}
+
+fn finish_entry(
+    section: Section,
+    p: Partial,
+    config: &mut LintConfig,
+) -> Result<(), (usize, String)> {
+    let at = p.header_line;
+    let need_fresh = |justification: Option<String>,
+                      expires_pr: Option<u32>|
+     -> Result<(String, u32), (usize, String)> {
+        let j = justification.ok_or((at, "entry is missing `justification`".to_string()))?;
+        let e = expires_pr.ok_or((at, "entry is missing `expires_pr`".to_string()))?;
+        if j.trim().is_empty() {
+            return Err((at, "`justification` must be non-empty".to_string()));
+        }
+        if e == 0 {
+            return Err((at, "`expires_pr` must be >= 1".to_string()));
+        }
+        Ok((j, e))
+    };
+    match section {
+        Section::Waiver => {
+            let path = p.path.ok_or((at, "waiver is missing `path`".to_string()))?;
+            let rule = p.rule.ok_or((at, "waiver is missing `rule`".to_string()))?;
+            if path.contains('\\') {
+                return Err((at, "waiver `path` must use forward slashes".to_string()));
+            }
+            let (justification, expires_pr) = need_fresh(p.justification, p.expires_pr)?;
+            config.waivers.push(Waiver {
+                path,
+                rule,
+                justification,
+                expires_pr,
+            });
+        }
+        Section::PureRoot => {
+            let name = p
+                .name
+                .ok_or((at, "pure_root is missing `name`".to_string()))?;
+            if name.trim().is_empty() {
+                return Err((at, "pure_root `name` must be non-empty".to_string()));
+            }
+            config.pure_roots.push(name);
+        }
+        Section::EdgeWaiver => {
+            let caller = p
+                .caller
+                .ok_or((at, "edge_waiver is missing `caller`".to_string()))?;
+            let callee = p
+                .callee
+                .ok_or((at, "edge_waiver is missing `callee`".to_string()))?;
+            let (justification, expires_pr) = need_fresh(p.justification, p.expires_pr)?;
+            config.edge_waivers.push(EdgeWaiver {
+                caller,
+                callee,
+                justification,
+                expires_pr,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Parses a double-quoted TOML basic string with `\"` / `\\` escapes.
@@ -229,6 +347,35 @@ pub fn check_waivers(
                     w.rule.id(),
                     w.expires_pr,
                     pr
+                ));
+            }
+        }
+    }
+    errors
+}
+
+/// Validates edge-waiver freshness, mirroring [`check_waivers`]:
+/// `used[i]` says whether entry `i` suppressed a P01 edge this run.
+pub fn check_edge_waivers(
+    edge_waivers: &[EdgeWaiver],
+    used: &[bool],
+    current_pr: Option<u32>,
+) -> Vec<String> {
+    let mut errors = Vec::new();
+    for (i, w) in edge_waivers.iter().enumerate() {
+        if !used.get(i).copied().unwrap_or(false) {
+            errors.push(format!(
+                "unused edge_waiver: {} -> {} suppressed nothing — the edge is gone, remove \
+                 the waiver",
+                w.caller, w.callee
+            ));
+        }
+        if let Some(pr) = current_pr {
+            if w.expires_pr <= pr {
+                errors.push(format!(
+                    "stale edge_waiver: {} -> {} expired at PR {} (current PR is {}) — fix \
+                     the edge or renegotiate the expiry",
+                    w.caller, w.callee, w.expires_pr, pr
                 ));
             }
         }
@@ -361,5 +508,91 @@ mod tests {
         assert_eq!(current_pr_from_changes(changes), Some(11));
         assert_eq!(current_pr_from_changes("nothing here"), None);
         assert_eq!(current_pr_from_changes("PR x: nope\nPR 3 no-colon"), None);
+    }
+
+    #[test]
+    fn current_pr_is_newline_shape_invariant() {
+        // The derivation must depend only on the `PR <n>:` prefixes, not
+        // on the file's trailing-newline or blank-line shape — an
+        // off-by-one here silently shifts every waiver expiry.
+        let with_trailing = "PR 1: a\nPR 2: b\n";
+        let without_trailing = "PR 1: a\nPR 2: b";
+        let with_blanks = "\nPR 1: a\n\n\nPR 2: b\n\n";
+        let crlf = "PR 1: a\r\nPR 2: b\r\n";
+        for (tag, content) in [
+            ("trailing newline", with_trailing),
+            ("no trailing newline", without_trailing),
+            ("interior blank lines", with_blanks),
+            ("CRLF endings", crlf),
+        ] {
+            assert_eq!(
+                current_pr_from_changes(content),
+                Some(3),
+                "shape `{tag}` must still derive PR 3"
+            );
+        }
+        // A lone header with no PR lines at all, in both shapes.
+        assert_eq!(current_pr_from_changes("# changes\n"), None);
+        assert_eq!(current_pr_from_changes("# changes"), None);
+    }
+
+    #[test]
+    fn pure_roots_and_edge_waivers_parse() {
+        let content = "\
+            [[pure_root]]\n\
+            name = \"shard_epoch_delta\"\n\
+            \n\
+            [[edge_waiver]]\n\
+            caller = \"run_experiment\"\n\
+            callee = \"crate::telemetry::emit\"\n\
+            justification = \"telemetry output never feeds results\"\n\
+            expires_pr = 14\n\
+            \n\
+            [[waiver]]\n\
+            path = \"crates/a/src/x.rs\"\n\
+            rule = \"D01\"\n\
+            justification = \"sorted downstream\"\n\
+            expires_pr = 12\n";
+        let config = parse_config(content).expect("mixed config parses");
+        assert_eq!(config.pure_roots, ["shard_epoch_delta"]);
+        assert_eq!(config.edge_waivers.len(), 1);
+        assert_eq!(config.edge_waivers[0].caller, "run_experiment");
+        assert_eq!(config.waivers.len(), 1);
+    }
+
+    #[test]
+    fn config_sections_reject_wrong_and_missing_keys() {
+        let wrong_key = "[[pure_root]]\npath = \"x\"\n";
+        assert!(parse_config(wrong_key).is_err(), "pure_root rejects `path`");
+        let blank_root = "[[pure_root]]\nname = \" \"\n";
+        assert!(parse_config(blank_root).is_err(), "blank root name");
+        let no_expiry = "[[edge_waiver]]\ncaller = \"a\"\ncallee = \"b\"\njustification = \"j\"\n";
+        assert!(parse_config(no_expiry).is_err(), "edge waiver needs expiry");
+        let no_callee = "[[edge_waiver]]\ncaller = \"a\"\njustification = \"j\"\nexpires_pr = 9\n";
+        assert!(parse_config(no_callee).is_err(), "edge waiver needs callee");
+    }
+
+    #[test]
+    fn edge_waiver_freshness_mirrors_waiver_freshness() {
+        let ew = vec![
+            EdgeWaiver {
+                caller: "a".to_string(),
+                callee: "b".to_string(),
+                justification: "j".to_string(),
+                expires_pr: 7,
+            },
+            EdgeWaiver {
+                caller: "c".to_string(),
+                callee: "d".to_string(),
+                justification: "j".to_string(),
+                expires_pr: 99,
+            },
+        ];
+        // First: stale (expired at 7) and used; second: fresh but unused.
+        let errors = check_edge_waivers(&ew, &[true, false], Some(7));
+        assert_eq!(errors.len(), 2, "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("stale")));
+        assert!(errors.iter().any(|e| e.contains("unused")));
+        assert!(check_edge_waivers(&ew[1..], &[true], Some(7)).is_empty());
     }
 }

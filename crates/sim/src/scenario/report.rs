@@ -123,7 +123,7 @@ impl ScenarioReport {
             }
             path.to_path_buf()
         };
-        std::fs::write(&target, self.to_json().render())?;
+        ldp_common::write_atomic(&target, &self.to_json().render())?;
         Ok(target)
     }
 
@@ -284,6 +284,34 @@ mod tests {
             grids: vec![],
             notes: vec![],
         }
+    }
+
+    #[test]
+    fn write_json_is_crash_atomic() {
+        // The emit goes through write_atomic: after a successful write
+        // the target holds the complete new document, and no staging
+        // temp file survives in the directory — the crash window where
+        // a torn half-file could exist is confined to the temp name,
+        // which readers never open.
+        let dir = std::env::temp_dir().join("ldp_report_write_json_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("figX.json");
+        std::fs::write(&target, "{\"stale\": true}").unwrap();
+        let written = report().write_json(&target, false).unwrap();
+        assert_eq!(written, target);
+        let body = std::fs::read_to_string(&target).unwrap();
+        assert!(body.contains("\"figX\""), "new content landed: {body}");
+        assert!(!body.contains("stale"), "old content fully replaced");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp-"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "staging files left behind: {leftovers:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
